@@ -1,0 +1,37 @@
+"""Shared state for the benchmark suite.
+
+Every paper table/figure has one benchmark module that (a) times the
+regeneration with pytest-benchmark and (b) asserts the reproduced shape,
+then prints the rendered rows (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import ExperimentContext
+
+
+def pytest_configure(config):
+    # The benchmark suite lives outside testpaths; make sure bare
+    # ``pytest benchmarks/`` runs use the same options as tests.
+    pass
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """One shared simulation cache across every benchmark module."""
+    return ExperimentContext(records=512, large_kernel_records=128)
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return run

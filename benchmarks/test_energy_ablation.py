@@ -1,0 +1,59 @@
+"""Ablation: energy per record across configurations (Section 7 direction).
+
+The paper's mechanisms are motivated by power as much as performance
+(avoided refetch, avoided register-file traffic, avoided L1 lookups).
+This ablation quantifies that with the first-order energy model: for
+each domain representative, the configuration the paper prefers is also
+at (or near) the energy minimum.
+"""
+
+from repro.analysis import estimate_energy
+from repro.harness.experiments import PAPER_PREFERRED
+from repro.kernels import spec
+from repro.machine import GridProcessor, MachineConfig, TABLE5_CONFIGS
+
+KERNELS = ("convert", "fft", "blowfish", "vertex-skinning")
+
+
+def run_energy_sweep():
+    processor = GridProcessor()
+    table = {}
+    for name in KERNELS:
+        s = spec(name)
+        kernel = s.kernel()
+        records = s.workload(1024 if len(kernel) < 600 else 256)
+        per_config = {}
+        for config in [MachineConfig.baseline()] + list(TABLE5_CONFIGS):
+            if not processor.supports(kernel, config):
+                continue
+            result = processor.run(kernel, records, config)
+            per_config[config.name] = estimate_energy(kernel, result, config)
+        table[name] = per_config
+    return table
+
+
+def test_energy_ablation(one_shot):
+    table = one_shot(run_energy_sweep)
+
+    for name, per_config in table.items():
+        base = per_config["baseline"].pj_per_record
+        preferred = PAPER_PREFERRED[name]
+        best = min(per_config, key=lambda c: per_config[c].pj_per_record)
+
+        # Every DLP morph saves energy over the ILP baseline.
+        for cname, breakdown in per_config.items():
+            if cname != "baseline":
+                assert breakdown.pj_per_record < base, (name, cname)
+
+        # The paper-preferred configuration is within 25% of the energy
+        # minimum (performance preference and energy preference align).
+        assert (per_config[preferred].pj_per_record
+                <= 1.25 * per_config[best].pj_per_record), (name, best)
+
+    print()
+    for name, per_config in table.items():
+        row = "  ".join(
+            f"{c}={b.pj_per_record:,.0f}"
+            for c, b in sorted(per_config.items())
+        )
+        print(f"{name:18s} pJ/record: {row}")

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 1 (kernel control-behaviour taxonomy).
+
+Classifies every kernel into the paper's three control classes and
+measures the predication waste that motivates fine-grain MIMD.
+"""
+
+from repro.harness.experiments import figure1
+from repro.isa.kernel import ControlClass
+
+
+def test_figure1_control(one_shot):
+    result = one_shot(figure1)
+    by_name = {p.name: p for p in result.profiles}
+
+    # Figure 1's three example classes, reproduced structurally.
+    assert by_name["convert"].control is ControlClass.SEQUENTIAL
+    assert by_name["blowfish"].control is ControlClass.STATIC_LOOP
+    assert by_name["vertex-skinning"].control is ControlClass.RUNTIME_LOOP
+
+    # Only the runtime-loop kernels waste SIMD issue slots.
+    for profile in result.profiles:
+        if profile.control is ControlClass.RUNTIME_LOOP:
+            assert profile.nullification_waste > 0.1
+            assert profile.preferred_model == "fine-grain MIMD"
+        else:
+            assert profile.nullification_waste == 0.0
+            assert profile.preferred_model == "vector/SIMD"
+
+    print()
+    print(result.render())

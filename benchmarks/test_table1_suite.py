@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (benchmark suite description)."""
+
+from repro.harness.experiments import table1
+from repro.kernels import TABLE1_ORDER
+
+
+def test_table1_suite(one_shot):
+    result = one_shot(table1)
+    assert [row[0] for row in result.rows] == list(TABLE1_ORDER)
+    domains = {row[1] for row in result.rows}
+    assert domains == {"multimedia", "scientific", "network", "graphics"}
+    print()
+    print(result.render())

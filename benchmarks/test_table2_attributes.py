@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 2 (benchmark attributes).
+
+Builds all 14 kernels and measures their computation / memory / control
+attributes, asserting the paper-exact columns (record sizes, table
+sizes, loop bounds, irregular access counts).
+"""
+
+from repro.harness.experiments import table2
+
+
+def test_table2_attributes(one_shot):
+    result = one_shot(table2)
+    measured = {attrs.name: attrs for attrs in result.measured}
+
+    # Record sizes are exact for the whole suite.
+    for attrs, s in zip(result.measured, result.specs):
+        assert attrs.record_read == s.paper.record_read
+        assert attrs.record_write == s.paper.record_write
+
+    # Key attribute anchors from the paper's rows.
+    assert measured["convert"].instructions == 15
+    assert measured["convert"].constants == 9
+    assert measured["fft"].constants == 0
+    assert measured["rijndael"].indexed_constants == 1024
+    assert measured["vertex-skinning"].indexed_constants == 288
+    assert measured["blowfish"].loop_bound == "16"
+    assert measured["rijndael"].loop_bound == "10"
+    assert measured["vertex-skinning"].loop_bound == "Variable"
+    assert measured["fragment-simple"].irregular == 4
+
+    print()
+    print(result.render())

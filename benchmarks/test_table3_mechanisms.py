@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 3 (attribute -> mechanism map) and verify
+the configurator derives the paper's per-benchmark configurations."""
+
+from repro.core import predicted_config
+from repro.harness.experiments import table3
+from repro.kernels import spec
+
+
+def test_table3_mechanisms(one_shot):
+    result = one_shot(table3)
+    assert len(result.rows) == 6
+    attributes = [row[0] for row in result.rows]
+    assert attributes == [
+        "Regular memory access",
+        "Irregular memory access",
+        "Scalar named constants",
+        "Indexed named constants",
+        "Tight loops",
+        "Data dependent branching",
+    ]
+
+    # Reading Table 3 right-to-left reproduces the kernel->config map.
+    assert predicted_config(spec("fft").kernel()).name == "S"
+    assert predicted_config(spec("convert").kernel()).name == "S-O"
+    assert predicted_config(spec("rijndael").kernel()).name == "S-O-D"
+    assert predicted_config(spec("vertex-skinning").kernel()).name == "M-D"
+
+    print()
+    print(result.render())

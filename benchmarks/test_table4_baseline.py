@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 4 (baseline TRIPS ops/cycle).
+
+Simulates all 13 performance benchmarks on the unmorphed ILP baseline
+and checks the paper's domain-level observation: "Only the DSP programs
+sustain a reasonably high computation throughput ... while all other
+applications sustain low throughputs."
+"""
+
+from repro.harness.experiments import ExperimentContext, table4
+
+
+def test_table4_baseline(one_shot):
+    result = one_shot(lambda: table4(ExperimentContext()))
+    by_name = result.by_name()
+
+    dsp = [by_name[n] for n in ("convert", "dct", "highpassfilter")]
+    others = [
+        by_name[n]
+        for n in ("fft", "lu", "md5", "blowfish", "rijndael",
+                  "vertex-simple", "fragment-simple", "vertex-reflection",
+                  "fragment-reflection", "vertex-skinning")
+    ]
+    # DSP codes sustain the highest baseline throughput (paper: ~11 vs ~4).
+    assert min(dsp) > max(others)
+    assert sum(dsp) / len(dsp) > 1.5 * (sum(others) / len(others))
+
+    # Every measured level within a small factor of the paper's number.
+    for name, measured, paper in result.rows:
+        assert 0.2 < measured / paper < 3.5, (name, measured, paper)
+
+    print()
+    print(result.render())

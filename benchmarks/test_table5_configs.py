@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 5 (machine configurations) and exercise
+each configuration on the substrate to prove it is runnable."""
+
+from repro.harness.experiments import table5
+from repro.kernels import spec
+from repro.machine import GridProcessor, TABLE5_CONFIGS
+
+
+def test_table5_configs(one_shot):
+    def regenerate():
+        result = table5()
+        # Prove each Table 5 point is a *live* machine, not just a row:
+        # run a small kernel on every configuration.
+        processor = GridProcessor()
+        s = spec("fft")
+        records = s.workload(64)
+        runs = {
+            config.name: processor.run(s.kernel(), records, config)
+            for config in TABLE5_CONFIGS
+        }
+        return result, runs
+
+    result, runs = one_shot(regenerate)
+    assert [row[0] for row in result.rows] == ["S", "S-O", "S-O-D", "M", "M-D"]
+    assert all(r.cycles > 0 for r in runs.values())
+    # SIMD configs revitalize; MIMD configs do not (different engines).
+    assert runs["S"].window is not None
+    assert runs["M"].window is None
+
+    print()
+    print(result.render())

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Real-time graphics scenario: a shader pipeline on one morphing substrate.
+
+Runs a vertex stage, a skinning stage and a fragment stage over a scene,
+letting the flexible architecture pick each stage's machine morph — the
+paper's point that one homogeneous array can replace specialized vertex
+and fragment engines ("the partitioning of ALUs can be dynamically
+determined based on scene attributes").
+
+Run:  python examples/graphics_pipeline.py
+"""
+
+from repro import FlexibleArchitecture
+from repro.analysis import control_profile, trip_histogram
+from repro.kernels import spec
+
+
+def run_stage(arch, name, records):
+    s = spec(name)
+    run = arch.run(s.kernel(), s.workload(records))
+    candidates = ", ".join(
+        f"{cname}={result.cycles}"
+        for cname, result in sorted(run.candidates.items())
+    )
+    print(f"{name:20s} -> {run.chosen.name:6s} "
+          f"({run.result.cycles} cycles, "
+          f"{run.result.ops_per_cycle:.2f} ops/cycle)")
+    print(f"{'':20s}    candidates: {candidates}")
+    return run
+
+
+def main():
+    arch = FlexibleArchitecture(policy="tuned")
+    print("Rendering one frame: 512 vertices -> 512 skinned vertices -> "
+          "512 fragments\n")
+
+    vertex = run_stage(arch, "vertex-simple", 512)
+    skinning = run_stage(arch, "vertex-skinning", 512)
+    fragment = run_stage(arch, "fragment-simple", 512)
+
+    # Why skinning morphs differently: data-dependent bone counts.
+    s = spec("vertex-skinning")
+    records = s.workload(512)
+    profile = control_profile(s.kernel(), records)
+    hist = trip_histogram(s.kernel(), records)
+    print(f"\nvertex-skinning control behaviour: {profile.control.value}")
+    print(f"  bone-count distribution: {hist}")
+    print(f"  SIMD predication would waste "
+          f"{100 * profile.nullification_waste:.0f}% of issue slots;")
+    print("  local program counters branch past the dead bones instead.")
+
+    total = (vertex.result.cycles + skinning.result.cycles
+             + fragment.result.cycles)
+    print(f"\nframe total: {total} cycles across three morphs of ONE array")
+    print("(a fixed SIMD part would lose the skinning stage; a fixed MIMD")
+    print("part would lose the streaming stages — Figure 5's argument).")
+
+    # ---- Section 4.3's other trick: run the stages *concurrently* by
+    # partitioning the array, sized by scene attributes. -----------------
+    from repro.pipeline import PipelinedArray, Stage
+
+    print("\n--- partitioned pipeline (all stages resident at once) ---")
+    array = PipelinedArray()
+    stages = [
+        Stage(spec("vertex-simple").kernel()),
+        Stage(spec("fragment-simple").kernel(), amplification=4.0),
+    ]
+    workloads = [spec("vertex-simple").workload(128),
+                 spec("fragment-simple").workload(128)]
+    equal = array.run(stages, workloads,
+                      partition=PipelinedArray.equal_partition(stages, 64))
+    balanced = array.run(stages, workloads)
+    print(f"equal split    {equal.partition}: "
+          f"{equal.cycles_per_input:6.1f} cycles/triangle "
+          f"(bottleneck: {equal.bottleneck})")
+    print(f"scene-balanced {balanced.partition}: "
+          f"{balanced.cycles_per_input:6.1f} cycles/triangle "
+          f"(bottleneck: {balanced.bottleneck})")
+    print("Homogeneous ALUs mean the vertex/fragment split is a runtime")
+    print("decision — the paper's answer to fixed-function GPU pipelines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Network/security scenario: line-rate packet encryption.
+
+Encrypts a stream of 1500-byte packets with the *real* Blowfish and AES
+dataflow kernels, verifies every ciphertext bit against the reference
+ciphers, and compares machine configurations — reproducing the paper's
+observation that lookup-table ciphers want the MIMD + L0-data-store
+morph (M-D).
+
+Run:  python examples/packet_encryption.py
+"""
+
+from repro import GridProcessor, MachineConfig
+from repro.crypto import Blowfish
+from repro.kernels import blowfish as bf
+from repro.kernels import rijndael as rj
+from repro.workloads.packets import packet_block_records, packet_stream
+
+CLOCK_GHZ = 1.0  # report throughput at a 1 GHz clock
+
+
+def encrypt_packets(name, module, block_bytes, configs, n_packets=4):
+    packets = packet_stream(n_packets, seed=99)
+    records = packet_block_records(packets, block_bytes=block_bytes)
+    kernel = module.build_kernel()
+    processor = GridProcessor()
+
+    print(f"\n=== {name}: {n_packets} packets, {len(records)} blocks ===")
+
+    # Functional pass on the MIMD engine: the machine itself computes the
+    # ciphertext; verify every block against the reference cipher.
+    result = processor.run(kernel, records, MachineConfig.M_D(),
+                           functional=True)
+    mismatches = sum(
+        1 for record, out in zip(records, result.outputs)
+        if out != module.reference(record)
+    )
+    print(f"ciphertext verification: {len(records) - mismatches}/"
+          f"{len(records)} blocks bit-exact")
+    assert mismatches == 0
+
+    baseline = processor.run(kernel, records, MachineConfig.baseline())
+    print(f"{'config':10s} {'cycles/block':>13s} {'Gbit/s @1GHz':>13s} "
+          f"{'speedup':>8s}")
+    for config in [MachineConfig.baseline()] + list(configs):
+        run = processor.run(kernel, records, config)
+        cycles_per_block = run.cycles_per_record
+        gbps = (block_bytes * 8 * CLOCK_GHZ) / cycles_per_block
+        label = config.name
+        print(f"{label:10s} {cycles_per_block:13.2f} {gbps:13.2f} "
+              f"{run.speedup_over(baseline):7.2f}x")
+
+
+def main():
+    configs = [MachineConfig.S_O(), MachineConfig.S_O_D(),
+               MachineConfig.M(), MachineConfig.M_D()]
+    encrypt_packets("Blowfish", bf, 8, configs)
+    encrypt_packets("Rijndael (AES-128)", rj, 16, configs)
+
+    # Show the classic Blowfish sanity vector through the whole stack.
+    cipher = Blowfish(bytes(8))
+    assert cipher.encrypt_block(bytes(8)).hex() == "4ef997456198dd78"
+    print("\nreference sanity: Blowfish(0,0) -> 4ef997456198dd78 (published "
+          "vector)")
+    print("The L0 data store turns the S-boxes/T-tables from shared-L1")
+    print("traffic into 1-cycle local reads; with local PCs on top the")
+    print("ciphers hit the paper's M-D sweet spot.")
+
+
+if __name__ == "__main__":
+    main()

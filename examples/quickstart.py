@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: write a data-parallel kernel, run it on every machine morph.
+
+Builds a small image-brightness kernel with the :class:`KernelBuilder`
+DSL, checks it functionally against plain Python, then simulates it on
+the ILP baseline and all five Table 5 configurations of the
+reconfigurable grid processor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GridProcessor, MachineConfig, TABLE5_CONFIGS
+from repro.isa import Domain, KernelBuilder, evaluate_kernel
+
+
+def build_brightness_kernel():
+    """Per-pixel brightness/contrast: out = clamp(gain * in + bias)."""
+    b = KernelBuilder(
+        "brightness", Domain.MULTIMEDIA, record_in=3, record_out=3,
+        description="Per-pixel brightness and contrast adjustment.",
+    )
+    gain = b.const(1.25, "gain")
+    bias = b.const(12.0, "bias")
+    lo = b.imm(0.0)
+    hi = b.imm(255.0)
+    for channel in b.inputs():
+        adjusted = b.fmadd(gain, channel, bias)
+        b.output(b.fmin(b.fmax(adjusted, lo), hi))
+    return b.build()
+
+
+def main():
+    kernel = build_brightness_kernel()
+    print(kernel)
+
+    # Functional check against plain Python.
+    pixel = [10.0, 128.0, 250.0]
+    out = evaluate_kernel(kernel, pixel)
+    expected = [min(max(1.25 * c + 12.0, 0.0), 255.0) for c in pixel]
+    assert out == expected, (out, expected)
+    print(f"functional check: {pixel} -> {[round(v, 1) for v in out]}")
+
+    # A stream of pixels and the reconfigurable processor.
+    records = [[float(i % 256), float((i * 7) % 256), float((i * 13) % 256)]
+               for i in range(1024)]
+    processor = GridProcessor()
+
+    baseline = processor.run(kernel, records, MachineConfig.baseline())
+    print(f"\n{'config':10s} {'cycles':>8s} {'ops/cycle':>10s} {'speedup':>8s}")
+    print(f"{'baseline':10s} {baseline.cycles:8d} "
+          f"{baseline.ops_per_cycle:10.2f} {'1.00x':>8s}")
+    for config in TABLE5_CONFIGS:
+        result = processor.run(kernel, records, config)
+        print(f"{config.name:10s} {result.cycles:8d} "
+              f"{result.ops_per_cycle:10.2f} "
+              f"{result.speedup_over(baseline):7.2f}x")
+
+    print("\nThe kernel is constant-bound (gain/bias in registers), so the")
+    print("big step comes from operand revitalization (S -> S-O), exactly")
+    print("as the paper's Table 3 predicts for scalar named constants.")
+
+
+if __name__ == "__main__":
+    main()

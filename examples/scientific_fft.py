@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scientific scenario: the paper's 1024-point FFT, end to end.
+
+Drives a full complex FFT through the butterfly kernel — stage by stage,
+the way the streamed SMC would double-buffer it — validates the result
+against numpy, and measures the kernel across configurations showing the
+paper's scientific-code profile: the plain S morph is all you need (no
+scalar constants to revitalize, no tables), and the paper's noted
+store-bandwidth limit shows up as the dominant window component.
+
+Run:  python examples/scientific_fft.py
+"""
+
+import numpy as np
+
+from repro import GridProcessor, MachineConfig
+from repro.kernels import spec
+from repro.kernels.fft import fft_full
+from repro.workloads.matrices import (
+    bit_reverse_permute,
+    butterfly_records,
+    fft_input,
+)
+
+N = 1024
+
+
+def main():
+    signal = fft_input(N, seed=42)
+
+    # Functional: the whole transform through the kernel's math.
+    ours = np.array(fft_full(signal))
+    reference = np.fft.fft(np.array(signal))
+    error = np.max(np.abs(ours - reference))
+    print(f"{N}-point FFT through the butterfly kernel: "
+          f"max |error| vs numpy = {error:.2e}")
+    assert error < 1e-9
+
+    # Timing: each stage is a record stream of n/2 butterflies.
+    s = spec("fft")
+    kernel = s.kernel()
+    processor = GridProcessor()
+    data = bit_reverse_permute(signal)
+    stage_cycles = []
+    for stage in range(10):
+        records, _ = butterfly_records(data, stage)
+        run = processor.run(kernel, records, MachineConfig.S())
+        stage_cycles.append(run.cycles)
+    total = sum(stage_cycles)
+    print(f"\nS-morph timing: {total} cycles for 10 stages "
+          f"({N // 2} butterflies each)")
+    print(f"  per stage: {stage_cycles}")
+    print(f"  sustained: {10 * (N // 2) * kernel.useful_ops() / total:.1f} "
+          "useful ops/cycle")
+
+    # Why S is the right morph: S-O and S-O-D buy nothing here.
+    records, _ = butterfly_records(data, 0)
+    base = processor.run(kernel, records, MachineConfig.baseline())
+    print(f"\n{'config':8s} {'cycles':>7s} {'speedup':>8s}   bottleneck")
+    for config in (MachineConfig.S(), MachineConfig.S_O(),
+                   MachineConfig.S_O_D(), MachineConfig.M()):
+        run = processor.run(kernel, records, config)
+        bottleneck = run.window.bottleneck if run.window else "in-order nodes"
+        print(f"{config.name:8s} {run.cycles:7d} "
+              f"{run.speedup_over(base):7.2f}x   {bottleneck}")
+    print("\nfft has zero scalar constants and zero lookup tables, so the")
+    print("extra mechanisms are no-ops — and MIMD loses the vector-style")
+    print("streaming schedule (the paper's Section 5.3, first bullet).")
+
+
+if __name__ == "__main__":
+    main()

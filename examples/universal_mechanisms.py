@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Universality demo: the same mechanisms on three different substrates.
+
+Section 4.5 claims the mechanisms are not TRIPS-specific.  This example
+runs representative kernels on (1) the grid processor, (2) a classic
+vector machine, and (3) a wide out-of-order superscalar with the
+mechanisms ported — showing the same levers move every substrate in the
+same direction, and where each substrate structurally wins or loses.
+
+Run:  python examples/universal_mechanisms.py
+"""
+
+from repro import GridProcessor, MachineConfig
+from repro.kernels import spec
+from repro.superscalar import SuperscalarConfig, SuperscalarCore, SuperscalarParams
+from repro.vectorsim import VectorMachine
+
+KERNELS = ("fft", "convert", "blowfish", "vertex-skinning")
+
+
+def main():
+    grid = GridProcessor()
+    vector = VectorMachine()
+    ooo = SuperscalarCore(SuperscalarParams(issue_width=8, fetch_width=8))
+
+    print(f"{'benchmark':18s} {'grid best':>12s} {'vector':>10s} "
+          f"{'ooo-base':>10s} {'ooo+mech':>10s}   (useful ops/cycle)")
+    for name in KERNELS:
+        s = spec(name)
+        kernel = s.kernel()
+        records = s.workload(512)
+
+        grid_best = min(
+            (grid.run(kernel, records, cfg)
+             for cfg in (MachineConfig.S(), MachineConfig.S_O(),
+                         MachineConfig.S_O_D(), MachineConfig.M_D())
+             if grid.supports(kernel, cfg)),
+            key=lambda r: r.cycles,
+        )
+        vec = vector.run(kernel, records)
+        base = ooo.run(kernel, records, SuperscalarConfig.baseline())
+        mech = ooo.run(kernel, records, SuperscalarConfig.with_mechanisms())
+        print(f"{name:18s} {grid_best.ops_per_cycle:9.2f} "
+              f"({grid_best.config:>5s}) {vec.ops_per_cycle:9.2f} "
+              f"{base.ops_per_cycle:10.2f} {mech.ops_per_cycle:10.2f}")
+
+    print("""
+Reading the rows:
+  * fft        — a natural vector workload (the paper's Tarantula beats
+                 TRIPS here; our 16-lane model trails the 64-node grid but
+                 leads everything else per lane); the mechanisms still
+                 lift the superscalar by streaming records past its L1.
+  * convert    — scalar constants: operand reuse is the lever on both the
+                 grid (S-O) and the superscalar.
+  * blowfish   — lookup tables wreck the vector gathers; the L0 data
+                 store + local control (M-D) is the grid's answer, and
+                 the lookup SRAM is the superscalar's.
+  * skinning   — data-dependent bone counts: vector masks pay worst-case,
+                 the grid's local PCs branch past the dead work.
+One set of mechanisms, three substrates, the same physics.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — reproduction of *Universal Mechanisms for Data-Parallel
+Architectures* (Sankaralingam, Keckler, Mark, Burger; MICRO 2003).
+
+A from-scratch, cycle-level model of a reconfigurable TRIPS-style grid
+processor with the paper's six universal DLP mechanisms, the complete
+14-kernel benchmark suite (bit-exact crypto, validated DSP/scientific/
+graphics kernels), and an experiment harness that regenerates every table
+and figure of the evaluation.
+
+Quick start::
+
+    from repro import quickrun
+    quickrun("blowfish")                 # speedups across configurations
+
+    from repro.harness import run_all
+    print(run_all())                      # every table and figure
+
+Package map:
+
+- ``repro.isa``      — dataflow ISA, KernelBuilder DSL, evaluator
+- ``repro.machine``  — the grid processor (configs, engines, processor)
+- ``repro.memory``   — SMC / DMA / store buffers / channels / caches
+- ``repro.kernels``  — the benchmark suite + references
+- ``repro.crypto``   — from-scratch MD5 / Blowfish / AES substrates
+- ``repro.workloads``— seeded synthetic record streams
+- ``repro.analysis`` — Table 2 characterization, Figure 1 control classes
+- ``repro.core``     — mechanisms, configurator, flexible architecture
+- ``repro.compare``  — specialized-hardware and classic-model comparators
+- ``repro.harness``  — per-table/figure experiment runners and CLI
+"""
+
+from .isa import Kernel, KernelBuilder, Domain, evaluate_kernel
+from .machine import (
+    GridProcessor,
+    MachineConfig,
+    MachineParams,
+    RunResult,
+    TABLE5_CONFIGS,
+    run_kernel,
+)
+from .core import FlexibleArchitecture, predicted_config, tuned_config
+from .kernels import all_specs, kernel, spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kernel",
+    "KernelBuilder",
+    "Domain",
+    "evaluate_kernel",
+    "GridProcessor",
+    "MachineConfig",
+    "MachineParams",
+    "RunResult",
+    "TABLE5_CONFIGS",
+    "run_kernel",
+    "FlexibleArchitecture",
+    "predicted_config",
+    "tuned_config",
+    "all_specs",
+    "kernel",
+    "spec",
+    "quickrun",
+    "__version__",
+]
+
+
+def quickrun(name: str, records: int = 256):
+    """Run one benchmark across all configurations; print a mini-report.
+
+    Returns ``{config name: RunResult}`` for programmatic use.
+    """
+    s = spec(name)
+    k = s.kernel()
+    recs = s.workload(records)
+    proc = GridProcessor()
+    base = proc.run(k, recs, MachineConfig.baseline())
+    results = {"baseline": base}
+    print(f"{name}: {len(k)} instructions, record {k.record_in}/"
+          f"{k.record_out}, {records} records")
+    print(f"  baseline  {base.cycles:8d} cycles  "
+          f"{base.ops_per_cycle:6.2f} ops/cycle")
+    for config in TABLE5_CONFIGS:
+        if not proc.supports(k, config):
+            print(f"  {config.name:8s}  (does not fit)")
+            continue
+        result = proc.run(k, recs, config)
+        results[config.name] = result
+        print(f"  {config.name:8s}  {result.cycles:8d} cycles  "
+              f"{result.ops_per_cycle:6.2f} ops/cycle  "
+              f"{result.speedup_over(base):5.2f}x")
+    return results

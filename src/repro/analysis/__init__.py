@@ -1,0 +1,18 @@
+"""Program-attribute analysis (Section 2 of the paper, measured)."""
+
+from .characterize import KernelAttributes, characterize, iteration_ilp, loop_bound_label
+from .control import ControlProfile, control_profile, trip_histogram
+from .energy import EnergyBreakdown, EnergyConstants, estimate_energy
+
+__all__ = [
+    "KernelAttributes",
+    "characterize",
+    "iteration_ilp",
+    "loop_bound_label",
+    "ControlProfile",
+    "control_profile",
+    "trip_histogram",
+    "EnergyBreakdown",
+    "EnergyConstants",
+    "estimate_energy",
+]

@@ -1,0 +1,86 @@
+"""Control-behaviour analysis — the Figure 1 taxonomy, measured.
+
+Figure 1 classifies kernels into (a) sequential instructions, (b) simple
+static loops, (c) runtime loop bounds; Section 2.1.2 argues each class
+wants a different control regime (vector/SIMD for (a)/(b), fine-grain
+MIMD for (c)).  This module classifies kernels structurally and
+quantifies the cost of the SIMD alternative for class (c): the fraction
+of issued instructions that predication nullifies at each trip count —
+the number MIMD's local branching recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..isa.kernel import ControlClass, Kernel
+
+
+@dataclass(frozen=True)
+class ControlProfile:
+    """Control behaviour of one kernel (Figure 1 classification + costs)."""
+
+    name: str
+    control: ControlClass
+    static_trips: int
+    max_trips: int
+    #: instructions executed under SIMD (everything, nullified included)
+    simd_instructions: int
+    #: average live instructions per record over the probed workload
+    mimd_instructions: float
+    #: fraction of SIMD issue slots wasted on nullified instructions
+    nullification_waste: float
+
+    @property
+    def preferred_model(self) -> str:
+        """Which control regime Section 2.1.2 prescribes."""
+        if self.control is ControlClass.RUNTIME_LOOP:
+            return "fine-grain MIMD"
+        return "vector/SIMD"
+
+
+def control_profile(
+    kernel: Kernel, records: Sequence[Sequence] = ()
+) -> ControlProfile:
+    """Classify a kernel and measure its predication overhead.
+
+    ``records`` (only needed for runtime-loop kernels) supplies the trip
+    count distribution used to average the live work.
+    """
+    simd = len(kernel.body)
+    if kernel.loop.variable:
+        if not records:
+            raise ValueError(
+                f"{kernel.name} has runtime loop bounds; pass records to "
+                "measure its trip distribution"
+            )
+        live = [len(kernel.live_instructions(kernel.trip_count(r)))
+                for r in records]
+        mimd = sum(live) / len(live)
+        waste = 1.0 - mimd / simd
+        max_trips = kernel.loop.max_trips or 1
+    else:
+        mimd = float(simd)
+        waste = 0.0
+        max_trips = kernel.loop.static_trips or 1
+    return ControlProfile(
+        name=kernel.name,
+        control=kernel.control_class(),
+        static_trips=kernel.loop.static_trips or 1,
+        max_trips=max_trips,
+        simd_instructions=simd,
+        mimd_instructions=mimd,
+        nullification_waste=waste,
+    )
+
+
+def trip_histogram(
+    kernel: Kernel, records: Sequence[Sequence]
+) -> Dict[int, int]:
+    """Distribution of actual trip counts over a workload."""
+    hist: Dict[int, int] = {}
+    for record in records:
+        trips = kernel.trip_count(record)
+        hist[trips] = hist.get(trips, 0) + 1
+    return dict(sorted(hist.items()))

@@ -1,0 +1,188 @@
+"""First-order energy accounting for the mechanisms.
+
+Section 7 names power evaluation as future work, and the mechanisms'
+energy story is implicit throughout the paper: instruction
+revitalization exists to avoid "instruction cache pressure and dynamic
+cache access power" (Section 4.3), operand revitalization to avoid
+register-file access energy (Section 4.4), and the L0 data store to keep
+lookups out of the L1 ("consumes little storage space, but tremendous
+cache bandwidth", Section 2.1.1).
+
+This model turns simulated event counts into picojoules with
+per-structure energy constants (100nm-class round numbers).  It is a
+*relative* instrument: compare configurations on the same kernel, not
+absolute silicon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa.kernel import Kernel
+from ..isa.opcodes import OpClass
+from ..machine.config import MachineConfig
+from ..machine.mimd_engine import rolled_instruction_count
+from ..machine.params import MachineParams
+from ..machine.stats import RunResult
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Per-event energy in picojoules (100nm-class estimates)."""
+
+    int_op: float = 8.0
+    fp_op: float = 30.0
+    issue_overhead: float = 4.0     # wakeup/select or pipeline control
+    regfile_read: float = 12.0
+    l0_access: float = 3.0          # small per-node SRAM
+    l1_access: float = 50.0
+    smc_word: float = 35.0          # streamed bank access, no tag check
+    l2_tagged_word: float = 80.0    # tagged L2 path (misses)
+    network_hop: float = 5.0
+    inst_fetch: float = 20.0        # I-cache read + decode + map, per inst
+    revitalize_broadcast: float = 200.0
+    dma_word: float = 10.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy by structure for one run (picojoules)."""
+
+    kernel: str
+    config: str
+    records: int
+    by_structure: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.by_structure.values())
+
+    @property
+    def pj_per_record(self) -> float:
+        return self.total_pj / self.records if self.records else 0.0
+
+    def render(self) -> str:
+        lines = [f"{self.kernel}/{self.config}: "
+                 f"{self.pj_per_record:,.0f} pJ/record"]
+        for name, value in sorted(
+            self.by_structure.items(), key=lambda kv: -kv[1]
+        ):
+            share = 100 * value / self.total_pj if self.total_pj else 0
+            lines.append(f"  {name:18s} {value / self.records:10,.1f} "
+                         f"pJ/rec  ({share:4.1f}%)")
+        return "\n".join(lines)
+
+
+def _compute_op_energy(kernel: Kernel, constants: EnergyConstants) -> float:
+    """Average execution energy of one kernel-body instruction."""
+    total = 0.0
+    for inst in kernel.body:
+        if inst.op.opclass in (OpClass.FP_ADD, OpClass.FP_MUL,
+                               OpClass.FP_DIV, OpClass.FP_SPECIAL):
+            total += constants.fp_op
+        else:
+            total += constants.int_op
+    return total / max(1, len(kernel.body))
+
+
+def estimate_energy(
+    kernel: Kernel,
+    result: RunResult,
+    config: MachineConfig,
+    params: Optional[MachineParams] = None,
+    constants: EnergyConstants = EnergyConstants(),
+) -> EnergyBreakdown:
+    """Estimate where a run's energy went.
+
+    Uses the run's measured per-window event counts where the simulators
+    recorded them, and the kernel's structure for the rest.
+    """
+    params = params or MachineParams()
+    n = result.records
+    body = len(kernel.body)
+    breakdown: Dict[str, float] = {}
+
+    # Execution: every body instruction executes once per record (SIMD
+    # nullification still spends the issue), plus issue control.
+    per_op = _compute_op_energy(kernel, constants)
+    executed = result.detail.get("executed")
+    ops = executed if executed else float(body * n)
+    breakdown["functional units"] = ops * per_op
+    breakdown["issue/control"] = ops * constants.issue_overhead
+
+    # Instruction supply.
+    if config.local_pc:
+        # One-time broadcast of the rolled kernel + per-inst L0 I-fetch.
+        breakdown["instruction fetch"] = (
+            rolled_instruction_count(kernel) * constants.inst_fetch
+            + ops * constants.l0_access
+        )
+    elif config.inst_revitalize:
+        windows = max(1, math.ceil(
+            n / (result.window.iterations if result.window else 1)
+        ))
+        mapped = (result.window.machine_instructions
+                  if result.window else body)
+        breakdown["instruction fetch"] = mapped * constants.inst_fetch
+        breakdown["revitalize"] = windows * constants.revitalize_broadcast
+    else:
+        # Baseline refetches every block, every window.
+        if result.window:
+            windows = max(1, math.ceil(n / result.window.iterations))
+            fetched = result.window.machine_instructions * windows
+        else:
+            fetched = body * n
+        breakdown["instruction fetch"] = fetched * constants.inst_fetch
+
+    # Scalar constants.
+    n_consts = len(kernel.scalar_constants())
+    if n_consts:
+        if config.operand_revitalize or config.local_pc:
+            reads = n_consts  # delivered once (or held in node registers)
+        elif result.window:
+            windows = max(1, math.ceil(n / result.window.iterations))
+            reads = result.window.detail.get(
+                "regfile_reads", n_consts * result.window.iterations
+            ) * windows
+        else:
+            reads = n_consts * n
+        breakdown["register file"] = reads * constants.regfile_read
+
+    # Indexed constants.
+    luts = kernel.count_lut_accesses() * n
+    if luts:
+        if config.l0_data:
+            breakdown["L0 data store"] = luts * constants.l0_access
+        else:
+            breakdown["L1 (lookups)"] = luts * constants.l1_access
+
+    # Irregular accesses always ride the L1.
+    irregular = kernel.count_irregular() * n
+    if irregular:
+        breakdown["L1 (irregular)"] = irregular * constants.l1_access
+
+    # Regular record traffic.
+    words = (kernel.record_in + kernel.record_out) * n
+    if config.smc_stream:
+        breakdown["SMC streaming"] = words * constants.smc_word
+        breakdown["DMA engines"] = words * constants.dma_word
+    else:
+        breakdown["L1 (records)"] = words * constants.l1_access
+
+    # Operand network.
+    if result.window:
+        windows = max(1, math.ceil(n / result.window.iterations))
+        hops = result.window.detail.get("network_hops", 0.0) * windows
+    else:
+        # MIMD: record words + stores cross the row, results stay local.
+        hops = words * (params.cols / 2.0)
+    breakdown["operand network"] = hops * constants.network_hop
+
+    return EnergyBreakdown(
+        kernel=kernel.name,
+        config=result.config,
+        records=n,
+        by_structure=breakdown,
+    )

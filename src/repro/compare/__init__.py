@@ -1,0 +1,35 @@
+"""Comparators: specialized hardware (Table 6) and classic DLP models (Figure 2)."""
+
+from .specialized import (
+    TABLE6,
+    SpecializedRow,
+    Table6Result,
+    convert_metric,
+    regenerate_row,
+    table6_benchmarks,
+)
+from .classic import (
+    MODELS,
+    ClassicMachine,
+    classic_comparison,
+    mimd_cycles_per_iteration,
+    preferred_classic,
+    simd_cycles_per_iteration,
+    vector_cycles_per_iteration,
+)
+
+__all__ = [
+    "TABLE6",
+    "SpecializedRow",
+    "Table6Result",
+    "convert_metric",
+    "regenerate_row",
+    "table6_benchmarks",
+    "MODELS",
+    "ClassicMachine",
+    "classic_comparison",
+    "mimd_cycles_per_iteration",
+    "preferred_classic",
+    "simd_cycles_per_iteration",
+    "vector_cycles_per_iteration",
+]

@@ -1,0 +1,119 @@
+"""Analytic models of the classic data-parallel architectures (Figure 2).
+
+Section 3 of the paper reviews the three classic DLP architecture models
+— vector, SIMD, fine-grain MIMD — and argues each serves only a slice of
+the application space.  These first-order analytic models quantify that
+argument for any characterized kernel: given a kernel's Table 2
+attributes (plus the measured live-work fraction of its data-dependent
+loops), each model estimates cycles per kernel iteration from its
+structural strengths and weaknesses:
+
+* **Vector**: perfect regular-memory streaming through the VRF and full
+  lane parallelism, but indexed/irregular accesses serialize through a
+  gather unit, and data-dependent control executes worst-case under
+  vector masks (the fully-unrolled instruction count).
+* **SIMD**: lock-step lanes with neighbor communication and per-element
+  private memories, but narrower streaming than a VRF and no pipelined
+  gather — indexed constants broadcast serially.
+* **MIMD**: locally-controlled processors executing only the *live*
+  fraction of data-dependent loops, but every memory/table access pays a
+  message round trip and there is no fetch amortization across lanes.
+
+These models are deliberately coarse — they are Section 3's narrative as
+arithmetic, not a second simulator; the grid-processor simulator is the
+measurement instrument.  They power the Figure 2 didactic benchmark and
+the classic-architecture example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..analysis.characterize import KernelAttributes
+
+
+@dataclass(frozen=True)
+class ClassicMachine:
+    """Shared parameters of the analytic models."""
+
+    lanes: int = 64
+    #: regular-memory words streamed per cycle through the vector VRF
+    vector_stream_words: int = 32
+    #: regular-memory words per cycle into the SIMD array's memories
+    simd_stream_words: int = 16
+    #: serialized gather cost per irregular or indexed access (cycles)
+    gather_cost: float = 4.0
+    #: MIMD per-access message round trip (cycles)
+    message_cost: float = 3.0
+
+
+def _data_accesses(attrs: KernelAttributes) -> int:
+    """Irregular loads plus indexed-constant lookups per iteration."""
+    return attrs.irregular + attrs.lut_accesses
+
+
+def vector_cycles_per_iteration(
+    attrs: KernelAttributes, m: ClassicMachine, live_fraction: float = 1.0
+) -> float:
+    """Estimated cycles per kernel iteration on a classic vector machine.
+
+    ``live_fraction`` is ignored: vector masks pay the fully-unrolled
+    worst case, which ``attrs.instructions`` already is.
+    """
+    compute = attrs.instructions / m.lanes
+    stream = (attrs.record_read + attrs.record_write) / m.vector_stream_words
+    gather = _data_accesses(attrs) * m.gather_cost / m.lanes
+    return max(compute, stream) + gather
+
+
+def simd_cycles_per_iteration(
+    attrs: KernelAttributes, m: ClassicMachine, live_fraction: float = 1.0
+) -> float:
+    """Estimated cycles per iteration on a classic lock-step SIMD array."""
+    compute = attrs.instructions / m.lanes
+    stream = (attrs.record_read + attrs.record_write) / m.simd_stream_words
+    gather = _data_accesses(attrs) * m.gather_cost / m.lanes
+    return max(compute, stream) + 2.0 * gather  # unpipelined gather
+
+
+def mimd_cycles_per_iteration(
+    attrs: KernelAttributes, m: ClassicMachine, live_fraction: float = 1.0
+) -> float:
+    """Estimated cycles per iteration on a fine-grain MIMD array."""
+    live = attrs.instructions * max(0.0, min(1.0, live_fraction))
+    messages = (
+        attrs.record_read + attrs.record_write + _data_accesses(attrs)
+    ) * m.message_cost
+    return (live + messages) / m.lanes
+
+
+Model = Callable[[KernelAttributes, ClassicMachine, float], float]
+
+MODELS: Dict[str, Model] = {
+    "vector": vector_cycles_per_iteration,
+    "simd": simd_cycles_per_iteration,
+    "mimd": mimd_cycles_per_iteration,
+}
+
+
+def classic_comparison(
+    attrs: KernelAttributes,
+    machine: ClassicMachine = ClassicMachine(),
+    live_fraction: float = 1.0,
+) -> Dict[str, float]:
+    """Cycles/iteration under each classic model."""
+    return {
+        name: fn(attrs, machine, live_fraction)
+        for name, fn in MODELS.items()
+    }
+
+
+def preferred_classic(
+    attrs: KernelAttributes,
+    machine: ClassicMachine = ClassicMachine(),
+    live_fraction: float = 1.0,
+) -> str:
+    """Name of the classic model with the lowest cycles/iteration."""
+    results = classic_comparison(attrs, machine, live_fraction)
+    return min(results, key=results.get)

@@ -1,0 +1,146 @@
+"""Comparison against specialized architectures (the paper's Table 6).
+
+The specialized-hardware side of Table 6 consists of *published* numbers
+for external processors (MPC 7447 DSP, Imagine, Tarantula, CryptoManiac,
+NVIDIA QuadroFX, a 2.4GHz Pentium 4) — external references in the paper
+too, so they are reproduced here as constants.  The TRIPS side is
+regenerated from our simulator: each benchmark runs on its best mechanism
+combination and the resulting cycle counts are converted to the row's
+metric at the row's normalized clock, exactly following the paper's
+methodology ("When appropriate, we normalized the clock rate of TRIPS to
+that of the specialized hardware").
+
+Unit notes (documented in EXPERIMENTS.md): for the two DSP rows the
+paper reports "iterations/sec" without defining the iteration size, so
+absolute values are not comparable; we report our kernel-iteration rate
+and compare *ratios* only where units align.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..kernels.registry import spec
+from ..machine.config import TABLE5_CONFIGS
+from ..machine.params import MachineParams
+from ..machine.stats import RunResult
+
+GHZ = 1e9
+
+
+@dataclass(frozen=True)
+class SpecializedRow:
+    """One row of Table 6."""
+
+    benchmark: str
+    paper_trips_value: float
+    specialized_value: Optional[float]
+    reference_hardware: str
+    units: str
+    #: clock (Hz) TRIPS is normalized to for per-second units; None for
+    #: clock-free units (ops/cycle, cycles/block)
+    normalized_clock: Optional[float]
+    #: True when *smaller* is better (cycles/block)
+    lower_is_better: bool = False
+    #: kernel records per reported "iteration" (the paper's DSP rows
+    #: report per-frame rates without defining the frame; we adopt a
+    #: 320x240 frame — 76800 pixel records — and document the choice)
+    records_per_iteration: int = 1
+
+
+#: Table 6 as published.
+TABLE6: Sequence[SpecializedRow] = (
+    SpecializedRow("convert", 19016, 960, "MPC 7447, 1.3GHz (DSP processor)",
+                   "iterations/sec", 1.3 * GHZ, records_per_iteration=76800),
+    SpecializedRow("highpassfilter", 2820, 907, "MPC 7447, 1.3GHz (DSP processor)",
+                   "iterations/sec", 1.3 * GHZ, records_per_iteration=76800),
+    SpecializedRow("dct", 33.9, 8.2, "Imagine (multimedia processor)",
+                   "ops/cycle", None),
+    SpecializedRow("fft", 14.4, 28, "Tarantula (vector core)",
+                   "ops/cycle", None),
+    SpecializedRow("lu", 10.6, 15, "Tarantula (vector core)",
+                   "ops/cycle", None),
+    SpecializedRow("md5", 14.6, None, "Cryptomaniac", "cycles/block", None,
+                   lower_is_better=True),
+    SpecializedRow("blowfish", 6, 80, "Cryptomaniac", "cycles/block", None,
+                   lower_is_better=True),
+    SpecializedRow("rijndael", 12, 100, "Cryptomaniac", "cycles/block", None,
+                   lower_is_better=True),
+    SpecializedRow("fragment-reflection", 86, None,
+                   "Nvidia QuadroFX 450Mhz (graphics processor)",
+                   "million fragments/sec", 450e6),
+    SpecializedRow("fragment-simple", 193, 1500,
+                   "Nvidia QuadroFX 450Mhz (graphics processor)",
+                   "million fragments/sec", 450e6),
+    SpecializedRow("vertex-reflection", 434, None,
+                   "Benchmarked on 2.4Ghz Pentium4",
+                   "million triangles/sec", 450e6),
+    SpecializedRow("vertex-simple", 418, 64,
+                   "Benchmarked on 2.4Ghz Pentium4",
+                   "million triangles/sec", 450e6),
+    SpecializedRow("vertex-skinning", 207, None,
+                   "Benchmarked on 2.4Ghz Pentium4",
+                   "million triangles/sec", 450e6),
+)
+
+
+@dataclass
+class Table6Result:
+    """A regenerated Table 6 row: measured TRIPS value in paper units."""
+
+    row: SpecializedRow
+    best_config: str
+    measured_value: float
+    cycles_per_record: float
+
+    @property
+    def vs_specialized(self) -> Optional[float]:
+        """TRIPS/specialized performance ratio (>1 = TRIPS faster)."""
+        if self.row.specialized_value is None:
+            return None
+        if self.row.lower_is_better:
+            return self.row.specialized_value / self.measured_value
+        return self.measured_value / self.row.specialized_value
+
+    @property
+    def paper_vs_specialized(self) -> Optional[float]:
+        if self.row.specialized_value is None:
+            return None
+        if self.row.lower_is_better:
+            return self.row.specialized_value / self.row.paper_trips_value
+        return self.row.paper_trips_value / self.row.specialized_value
+
+
+def convert_metric(row: SpecializedRow, result: RunResult) -> float:
+    """Convert a simulated run into the row's Table 6 metric."""
+    cycles_per_record = result.cycles_per_record
+    if row.units == "ops/cycle":
+        return result.ops_per_cycle
+    if row.units == "cycles/block":
+        return cycles_per_record
+    assert row.normalized_clock is not None
+    records_per_second = row.normalized_clock / cycles_per_record
+    if row.units.startswith("million"):
+        return records_per_second / 1e6
+    return records_per_second / row.records_per_iteration
+
+
+def regenerate_row(
+    row: SpecializedRow,
+    results: Dict[str, RunResult],
+) -> Table6Result:
+    """Pick the best mechanism combination and convert to paper units."""
+    best_name = min(results, key=lambda name: results[name].cycles)
+    best = results[best_name]
+    return Table6Result(
+        row=row,
+        best_config=best_name,
+        measured_value=convert_metric(row, best),
+        cycles_per_record=best.cycles_per_record,
+    )
+
+
+def table6_benchmarks() -> List[str]:
+    """Benchmark names appearing in Table 6, in row order."""
+    return [row.benchmark for row in TABLE6]

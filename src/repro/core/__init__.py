@@ -1,0 +1,32 @@
+"""The paper's primary contribution: universal mechanisms + flexibility.
+
+``mechanisms`` is Table 3 as data; ``configurator`` turns measured kernel
+attributes into machine configurations; ``flexible`` is the
+per-application morphing architecture behind Figure 5's headline bar.
+"""
+
+from .mechanisms import (
+    PAPER_BENEFICIARIES,
+    TABLE3,
+    Mechanism,
+    MechanismInfo,
+    info,
+    mechanisms_for,
+)
+from .configurator import config_from_mechanisms, predicted_config, tuned_config
+from .flexible import FlexibleArchitecture, FlexibleRun, flexible_vs_fixed
+
+__all__ = [
+    "PAPER_BENEFICIARIES",
+    "TABLE3",
+    "Mechanism",
+    "MechanismInfo",
+    "info",
+    "mechanisms_for",
+    "config_from_mechanisms",
+    "predicted_config",
+    "tuned_config",
+    "FlexibleArchitecture",
+    "FlexibleRun",
+    "flexible_vs_fixed",
+]

@@ -1,0 +1,86 @@
+"""Attribute-driven configuration selection.
+
+Two selection policies, both from the paper:
+
+* :func:`predicted_config` — the static Table 3 policy: read the kernel's
+  measured attributes, pick the mechanisms they call for, and assemble the
+  corresponding machine configuration.  ("The frequency of each type of
+  memory access, the control behavior of the kernels and the instruction
+  size of kernels, measured in Table 2, determines the ideal combination
+  of mechanisms", Section 5.3.)
+* :func:`tuned_config` — the empirical policy behind Figure 5's Flexible
+  bar: actually run the candidate configurations and keep the fastest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..analysis.characterize import characterize
+from ..isa.kernel import ControlClass, Kernel
+from ..machine.config import TABLE5_CONFIGS, MachineConfig
+from ..machine.params import MachineParams
+from ..machine.processor import GridProcessor
+from ..machine.stats import RunResult
+from .mechanisms import Mechanism, mechanisms_for
+
+
+def config_from_mechanisms(mechanisms: Sequence[Mechanism], name: str = "") -> MachineConfig:
+    """Assemble a MachineConfig enabling exactly the given mechanisms."""
+    flags = {
+        "smc_stream": Mechanism.STREAMED_MEMORY in mechanisms,
+        "inst_revitalize": Mechanism.INSTRUCTION_REVITALIZATION in mechanisms,
+        "operand_revitalize": (
+            Mechanism.OPERAND_REVITALIZATION in mechanisms
+            and Mechanism.INSTRUCTION_REVITALIZATION in mechanisms
+        ),
+        "l0_data": Mechanism.L0_DATA_STORE in mechanisms,
+        "local_pc": Mechanism.LOCAL_PROGRAM_COUNTERS in mechanisms,
+    }
+    return MachineConfig(name=name or "custom", **flags)
+
+
+def predicted_config(kernel: Kernel) -> MachineConfig:
+    """The Table 3 policy: attributes -> mechanisms -> configuration.
+
+    The result is normalized onto the paper's named Table 5 points when it
+    coincides with one (it always does for the bundled suite).
+    """
+    chosen = config_from_mechanisms(mechanisms_for(characterize(kernel)))
+    for named in TABLE5_CONFIGS:
+        if (
+            named.smc_stream == chosen.smc_stream
+            and named.inst_revitalize == chosen.inst_revitalize
+            and named.operand_revitalize == chosen.operand_revitalize
+            and named.l0_data == chosen.l0_data
+            and named.local_pc == chosen.local_pc
+        ):
+            return named
+    return chosen
+
+
+def tuned_config(
+    kernel: Kernel,
+    records: Sequence[Sequence],
+    params: Optional[MachineParams] = None,
+    candidates: Sequence[MachineConfig] = TABLE5_CONFIGS,
+) -> Tuple[MachineConfig, Dict[str, RunResult]]:
+    """Empirically pick the fastest configuration for this kernel.
+
+    Returns the winner and every candidate's result (for reports).
+    Configurations the kernel does not fit (L0 capacity, I-store size)
+    are skipped.
+    """
+    processor = GridProcessor(params)
+    results: Dict[str, RunResult] = {}
+    for config in candidates:
+        if not processor.supports(kernel, config):
+            continue
+        results[config.name] = processor.run(kernel, records, config)
+    if not results:
+        raise ValueError(
+            f"{kernel.name} fits none of the candidate configurations"
+        )
+    best_name = min(results, key=lambda name: results[name].cycles)
+    best = next(c for c in candidates if c.name == best_name)
+    return best, results

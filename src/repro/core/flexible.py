@@ -1,0 +1,111 @@
+"""The flexible architecture — the paper's headline result.
+
+"The last single bar labeled Flexible in Figure 5 shows the harmonic mean
+of speedups achieved by a flexible architecture when a subset of
+mechanisms are combined according to application needs."
+
+:class:`FlexibleArchitecture` is one substrate that re-morphs per
+application: given a kernel it selects a configuration (statically from
+its attributes, or empirically by tuning) and runs it.  The comparison
+methods reproduce Figure 5's aggregate: the flexible machine against
+every *fixed* single-configuration machine, in harmonic-mean speedup over
+the ILP baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.kernel import Kernel
+from ..machine.config import TABLE5_CONFIGS, MachineConfig
+from ..machine.params import MachineParams
+from ..machine.processor import GridProcessor
+from ..machine.stats import RunResult, harmonic_mean
+from .configurator import predicted_config, tuned_config
+
+
+@dataclass
+class FlexibleRun:
+    """Result of the flexible architecture on one kernel."""
+
+    kernel: str
+    chosen: MachineConfig
+    result: RunResult
+    candidates: Dict[str, RunResult] = field(default_factory=dict)
+
+
+class FlexibleArchitecture:
+    """One reconfigurable substrate, morphed per application."""
+
+    def __init__(
+        self,
+        params: Optional[MachineParams] = None,
+        policy: str = "tuned",
+        candidates: Sequence[MachineConfig] = TABLE5_CONFIGS,
+    ):
+        if policy not in ("tuned", "predicted"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.params = params or MachineParams()
+        self.policy = policy
+        self.candidates = tuple(candidates)
+        self.processor = GridProcessor(self.params)
+
+    def run(self, kernel: Kernel, records: Sequence[Sequence]) -> FlexibleRun:
+        """Morph for ``kernel`` and execute the record stream."""
+        if self.policy == "predicted":
+            config = predicted_config(kernel)
+            if not self.processor.supports(kernel, config):
+                # Fall back to the closest legal configuration.
+                config, results = tuned_config(
+                    kernel, records, self.params, self.candidates
+                )
+                return FlexibleRun(kernel.name, config, results[config.name], results)
+            result = self.processor.run(kernel, records, config)
+            return FlexibleRun(kernel.name, config, result)
+        config, results = tuned_config(
+            kernel, records, self.params, self.candidates
+        )
+        return FlexibleRun(kernel.name, config, results[config.name], results)
+
+
+def flexible_vs_fixed(
+    runs_by_kernel: Dict[str, Dict[str, RunResult]],
+    baseline: Dict[str, RunResult],
+) -> Tuple[Dict[str, float], float]:
+    """Figure 5's aggregate comparison.
+
+    Args:
+        runs_by_kernel: kernel -> config name -> result (the Table 5
+            configurations).
+        baseline: kernel -> baseline result.
+
+    Returns:
+        ``(fixed_hmeans, flexible_hmean)``: the harmonic-mean speedup over
+        baseline of each fixed configuration (kernels a config cannot run
+        score speedup 1.0 — the fixed machine would fall back to baseline
+        behaviour), and of the per-kernel-best flexible machine.
+    """
+    kernels = sorted(baseline)
+    config_names: List[str] = sorted(
+        {name for runs in runs_by_kernel.values() for name in runs}
+    )
+    fixed: Dict[str, float] = {}
+    for config_name in config_names:
+        speedups = []
+        for kernel in kernels:
+            result = runs_by_kernel.get(kernel, {}).get(config_name)
+            if result is None:
+                speedups.append(1.0)
+            else:
+                speedups.append(result.speedup_over(baseline[kernel]))
+        fixed[config_name] = harmonic_mean(speedups)
+    best = [
+        max(
+            result.speedup_over(baseline[kernel])
+            for result in runs_by_kernel[kernel].values()
+        )
+        for kernel in kernels
+        if runs_by_kernel.get(kernel)
+    ]
+    return fixed, harmonic_mean(best)

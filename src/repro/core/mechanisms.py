@@ -1,0 +1,127 @@
+"""The six universal microarchitectural mechanisms (the paper's Table 3).
+
+Each :class:`Mechanism` records the program attribute it serves, where in
+the microarchitecture it is implemented, and which machine-configuration
+flag enables it, so the configurator can go from measured kernel
+attributes to a morph of the substrate mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.characterize import KernelAttributes
+from ..isa.kernel import ControlClass
+
+
+class Mechanism(enum.Enum):
+    """The universal mechanisms, by Table 3 row."""
+
+    STREAMED_MEMORY = "software managed streamed memory"
+    CACHED_MEMORY = "cached memory subsystem"
+    OPERAND_REVITALIZATION = "local operand storage (operand revitalization)"
+    L0_DATA_STORE = "software managed L0 data store at ALUs"
+    INSTRUCTION_REVITALIZATION = (
+        "local instruction storage (instruction revitalization)"
+    )
+    LOCAL_PROGRAM_COUNTERS = "local program counter control"
+
+
+@dataclass(frozen=True)
+class MechanismInfo:
+    """One row of Table 3."""
+
+    mechanism: Mechanism
+    attribute: str
+    implemented_at: str
+    config_flag: str  # MachineConfig field it corresponds to
+
+
+TABLE3: Tuple[MechanismInfo, ...] = (
+    MechanismInfo(
+        Mechanism.STREAMED_MEMORY,
+        "Regular memory access",
+        "L2 memory",
+        "smc_stream",
+    ),
+    MechanismInfo(
+        Mechanism.CACHED_MEMORY,
+        "Irregular memory access",
+        "L1 memory",
+        "",  # always present; the L1 path is never disabled
+    ),
+    MechanismInfo(
+        Mechanism.OPERAND_REVITALIZATION,
+        "Scalar named constants",
+        "Execution core, Register file",
+        "operand_revitalize",
+    ),
+    MechanismInfo(
+        Mechanism.L0_DATA_STORE,
+        "Indexed named constants",
+        "Execution core",
+        "l0_data",
+    ),
+    MechanismInfo(
+        Mechanism.INSTRUCTION_REVITALIZATION,
+        "Tight loops",
+        "Execution core, Instruction fetch",
+        "inst_revitalize",
+    ),
+    MechanismInfo(
+        Mechanism.LOCAL_PROGRAM_COUNTERS,
+        "Data dependent branching",
+        "Instruction fetch, Execution core",
+        "local_pc",
+    ),
+)
+
+
+def info(mechanism: Mechanism) -> MechanismInfo:
+    """The Table 3 row describing ``mechanism``."""
+    for row in TABLE3:
+        if row.mechanism is mechanism:
+            return row
+    raise KeyError(mechanism)
+
+
+def mechanisms_for(attributes: KernelAttributes) -> List[Mechanism]:
+    """Which mechanisms a kernel's measured attributes call for.
+
+    This is Table 3 read right-to-left: regular records want the streamed
+    memory, irregular accesses want the cached L1, scalar constants want
+    operand revitalization, table lookups want the L0 data store, loops
+    want instruction reuse, and data-dependent bounds want local PCs.
+    """
+    wanted: List[Mechanism] = []
+    if attributes.record_read or attributes.record_write:
+        wanted.append(Mechanism.STREAMED_MEMORY)
+    if attributes.irregular:
+        wanted.append(Mechanism.CACHED_MEMORY)
+    if attributes.constants:
+        wanted.append(Mechanism.OPERAND_REVITALIZATION)
+    if attributes.indexed_constants:
+        wanted.append(Mechanism.L0_DATA_STORE)
+    if attributes.control is ControlClass.RUNTIME_LOOP:
+        wanted.append(Mechanism.LOCAL_PROGRAM_COUNTERS)
+    else:
+        wanted.append(Mechanism.INSTRUCTION_REVITALIZATION)
+    return wanted
+
+
+#: Table 3's "benchmarks that benefit" column, for the reproduction of
+#: the table itself.
+PAPER_BENEFICIARIES: Dict[Mechanism, str] = {
+    Mechanism.STREAMED_MEMORY: "All",
+    Mechanism.CACHED_MEMORY: "fragment-simple, fragment-reflection",
+    Mechanism.OPERAND_REVITALIZATION: (
+        "convert, dct, highpassfilter, md5, rijndael, all graphics programs"
+    ),
+    Mechanism.L0_DATA_STORE: "blowfish, rijndael, vertex-skinning",
+    Mechanism.INSTRUCTION_REVITALIZATION: "All",
+    Mechanism.LOCAL_PROGRAM_COUNTERS: (
+        "vertex-skinning, anisotropic-filtering"
+    ),
+}

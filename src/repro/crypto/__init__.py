@@ -1,0 +1,52 @@
+"""From-scratch cryptographic substrates for the network/security kernels.
+
+The paper's network benchmarks are MD5, Blowfish and Rijndael (AES) over
+1500-byte packets.  These pure-Python references define the bit-exact
+behaviour the data-parallel kernels must reproduce; they are validated
+against hashlib (MD5), Eric Young's vectors (Blowfish) and FIPS-197
+(AES).  Blowfish's pi-derived constants are themselves computed from
+scratch (:mod:`repro.crypto.pi_digits`).
+"""
+
+from .pi_digits import pi_fractional_hex, pi_words
+from .md5_ref import IV as MD5_IV
+from .md5_ref import SHIFTS as MD5_SHIFTS
+from .md5_ref import compress as md5_compress
+from .md5_ref import digest as md5_digest
+from .md5_ref import hexdigest as md5_hexdigest
+from .md5_ref import message_index, pad as md5_pad, sine_table
+from .blowfish_ref import ROUNDS as BLOWFISH_ROUNDS
+from .blowfish_ref import TEST_VECTORS as BLOWFISH_TEST_VECTORS
+from .blowfish_ref import Blowfish
+from .aes_ref import FIPS_VECTOR as AES_FIPS_VECTOR
+from .aes_ref import (
+    encrypt_block as aes_encrypt_block,
+    encrypt_block_words as aes_encrypt_block_words,
+    expand_key_128,
+    gf_mul,
+    sbox,
+    t_tables,
+)
+
+__all__ = [
+    "pi_fractional_hex",
+    "pi_words",
+    "MD5_IV",
+    "MD5_SHIFTS",
+    "md5_compress",
+    "md5_digest",
+    "md5_hexdigest",
+    "message_index",
+    "md5_pad",
+    "sine_table",
+    "BLOWFISH_ROUNDS",
+    "BLOWFISH_TEST_VECTORS",
+    "Blowfish",
+    "AES_FIPS_VECTOR",
+    "aes_encrypt_block",
+    "aes_encrypt_block_words",
+    "expand_key_128",
+    "gf_mul",
+    "sbox",
+    "t_tables",
+]

@@ -1,0 +1,102 @@
+"""Reference MD5 — substrate for the md5 kernel.
+
+Implements the compression function at 32-bit word level (the form the
+data-parallel kernel computes per 512-bit block) and a full digest on
+top, validated against :mod:`hashlib` in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+MASK32 = 0xFFFFFFFF
+
+#: Per-step left-rotation amounts.
+SHIFTS = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+
+#: Standard initial chaining values.
+IV = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+@lru_cache(maxsize=None)
+def sine_table() -> Tuple[int, ...]:
+    """T[i] = floor(2^32 * |sin(i+1)|), the 64 step constants."""
+    return tuple(
+        int(abs(math.sin(i + 1)) * (1 << 32)) & MASK32 for i in range(64)
+    )
+
+
+def message_index(step: int) -> int:
+    """Which message word X[k] step ``step`` consumes."""
+    if step < 16:
+        return step
+    if step < 32:
+        return (5 * step + 1) % 16
+    if step < 48:
+        return (3 * step + 5) % 16
+    return (7 * step) % 16
+
+
+def _rotl(x: int, s: int) -> int:
+    return ((x << s) | (x >> (32 - s))) & MASK32
+
+
+def compress(state: Sequence[int], block_words: Sequence[int]) -> List[int]:
+    """One application of the MD5 compression function.
+
+    ``state`` is (A, B, C, D); ``block_words`` are the 16 little-endian
+    32-bit message words of one 512-bit block.
+    """
+    a, b, c, d = state
+    t = sine_table()
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+        elif i < 32:
+            f = (d & b) | (~d & c)
+        elif i < 48:
+            f = b ^ c ^ d
+        else:
+            f = c ^ (b | ~d)
+        f &= MASK32
+        x = block_words[message_index(i)]
+        a = (a + f + x + t[i]) & MASK32
+        a = (b + _rotl(a, SHIFTS[i])) & MASK32
+        a, b, c, d = d, a, b, c
+    return [
+        (a + state[0]) & MASK32,
+        (b + state[1]) & MASK32,
+        (c + state[2]) & MASK32,
+        (d + state[3]) & MASK32,
+    ]
+
+
+def pad(message: bytes) -> bytes:
+    """MD5 padding: 0x80, zeros, then the 64-bit bit length (little endian)."""
+    length = (8 * len(message)) & 0xFFFFFFFFFFFFFFFF
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded)) % 64)
+    return padded + struct.pack("<Q", length)
+
+
+def digest(message: bytes) -> bytes:
+    """The full MD5 digest of ``message``."""
+    state = list(IV)
+    data = pad(message)
+    for offset in range(0, len(data), 64):
+        words = list(struct.unpack("<16I", data[offset : offset + 64]))
+        state = compress(state, words)
+    return struct.pack("<4I", *state)
+
+
+def hexdigest(message: bytes) -> str:
+    """Hex-encoded MD5 digest of ``message``."""
+    return digest(message).hex()

@@ -1,0 +1,52 @@
+"""Hexadecimal digits of pi, computed from scratch.
+
+The Blowfish key schedule initializes its P-array and S-boxes from the
+fractional hexadecimal digits of pi (18 + 4x256 = 1042 32-bit words =
+8336 hex digits).  With no network access we compute them with Machin's
+formula, pi = 16*atan(1/5) - 4*atan(1/239), in plain integer fixed-point
+arithmetic.
+
+Sanity anchor: the first 32 fractional bits of pi are 0x243F6A88, which
+is Blowfish's published P[0]; the test suite asserts this.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+
+def _atan_inv(x: int, one: int) -> int:
+    """floor(atan(1/x) * one) for integer x>1 via the Taylor series."""
+    total = 0
+    power = one // x
+    xsq = x * x
+    k = 0
+    while power:
+        term = power // (2 * k + 1)
+        total += term if k % 2 == 0 else -term
+        power //= xsq
+        k += 1
+    return total
+
+
+@lru_cache(maxsize=None)
+def pi_fractional_hex(digits: int) -> str:
+    """The first ``digits`` hex digits of pi's fractional part."""
+    guard = 16
+    one = 1 << (4 * (digits + guard))
+    pi = 16 * _atan_inv(5, one) - 4 * _atan_inv(239, one)
+    frac = pi - 3 * one
+    if not 0 < frac < one:
+        raise RuntimeError("pi computation out of range (precision bug)")
+    text = format(frac >> (4 * guard), f"0{digits}x")
+    return text.upper()
+
+
+def pi_words(count: int) -> List[int]:
+    """The first ``count`` 32-bit words of pi's fractional hex expansion.
+
+    ``pi_words(1)[0] == 0x243F6A88`` (Blowfish's P[0]).
+    """
+    text = pi_fractional_hex(count * 8)
+    return [int(text[8 * i : 8 * i + 8], 16) for i in range(count)]

@@ -1,0 +1,39 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .experiments import (
+    PAPER_PREFERRED,
+    PAPER_TABLE4,
+    ExperimentContext,
+    figure1,
+    figure2,
+    figure5,
+    run_all,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from .reporting import fmt_float, fmt_speedup, render_table
+from .runner import main
+
+__all__ = [
+    "PAPER_PREFERRED",
+    "PAPER_TABLE4",
+    "ExperimentContext",
+    "figure1",
+    "figure2",
+    "figure5",
+    "run_all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fmt_float",
+    "fmt_speedup",
+    "render_table",
+    "main",
+]

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_left: Optional[Sequence[int]] = None,
+) -> str:
+    """Render an ASCII table (first column left-aligned by default)."""
+    if align_left is None:
+        align_left = (0,)
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if i in align_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def fmt_float(value: Optional[float], digits: int = 2) -> str:
+    """Format a float (or None, rendered as a dash) for table cells."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def fmt_speedup(value: Optional[float]) -> str:
+    """Format a speedup factor like ``2.50x`` (None renders as a dash)."""
+    if value is None:
+        return "-"
+    return f"{value:.2f}x"

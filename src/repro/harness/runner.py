@@ -1,0 +1,76 @@
+"""Command-line entry point: ``repro-experiments [name ...]``.
+
+Regenerates the paper's tables and figures on the simulator.  With no
+arguments, runs everything; otherwise accepts any of: table1 table2
+table3 table4 table5 table6 figure1 figure2 figure5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from ..machine.params import MachineParams
+from . import experiments
+
+
+def _registry(ctx: experiments.ExperimentContext) -> Dict[str, Callable[[], object]]:
+    return {
+        "table1": experiments.table1,
+        "table2": experiments.table2,
+        "table3": experiments.table3,
+        "table4": lambda: experiments.table4(ctx),
+        "table5": experiments.table5,
+        "table6": lambda: experiments.table6(ctx),
+        "figure1": experiments.figure1,
+        "figure2": experiments.figure2,
+        "figure3_4": lambda: experiments.figure3_4(ctx.params),
+        "figure5": lambda: experiments.figure5(ctx),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Universal Mechanisms "
+            "for Data-Parallel Architectures' (MICRO 2003)."
+        ),
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--records", type=int, default=512,
+        help="records per kernel run (default 512; large kernels use 1/4)",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=8, help="grid rows (default 8)")
+    parser.add_argument(
+        "--cols", type=int, default=8, help="grid columns (default 8)")
+    args = parser.parse_args(argv)
+
+    params = MachineParams(rows=args.rows, cols=args.cols)
+    ctx = experiments.ExperimentContext(
+        params=params,
+        records=args.records,
+        large_kernel_records=max(16, args.records // 4),
+    )
+    registry = _registry(ctx)
+    names = args.experiments or list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; choose from {sorted(registry)}"
+        )
+    for name in names:
+        print(registry[name]().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Dataflow ISA for the reconfigurable data-parallel substrate.
+
+This package defines the instruction set the benchmark kernels are coded
+in (the reproduction's analogue of hand-coded TRIPS assembly): opcodes
+with bit-true semantics, SPDI-style dataflow instructions, the kernel
+container, the :class:`KernelBuilder` DSL, a functional evaluator, a
+structural validator and a round-trippable text assembly format.
+"""
+
+from .opcodes import OPCODES, DEFAULT_LATENCY, OpClass, OpcodeInfo, opcode
+from .instruction import (
+    Const,
+    Immediate,
+    InstResult,
+    Instruction,
+    Operand,
+    RecordInput,
+    make_instruction,
+)
+from .kernel import ControlClass, Domain, Kernel, LoopInfo
+from .builder import KernelBuilder, Value
+from .evaluate import EvaluationError, evaluate_kernel, evaluate_stream
+from .validate import KernelValidationError, validate_kernel
+from .asm import AsmError, assemble, disassemble
+
+__all__ = [
+    "OPCODES",
+    "DEFAULT_LATENCY",
+    "OpClass",
+    "OpcodeInfo",
+    "opcode",
+    "Const",
+    "Immediate",
+    "InstResult",
+    "Instruction",
+    "Operand",
+    "RecordInput",
+    "make_instruction",
+    "ControlClass",
+    "Domain",
+    "Kernel",
+    "LoopInfo",
+    "KernelBuilder",
+    "Value",
+    "EvaluationError",
+    "evaluate_kernel",
+    "evaluate_stream",
+    "KernelValidationError",
+    "validate_kernel",
+    "AsmError",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,208 @@
+"""Textual assembly format for kernels.
+
+A human-readable round-trippable serialization, useful for inspecting the
+generated kernels (the repo's analogue of the paper's hand-written TRIPS
+assembly listings) and for writing small kernels directly in tests.
+
+Format::
+
+    .kernel convert multimedia in=3 out=3
+    .const c0 0.299
+    .table t0 1 2 3 4
+    .space s0 0 0 0 0
+    %0 = FMUL $c0, in[0]
+    %1 = FMUL $c1, in[1]
+    %2 = FADD %0, %1
+    %3 = LUT t0, %2 iter=1
+    .out 0 %2
+
+Operand syntax: ``%n`` instruction result, ``in[k]`` record input,
+``$name`` scalar constant, ``#literal`` immediate.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple, Union
+
+from .instruction import Const, Immediate, InstResult, Instruction, RecordInput
+from .kernel import Domain, Kernel, LoopInfo
+from .opcodes import opcode
+
+
+class AsmError(ValueError):
+    """Raised on malformed kernel assembly text."""
+
+
+def _fmt_number(value: Union[int, float]) -> str:
+    return repr(value)
+
+
+def disassemble(kernel: Kernel) -> str:
+    """Render a kernel as assembly text."""
+    lines: List[str] = []
+    lines.append(
+        f".kernel {kernel.name} {kernel.domain.value} "
+        f"in={kernel.record_in} out={kernel.record_out}"
+    )
+    if kernel.loop.static_trips:
+        lines.append(f".loop static {kernel.loop.static_trips}")
+    elif kernel.loop.variable:
+        lines.append(f".loop variable {kernel.loop.max_trips}")
+
+    const_names: Dict[int, str] = {}
+    for const in kernel.scalar_constants():
+        label = const.name or f"c{const.slot}"
+        const_names[const.slot] = label
+        lines.append(f".const {label} {_fmt_number(const.value)}")
+    for tid, values in sorted(kernel.tables.items()):
+        rendered = " ".join(_fmt_number(v) for v in values)
+        lines.append(f".table t{tid} {rendered}")
+    for sid, values in sorted(kernel.spaces.items()):
+        rendered = " ".join(_fmt_number(v) for v in values)
+        lines.append(f".space s{sid} {rendered}")
+
+    def fmt_operand(src) -> str:
+        if isinstance(src, InstResult):
+            return f"%{src.producer}"
+        if isinstance(src, RecordInput):
+            return f"in[{src.index}]"
+        if isinstance(src, Const):
+            return f"${const_names[src.slot]}"
+        if isinstance(src, Immediate):
+            return f"#{_fmt_number(src.value)}"
+        raise AsmError(f"unknown operand {src!r}")
+
+    for inst in kernel.body:
+        operands = [fmt_operand(s) for s in inst.srcs]
+        if inst.op.name == "LUT":
+            operands.insert(0, f"t{inst.table}")
+        elif inst.op.name == "LDI":
+            operands.insert(0, f"s{inst.space}")
+        text = f"%{inst.iid} = {inst.op.name} " + ", ".join(operands)
+        if inst.loop_iter is not None:
+            text += f" iter={inst.loop_iter}"
+        lines.append(text)
+
+    for producer, slot in kernel.outputs:
+        lines.append(f".out {slot} %{producer}")
+    return "\n".join(lines) + "\n"
+
+
+_INST_RE = re.compile(r"^%(\d+)\s*=\s*(\w+)\s*(.*)$")
+
+
+def _parse_number(token: str) -> Union[int, float]:
+    try:
+        return int(token)
+    except ValueError:
+        try:
+            return float(token)
+        except ValueError:
+            raise AsmError(f"bad numeric literal {token!r}") from None
+
+
+def assemble(text: str) -> Kernel:
+    """Parse assembly text back into a kernel.
+
+    Limitations: variable-loop kernels round-trip their structure but not
+    the ``trips_fn`` (a Python callable); the assembled kernel uses the
+    first record word as the trip count, which is the convention all
+    bundled variable-loop kernels follow.
+    """
+    name = ""
+    domain = Domain.MULTIMEDIA
+    record_in = record_out = 0
+    loop = LoopInfo()
+    consts: Dict[str, Const] = {}
+    tables: Dict[int, List[Union[int, float]]] = {}
+    spaces: Dict[int, List[Union[int, float]]] = {}
+    body: List[Instruction] = []
+    outputs: List[Tuple[int, int]] = []
+
+    def parse_operand(token: str):
+        token = token.strip()
+        if token.startswith("%"):
+            return InstResult(int(token[1:]))
+        if token.startswith("in[") and token.endswith("]"):
+            return RecordInput(int(token[3:-1]))
+        if token.startswith("$"):
+            label = token[1:]
+            if label not in consts:
+                raise AsmError(f"reference to undefined constant {label!r}")
+            return consts[label]
+        if token.startswith("#"):
+            return Immediate(_parse_number(token[1:]))
+        raise AsmError(f"cannot parse operand {token!r}")
+
+    for raw in text.splitlines():
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            parts = line.split()
+            if len(parts) != 5:
+                raise AsmError(f"bad .kernel line: {line!r}")
+            name = parts[1]
+            domain = Domain(parts[2])
+            record_in = int(parts[3].split("=")[1])
+            record_out = int(parts[4].split("=")[1])
+        elif line.startswith(".loop"):
+            parts = line.split()
+            if parts[1] == "static":
+                loop = LoopInfo(static_trips=int(parts[2]))
+            elif parts[1] == "variable":
+                loop = LoopInfo(
+                    variable=True,
+                    max_trips=int(parts[2]),
+                    trips_fn=lambda rec: int(rec[0]),
+                )
+            else:
+                raise AsmError(f"bad .loop line: {line!r}")
+        elif line.startswith(".const"):
+            _, label, value = line.split(maxsplit=2)
+            consts[label] = Const(len(consts), _parse_number(value), label)
+        elif line.startswith(".table"):
+            parts = line.split()
+            tid = int(parts[1][1:])
+            tables[tid] = [_parse_number(t) for t in parts[2:]]
+        elif line.startswith(".space"):
+            parts = line.split()
+            sid = int(parts[1][1:])
+            spaces[sid] = [_parse_number(t) for t in parts[2:]]
+        elif line.startswith(".out"):
+            _, slot, ref = line.split()
+            outputs.append((int(ref[1:]), int(slot)))
+        else:
+            match = _INST_RE.match(line)
+            if not match:
+                raise AsmError(f"cannot parse line {line!r}")
+            iid = int(match.group(1))
+            mnemonic = match.group(2)
+            rest = match.group(3).strip()
+            loop_iter = None
+            iter_match = re.search(r"iter=(\d+)\s*$", rest)
+            if iter_match:
+                loop_iter = int(iter_match.group(1))
+                rest = rest[: iter_match.start()].strip()
+            tokens = [t.strip() for t in rest.split(",")] if rest else []
+            table = space = None
+            if mnemonic == "LUT":
+                table = int(tokens.pop(0)[1:])
+            elif mnemonic == "LDI":
+                space = int(tokens.pop(0)[1:])
+            srcs = [parse_operand(t) for t in tokens]
+            body.append(
+                Instruction(
+                    iid=iid, op=opcode(mnemonic), srcs=srcs, table=table,
+                    space=space, loop_iter=loop_iter,
+                )
+            )
+
+    kernel = Kernel(
+        name=name, domain=domain, body=body, record_in=record_in,
+        record_out=record_out, outputs=outputs, tables=tables, spaces=spaces,
+        loop=loop,
+    )
+    kernel.validate()
+    return kernel

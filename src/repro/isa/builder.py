@@ -1,0 +1,263 @@
+"""KernelBuilder — the DSL used to hand-code kernels for the substrate.
+
+The paper's kernels were "hand-coded in the TRIPS instruction set"
+(Section 5.1).  :class:`KernelBuilder` plays that role here: benchmark
+modules construct their dataflow graphs programmatically (loops in the
+*generator* emit the unrolled instructions, exactly like hand-unrolling).
+
+Example::
+
+    b = KernelBuilder("convert", Domain.MULTIMEDIA, record_in=3, record_out=3)
+    r, g, bl = b.inputs(3)
+    c = [b.const(v) for v in COEFFS]
+    y = b.fadd(b.fadd(b.fmul(c[0], r), b.fmul(c[1], g)), b.fmul(c[2], bl))
+    b.output(y)
+    kernel = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .instruction import (
+    Const,
+    Immediate,
+    InstResult,
+    Instruction,
+    Operand,
+    RecordInput,
+)
+from .kernel import Domain, Kernel, LoopInfo
+from .opcodes import OPCODES, opcode
+
+
+class Value:
+    """Handle to an operand usable as a source of further instructions."""
+
+    __slots__ = ("operand", "builder")
+
+    def __init__(self, operand: Operand, builder: "KernelBuilder"):
+        self.operand = operand
+        self.builder = builder
+
+    def __repr__(self) -> str:
+        return f"Value({self.operand!r})"
+
+
+ValueLike = Union[Value, int, float]
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`Kernel`.
+
+    One builder method exists per opcode mnemonic (lower-cased): ``add``,
+    ``fmul``, ``rotl`` …  Raw ints/floats passed as operands become
+    :class:`Immediate` literals; use :meth:`const` for values that should
+    live in registers as *scalar named constants* (the distinction matters
+    to the operand-revitalization mechanism and the Table 2 counts).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        domain: Domain,
+        record_in: int,
+        record_out: int,
+        description: str = "",
+    ):
+        self.name = name
+        self.domain = domain
+        self.record_in = record_in
+        self.record_out = record_out
+        self.description = description
+        self._body: List[Instruction] = []
+        self._outputs: List[Tuple[int, int]] = []
+        self._tables: Dict[int, List[Union[int, float]]] = {}
+        self._spaces: Dict[int, List[Union[int, float]]] = {}
+        self._const_slots: Dict[Tuple[str, object], int] = {}
+        self._loop: LoopInfo = LoopInfo()
+        self._current_loop_iter: Optional[int] = None
+
+    # ---- operand constructors -------------------------------------------
+
+    def input(self, index: int) -> Value:
+        """Element ``index`` of the input record (regular memory)."""
+        if not 0 <= index < self.record_in:
+            raise IndexError(
+                f"record input {index} out of range 0..{self.record_in - 1}"
+            )
+        return Value(RecordInput(index), self)
+
+    def inputs(self, count: Optional[int] = None) -> List[Value]:
+        """All (or the first ``count``) input-record elements."""
+        n = self.record_in if count is None else count
+        return [self.input(i) for i in range(n)]
+
+    def const(self, value: Union[int, float], name: str = "") -> Value:
+        """A scalar named constant (one register slot per distinct value/name)."""
+        key = (name, value)
+        slot = self._const_slots.get(key)
+        if slot is None:
+            slot = len(self._const_slots)
+            self._const_slots[key] = slot
+        return Value(Const(slot, value, name), self)
+
+    def imm(self, value: Union[int, float]) -> Value:
+        """An immediate literal baked into the instruction encoding."""
+        return Value(Immediate(value), self)
+
+    def table(self, values: Sequence[Union[int, float]]) -> int:
+        """Register an indexed-constant lookup table; returns its id."""
+        tid = len(self._tables)
+        self._tables[tid] = list(values)
+        return tid
+
+    def space(self, values: Sequence[Union[int, float]]) -> int:
+        """Register an irregular memory space (e.g. a texture); returns its id."""
+        sid = len(self._spaces)
+        self._spaces[sid] = list(values)
+        return sid
+
+    # ---- instruction emission ---------------------------------------------
+
+    def _coerce(self, v: ValueLike) -> Operand:
+        if isinstance(v, Value):
+            if v.builder is not self:
+                raise ValueError("operand belongs to a different builder")
+            return v.operand
+        if isinstance(v, (int, float)):
+            return Immediate(v)
+        raise TypeError(f"cannot use {v!r} as an operand")
+
+    def emit(
+        self,
+        mnemonic: str,
+        *operands: ValueLike,
+        table: Optional[int] = None,
+        space: Optional[int] = None,
+        name: str = "",
+    ) -> Value:
+        """Emit one instruction and return a handle to its result."""
+        info = opcode(mnemonic)
+        srcs = [self._coerce(v) for v in operands]
+        inst = Instruction(
+            iid=len(self._body),
+            op=info,
+            srcs=srcs,
+            table=table,
+            space=space,
+            loop_iter=self._current_loop_iter,
+            name=name,
+        )
+        self._body.append(inst)
+        return Value(InstResult(inst.iid), self)
+
+    def lut(self, table_id: int, index: ValueLike, name: str = "") -> Value:
+        """Indexed-constant lookup (L0 data store when configured)."""
+        if table_id not in self._tables:
+            raise KeyError(f"table {table_id} not registered")
+        return self.emit("LUT", index, table=table_id, name=name)
+
+    def ldi(self, space_id: int, address: ValueLike, name: str = "") -> Value:
+        """Irregular memory load (always via the cached L1 subsystem)."""
+        if space_id not in self._spaces:
+            raise KeyError(f"memory space {space_id} not registered")
+        return self.emit("LDI", address, space=space_id, name=name)
+
+    def output(self, value: Value, slot: Optional[int] = None) -> int:
+        """Mark a value as an element of the output record."""
+        operand = self._coerce(value)
+        if not isinstance(operand, InstResult):
+            # Materialize pass-through outputs with an explicit MOV so the
+            # output record is always produced by instructions.
+            operand = self._coerce(self.emit("MOV", value))
+        if slot is None:
+            slot = len(self._outputs)
+        if slot >= self.record_out:
+            raise IndexError(
+                f"output slot {slot} out of range 0..{self.record_out - 1}"
+            )
+        self._outputs.append((operand.producer, slot))
+        return slot
+
+    # ---- loop structure ------------------------------------------------------
+
+    def static_loop(self, trips: int) -> None:
+        """Declare that the (unrolled) body came from a static loop."""
+        self._loop = LoopInfo(static_trips=trips)
+
+    @contextlib.contextmanager
+    def variable_loop(self, max_trips: int, trips_fn) -> Iterator[range]:
+        """Unroll a data-dependent loop, tagging body instructions.
+
+        Usage::
+
+            with b.variable_loop(4, lambda rec: int(rec[0])) as iterations:
+                for i in iterations:
+                    ...emit body for iteration i...
+
+        Instructions emitted for iteration ``i`` are tagged ``loop_iter=i``
+        and are nullified (SIMD) or skipped (MIMD) when a record's actual
+        trip count is lower.
+        """
+        self._loop = LoopInfo(variable=True, max_trips=max_trips, trips_fn=trips_fn)
+
+        outer = self
+
+        class _TaggingRange:
+            def __iter__(self) -> Iterator[int]:
+                for i in range(max_trips):
+                    outer._current_loop_iter = i
+                    yield i
+                outer._current_loop_iter = None
+
+        try:
+            yield _TaggingRange()  # type: ignore[misc]
+        finally:
+            self._current_loop_iter = None
+
+    # ---- finalization --------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Kernel:
+        """Produce the finished kernel (validated by default)."""
+        kernel = Kernel(
+            name=self.name,
+            domain=self.domain,
+            body=list(self._body),
+            record_in=self.record_in,
+            record_out=self.record_out,
+            outputs=list(self._outputs),
+            tables=dict(self._tables),
+            spaces=dict(self._spaces),
+            loop=self._loop,
+            description=self.description,
+        )
+        if validate:
+            kernel.validate()
+        return kernel
+
+
+def _install_opcode_methods() -> None:
+    """Give KernelBuilder one emission method per opcode (``b.fadd(...)``)."""
+
+    def make(mnemonic: str):
+        def method(self: KernelBuilder, *operands: ValueLike, name: str = "") -> Value:
+            return self.emit(mnemonic, *operands, name=name)
+
+        method.__name__ = mnemonic.lower()
+        method.__doc__ = f"Emit a {mnemonic} instruction."
+        return method
+
+    import keyword
+
+    for mnemonic in OPCODES:
+        if mnemonic in ("LDI", "LUT"):
+            continue  # these need table/space ids; dedicated methods exist
+        attr = mnemonic.lower()
+        if keyword.iskeyword(attr):
+            attr += "_"  # b.and_(x, y), b.or_(x, y), b.not_(x)
+        setattr(KernelBuilder, attr, make(mnemonic))
+
+
+_install_opcode_methods()

@@ -1,0 +1,160 @@
+"""Dataflow instructions and their operand kinds.
+
+Instructions follow the TRIPS statically-placed / dynamically-issued
+(SPDI) model: an instruction names its *sources*; the kernel container
+derives the consumer (target) map, which is what the real ISA encodes.
+
+Operand kinds mirror the paper's four memory-behaviour classes
+(Section 2.1.1):
+
+* :class:`RecordInput` — an element of the kernel's input record
+  (*regular memory access*, served by the SMC/streaming channels or the
+  L1 cache depending on machine configuration),
+* :class:`Const` — a *scalar named constant* kept in a register and the
+  target of operand revitalization,
+* ``LDI`` instructions with a computed address — *irregular memory*
+  served by the cached L1 subsystem,
+* ``LUT`` instructions — *indexed named constants* served by the L0 data
+  store when the machine configuration provides one.
+
+``Immediate`` operands are literals baked into the instruction encoding
+(shift amounts and the like); they cost nothing at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .opcodes import OpcodeInfo, opcode
+
+
+@dataclass(frozen=True)
+class InstResult:
+    """Operand produced by another instruction in the same kernel."""
+
+    producer: int
+
+    def __repr__(self) -> str:
+        return f"%{self.producer}"
+
+
+@dataclass(frozen=True)
+class RecordInput:
+    """Operand read from the input record (regular memory access)."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"in[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Const:
+    """Scalar named constant held in a register across the kernel run."""
+
+    slot: int
+    value: Union[int, float]
+    name: str = ""
+
+    def __repr__(self) -> str:
+        label = self.name or f"c{self.slot}"
+        return f"${label}={self.value!r}"
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """Literal encoded in the instruction itself (free at run time)."""
+
+    value: Union[int, float]
+
+    def __repr__(self) -> str:
+        return f"#{self.value!r}"
+
+
+Operand = Union[InstResult, RecordInput, Const, Immediate]
+
+
+@dataclass
+class Instruction:
+    """One dataflow instruction.
+
+    Attributes:
+        iid: Index of the instruction within its kernel.
+        op: Static opcode information.
+        srcs: Dataflow operands, one per opcode arity.
+        table: For ``LUT`` ops, the id of the kernel lookup table accessed.
+        space: For ``LDI`` ops, the id of the irregular memory space read.
+        loop_iter: If the instruction belongs to the body of a
+            data-dependent loop, the (zero-based) iteration it was unrolled
+            from; ``None`` for straight-line work.  MIMD execution skips
+            iterations beyond a record's actual trip count, while
+            SIMD-style execution runs all of them with nullification —
+            exactly the paper's predication-overhead argument.
+        name: Optional human-readable label for traces and disassembly.
+    """
+
+    iid: int
+    op: OpcodeInfo
+    srcs: List[Operand]
+    table: Optional[int] = None
+    space: Optional[int] = None
+    loop_iter: Optional[int] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.srcs) != self.op.arity:
+            raise ValueError(
+                f"instruction {self.iid} ({self.op.name}) expects "
+                f"{self.op.arity} operands, got {len(self.srcs)}"
+            )
+        if self.op.name == "LUT" and self.table is None:
+            raise ValueError(f"LUT instruction {self.iid} missing table id")
+        if self.op.name == "LDI" and self.space is None:
+            raise ValueError(f"LDI instruction {self.iid} missing memory space id")
+
+    @property
+    def useful(self) -> bool:
+        """Whether this op counts toward the paper's useful-ops metric."""
+        return self.op.useful
+
+    def dataflow_sources(self) -> List[int]:
+        """Producer instruction ids this instruction waits on."""
+        return [s.producer for s in self.srcs if isinstance(s, InstResult)]
+
+    def rewrite(self, **changes) -> "Instruction":
+        """Return a copy with the given fields replaced."""
+        merged = dict(
+            iid=self.iid, op=self.op, srcs=list(self.srcs), table=self.table,
+            space=self.space, loop_iter=self.loop_iter, name=self.name,
+        )
+        merged.update(changes)
+        return Instruction(**merged)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(repr(s) for s in self.srcs)
+        extra = ""
+        if self.table is not None:
+            extra += f" table={self.table}"
+        if self.space is not None:
+            extra += f" space={self.space}"
+        if self.loop_iter is not None:
+            extra += f" iter={self.loop_iter}"
+        return f"%{self.iid} = {self.op.name}({parts}){extra}"
+
+
+def make_instruction(
+    iid: int,
+    mnemonic: str,
+    srcs: List[Operand],
+    *,
+    table: Optional[int] = None,
+    space: Optional[int] = None,
+    loop_iter: Optional[int] = None,
+    name: str = "",
+) -> Instruction:
+    """Convenience constructor resolving the mnemonic to opcode info."""
+    return Instruction(
+        iid=iid, op=opcode(mnemonic), srcs=srcs, table=table, space=space,
+        loop_iter=loop_iter, name=name,
+    )

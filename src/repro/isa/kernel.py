@@ -1,0 +1,209 @@
+"""Kernel container: a dataflow graph plus the metadata the paper measures.
+
+A *kernel* is the loop body of a data-parallel program (Section 2.1): a DAG
+of instructions that consumes one input *record*, optionally reads lookup
+tables and irregular memory spaces, and produces one output record.  A
+data-parallel run applies the kernel to a stream of records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .instruction import Const, Immediate, InstResult, Instruction, RecordInput
+from .opcodes import OpClass
+
+
+class Domain(enum.Enum):
+    """Application domain of the benchmark suite (paper Table 1)."""
+
+    MULTIMEDIA = "multimedia"
+    SCIENTIFIC = "scientific"
+    NETWORK = "network"
+    GRAPHICS = "graphics"
+
+
+class ControlClass(enum.Enum):
+    """Kernel control-behaviour taxonomy of Figure 1."""
+
+    SEQUENTIAL = "sequential instructions"
+    STATIC_LOOP = "simple static loop"
+    RUNTIME_LOOP = "runtime loop bounds"
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """Loop structure of the kernel body.
+
+    ``static_trips`` is the compile-time trip count for static loops
+    (paper's *Loop bounds* column of Table 2).  For data-dependent loops
+    (``variable=True``) the unrolled dataflow graph covers ``max_trips``
+    iterations and ``trips_fn(record)`` yields the actual trip count for a
+    given input record.
+    """
+
+    static_trips: Optional[int] = None
+    variable: bool = False
+    max_trips: Optional[int] = None
+    trips_fn: Optional[Callable[[Sequence], int]] = None
+
+    def control_class(self) -> ControlClass:
+        if self.variable:
+            return ControlClass.RUNTIME_LOOP
+        if self.static_trips is not None and self.static_trips > 1:
+            return ControlClass.STATIC_LOOP
+        return ControlClass.SEQUENTIAL
+
+
+@dataclass
+class Kernel:
+    """A complete data-parallel kernel.
+
+    Attributes:
+        name: Benchmark name (Table 1 identifier).
+        domain: Application domain.
+        body: Instructions in topological order (fully unrolled).
+        record_in: Number of 64-bit words read per input record.
+        record_out: Number of 64-bit words written per output record.
+        outputs: ``(producer iid, output slot)`` pairs defining the record
+            written back per iteration.
+        tables: Indexed-constant lookup tables, ``table id -> values``.
+        spaces: Irregular memory spaces, ``space id -> values`` (a texture,
+            for example).  Functional only; timing treats them as cached
+            L1 traffic.
+        loop: Loop structure metadata.
+        description: One-line description used for the Table 1 rendering.
+    """
+
+    name: str
+    domain: Domain
+    body: List[Instruction]
+    record_in: int
+    record_out: int
+    outputs: List[Tuple[int, int]]
+    tables: Dict[int, List[Union[int, float]]] = field(default_factory=dict)
+    spaces: Dict[int, List[Union[int, float]]] = field(default_factory=dict)
+    loop: LoopInfo = field(default_factory=LoopInfo)
+    description: str = ""
+
+    # ---- structural queries -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    def instruction(self, iid: int) -> Instruction:
+        return self.body[iid]
+
+    def consumers(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Map producer iid -> list of (consumer iid, operand position).
+
+        This is the target information a TRIPS-style SPDI encoding would
+        store in each instruction.
+        """
+        out: Dict[int, List[Tuple[int, int]]] = {inst.iid: [] for inst in self.body}
+        for inst in self.body:
+            for pos, src in enumerate(inst.srcs):
+                if isinstance(src, InstResult):
+                    out[src.producer].append((inst.iid, pos))
+        return out
+
+    def depths(self) -> List[int]:
+        """Dataflow depth of each instruction (longest producer chain)."""
+        depth = [0] * len(self.body)
+        for inst in self.body:
+            preds = inst.dataflow_sources()
+            depth[inst.iid] = 1 + max((depth[p] for p in preds), default=0)
+        return depth
+
+    def dataflow_height(self) -> int:
+        """Height of the dataflow graph (critical path in instructions)."""
+        d = self.depths()
+        return max(d) if d else 0
+
+    def inherent_ilp(self) -> float:
+        """The paper's ILP metric: instruction count / dataflow height."""
+        height = self.dataflow_height()
+        return len(self.body) / height if height else 0.0
+
+    # ---- attribute counts used by Table 2 -----------------------------------
+
+    def count_irregular(self) -> int:
+        """Irregular memory accesses per kernel iteration (LDI ops)."""
+        return sum(1 for inst in self.body if inst.op.name == "LDI")
+
+    def count_lut_accesses(self) -> int:
+        """Indexed-constant lookups per kernel iteration (LUT ops)."""
+        return sum(1 for inst in self.body if inst.op.name == "LUT")
+
+    def scalar_constants(self) -> List[Const]:
+        """Distinct scalar named constants referenced by the kernel."""
+        seen: Dict[int, Const] = {}
+        for inst in self.body:
+            for src in inst.srcs:
+                if isinstance(src, Const):
+                    seen.setdefault(src.slot, src)
+        return [seen[slot] for slot in sorted(seen)]
+
+    def indexed_constant_entries(self) -> int:
+        """Total entries across lookup tables (Table 2 'indexed' column)."""
+        return sum(len(values) for values in self.tables.values())
+
+    def useful_ops(self) -> int:
+        """Useful computation ops per iteration (paper metric numerator)."""
+        return sum(1 for inst in self.body if inst.useful)
+
+    def ops_by_class(self) -> Dict[OpClass, int]:
+        counts: Dict[OpClass, int] = {}
+        for inst in self.body:
+            counts[inst.op.opclass] = counts.get(inst.op.opclass, 0) + 1
+        return counts
+
+    def control_class(self) -> ControlClass:
+        return self.loop.control_class()
+
+    def trip_count(self, record: Sequence) -> int:
+        """Actual loop trip count for a record (max for SIMD nullification)."""
+        if not self.loop.variable:
+            return self.loop.static_trips or 1
+        assert self.loop.trips_fn is not None and self.loop.max_trips is not None
+        trips = self.loop.trips_fn(record)
+        return max(0, min(trips, self.loop.max_trips))
+
+    def live_instructions(self, trips: int) -> List[Instruction]:
+        """Instructions doing live work for a given trip count.
+
+        Straight-line instructions (``loop_iter is None``) are always
+        live; unrolled loop-body instructions are live only when their
+        iteration index is below ``trips``.  This is *timing/accounting*
+        metadata: functionally the whole predicated graph always runs (see
+        ``repro.isa.evaluate``), but SIMD-style execution wastes issue
+        slots on the dead instructions while MIMD-style execution branches
+        past them — the paper's central control-behaviour argument.
+        """
+        if not self.loop.variable:
+            return self.body
+        return [
+            inst for inst in self.body
+            if inst.loop_iter is None or inst.loop_iter < trips
+        ]
+
+    def useful_ops_live(self, trips: int) -> int:
+        """Useful ops that are live work at the given trip count."""
+        return sum(1 for inst in self.live_instructions(trips) if inst.useful)
+
+    # ---- misc ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Run the structural validation pass (raises on malformed kernels)."""
+        from .validate import validate_kernel
+
+        validate_kernel(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Kernel {self.name}: {len(self.body)} insts, "
+            f"ILP {self.inherent_ilp():.2f}, record {self.record_in}/"
+            f"{self.record_out}, {self.control_class().name}>"
+        )

@@ -1,0 +1,214 @@
+"""Opcode definitions for the dataflow ISA.
+
+The ISA models the instruction set used to hand-code the paper's
+data-parallel kernels onto the TRIPS execution substrate.  Every opcode
+carries:
+
+* an *operation class* (:class:`OpClass`) that determines which functional
+  unit executes it and which latency applies,
+* an arity (number of dataflow operands),
+* a ``useful`` flag — whether the instruction counts as a *useful
+  computation operation* for the paper's ops/cycle metric (address
+  arithmetic, loads, stores and moves do not), and
+* a Python semantic function so kernels are bit-true executable.
+
+Integer semantics are 32-bit (the width used by the MD5 / Blowfish /
+Rijndael kernels); floating point semantics use Python floats (doubles),
+which over-approximates the 32-bit FPUs of the paper but is irrelevant for
+timing and well within tolerance for the DSP/graphics kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Callable, Dict, Optional, Tuple
+
+MASK32 = 0xFFFFFFFF
+
+
+def _mask(value: int) -> int:
+    """Truncate an integer to 32 bits (unsigned wrap-around)."""
+    return value & MASK32
+
+
+@unique
+class OpClass(Enum):
+    """Functional-unit class an opcode executes on.
+
+    Each grid node contains an integer ALU, an integer multiplier and an
+    FPU with add, multiply and divide capability (Section 5.2 of the
+    paper); special functions (rsqrt/pow/exp) are modelled on the FPU
+    divide pipeline, as is customary for shader hardware.
+    """
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    FP_SPECIAL = "fp_special"
+    MEM_LOAD = "mem_load"
+    MEM_STORE = "mem_store"
+    LUT = "lut"
+    MOVE = "move"
+    CONTROL = "control"
+
+
+#: Default execution latency (cycles) for each op class.  These follow the
+#: paper's statement that "functional unit and cache access latencies are
+#: configured to match an Alpha 21264": 1-cycle integer ALU, 7-cycle
+#: integer multiply, 4-cycle FP add/multiply, 12-cycle FP divide.  Machine
+#: parameters may override these (see ``repro.machine.params``).
+DEFAULT_LATENCY: Dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 7,
+    OpClass.FP_ADD: 4,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 12,
+    OpClass.FP_SPECIAL: 12,
+    OpClass.MEM_LOAD: 1,   # issue slot only; memory latency modelled separately
+    OpClass.MEM_STORE: 1,
+    OpClass.LUT: 1,        # access latency modelled by the L0/L1 path
+    OpClass.MOVE: 1,
+    OpClass.CONTROL: 1,
+}
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one opcode."""
+
+    name: str
+    opclass: OpClass
+    arity: int
+    useful: bool
+    semantic: Optional[Callable[..., object]]
+    commutative: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Opcode {self.name}>"
+
+
+def _int_semantics() -> Dict[str, Tuple[OpClass, int, bool, Callable, bool]]:
+    """Integer opcode table: name -> (class, arity, useful, fn, commutative)."""
+    return {
+        "ADD": (OpClass.INT_ALU, 2, True, lambda a, b: _mask(a + b), True),
+        "SUB": (OpClass.INT_ALU, 2, True, lambda a, b: _mask(a - b), False),
+        "MUL": (OpClass.INT_MUL, 2, True, lambda a, b: _mask(a * b), True),
+        "AND": (OpClass.INT_ALU, 2, True, lambda a, b: a & b & MASK32, True),
+        "OR": (OpClass.INT_ALU, 2, True, lambda a, b: (a | b) & MASK32, True),
+        "XOR": (OpClass.INT_ALU, 2, True, lambda a, b: (a ^ b) & MASK32, True),
+        "NOT": (OpClass.INT_ALU, 1, True, lambda a: (~a) & MASK32, False),
+        "SHL": (OpClass.INT_ALU, 2, True, lambda a, b: _mask(a << (b & 31)), False),
+        "SHR": (OpClass.INT_ALU, 2, True,
+                lambda a, b: (a & MASK32) >> (b & 31), False),
+        "ROTL": (OpClass.INT_ALU, 2, True,
+                 lambda a, b: _mask((a << (b & 31)) | ((a & MASK32) >> ((32 - (b & 31)) & 31))),
+                 False),
+        "TEQ": (OpClass.INT_ALU, 2, True, lambda a, b: int(a == b), True),
+        "TNE": (OpClass.INT_ALU, 2, True, lambda a, b: int(a != b), True),
+        "TLT": (OpClass.INT_ALU, 2, True, lambda a, b: int(a < b), False),
+        "TGE": (OpClass.INT_ALU, 2, True, lambda a, b: int(a >= b), False),
+        "MIN": (OpClass.INT_ALU, 2, True, lambda a, b: min(a, b), True),
+        "MAX": (OpClass.INT_ALU, 2, True, lambda a, b: max(a, b), True),
+        "SELECT": (OpClass.INT_ALU, 3, True,
+                   lambda c, a, b: a if c else b, False),
+        # 64-bit record-word packing (records are 64-bit words; the
+        # network/security kernels compute on 32-bit halves).
+        "HI32": (OpClass.INT_ALU, 1, True, lambda a: (a >> 32) & MASK32, False),
+        "LO32": (OpClass.INT_ALU, 1, True, lambda a: a & MASK32, False),
+        "PACK64": (OpClass.INT_ALU, 2, True,
+                   lambda hi, lo: ((hi & MASK32) << 32) | (lo & MASK32), False),
+    }
+
+
+def _safe_div(a: float, b: float) -> float:
+    return a / b if b != 0.0 else math.copysign(math.inf, a if a != 0.0 else 1.0)
+
+
+def _safe_rsqrt(a: float) -> float:
+    return 1.0 / math.sqrt(a) if a > 0.0 else math.inf
+
+
+def _safe_pow(a: float, b: float) -> float:
+    if a < 0.0:
+        a = 0.0  # shader-style clamp: pow of negative base saturates to 0
+    if a == 0.0:
+        return 0.0 if b > 0.0 else 1.0
+    return math.pow(a, b)
+
+
+def _float_semantics() -> Dict[str, Tuple[OpClass, int, bool, Callable, bool]]:
+    """Floating-point opcode table."""
+    return {
+        "FADD": (OpClass.FP_ADD, 2, True, lambda a, b: a + b, True),
+        "FSUB": (OpClass.FP_ADD, 2, True, lambda a, b: a - b, False),
+        "FMUL": (OpClass.FP_MUL, 2, True, lambda a, b: a * b, True),
+        "FMADD": (OpClass.FP_MUL, 3, True, lambda a, b, c: a * b + c, False),
+        "FDIV": (OpClass.FP_DIV, 2, True, _safe_div, False),
+        "FSQRT": (OpClass.FP_SPECIAL, 1, True,
+                  lambda a: math.sqrt(a) if a >= 0.0 else 0.0, False),
+        "FRSQRT": (OpClass.FP_SPECIAL, 1, True, _safe_rsqrt, False),
+        "FRCP": (OpClass.FP_SPECIAL, 1, True,
+                 lambda a: _safe_div(1.0, a), False),
+        "FPOW": (OpClass.FP_SPECIAL, 2, True, _safe_pow, False),
+        "FEXP2": (OpClass.FP_SPECIAL, 1, True, lambda a: math.pow(2.0, a), False),
+        "FLOG2": (OpClass.FP_SPECIAL, 1, True,
+                  lambda a: math.log2(a) if a > 0.0 else -math.inf, False),
+        "FMIN": (OpClass.FP_ADD, 2, True, lambda a, b: min(a, b), True),
+        "FMAX": (OpClass.FP_ADD, 2, True, lambda a, b: max(a, b), True),
+        "FABS": (OpClass.FP_ADD, 1, True, abs, False),
+        "FNEG": (OpClass.FP_ADD, 1, True, lambda a: -a, False),
+        "FFLOOR": (OpClass.FP_ADD, 1, True, math.floor, False),
+        "FSEL": (OpClass.FP_ADD, 3, True,
+                 lambda c, a, b: a if c > 0.0 else b, False),
+        "F2I": (OpClass.FP_ADD, 1, True, lambda a: _mask(int(a)), False),
+        "I2F": (OpClass.FP_ADD, 1, True, float, False),
+    }
+
+
+def _support_semantics() -> Dict[str, Tuple[OpClass, int, bool, Callable, bool]]:
+    """Memory / movement / control opcodes.
+
+    ``LDI`` (irregular load) and ``LUT`` (indexed-constant lookup) have
+    their data semantics supplied by the evaluator, which holds the memory
+    spaces and tables; the entry here only records shape information.
+    ``GEN`` is explicit address arithmetic, which the paper excludes from
+    useful-op counts.
+    """
+    return {
+        "LDI": (OpClass.MEM_LOAD, 1, False, None, False),
+        "LUT": (OpClass.LUT, 1, False, None, False),
+        "GEN": (OpClass.INT_ALU, 2, False, lambda a, b: _mask(a + b), False),
+        # Floating-point address generation (a*b + c), e.g. texel
+        # addressing from texture coordinates — overhead, like GEN.
+        "FGEN": (OpClass.FP_ADD, 3, False, lambda a, b, c: a * b + c, False),
+        "MOV": (OpClass.MOVE, 1, False, lambda a: a, False),
+        "NOP": (OpClass.CONTROL, 0, False, lambda: 0, False),
+    }
+
+
+def _build_table() -> Dict[str, OpcodeInfo]:
+    table: Dict[str, OpcodeInfo] = {}
+    for source in (_int_semantics(), _float_semantics(), _support_semantics()):
+        for name, (opclass, arity, useful, fn, comm) in source.items():
+            table[name] = OpcodeInfo(name, opclass, arity, useful, fn, comm)
+    return table
+
+
+#: Registry of all opcodes, keyed by mnemonic.
+OPCODES: Dict[str, OpcodeInfo] = _build_table()
+
+#: Opcodes whose results depend on external state (memory / tables) rather
+#: than purely on their dataflow operands.
+STATEFUL_OPCODES = frozenset({"LDI", "LUT"})
+
+
+def opcode(name: str) -> OpcodeInfo:
+    """Look up an opcode by mnemonic, raising ``KeyError`` with context."""
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise KeyError(f"unknown opcode {name!r}; known: {sorted(OPCODES)}") from None

@@ -1,0 +1,162 @@
+"""Random well-formed kernel generation (fuzzing support).
+
+Generates arbitrary valid kernels from a seed: random dataflow graphs
+over the integer or float opcode families, optional scalar constants,
+lookup tables, irregular spaces and predicated variable loops.  Used by
+the property-based test suites to cross-validate the evaluator, the
+assembler round-trip, the validator and both timing engines on inputs no
+human wrote — and usable as a workload generator for stress experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .builder import KernelBuilder, Value
+from .kernel import Domain, Kernel
+
+#: opcode pools by value family (generator emits type-consistent graphs)
+INT_OPS_2 = ["ADD", "SUB", "AND", "OR", "XOR", "MIN", "MAX"]
+INT_OPS_SHIFT = ["SHL", "SHR", "ROTL"]
+FLOAT_OPS_2 = ["FADD", "FSUB", "FMUL", "FMIN", "FMAX"]
+FLOAT_OPS_1 = ["FABS", "FNEG"]
+
+
+class RandomKernelConfig:
+    """Knobs for the generator (kept plain for easy hypothesis mapping)."""
+
+    def __init__(
+        self,
+        size: int = 20,
+        record_in: int = 4,
+        record_out: int = 2,
+        integer: bool = False,
+        n_constants: int = 2,
+        table_size: int = 0,
+        space_size: int = 0,
+        variable_loop_trips: int = 0,
+    ):
+        self.size = max(1, size)
+        self.record_in = max(1, record_in)
+        self.record_out = max(1, record_out)
+        self.integer = integer
+        self.n_constants = max(0, n_constants)
+        self.table_size = max(0, table_size)
+        self.space_size = max(0, space_size)
+        self.variable_loop_trips = max(0, variable_loop_trips)
+
+
+def random_kernel(seed: int, config: Optional[RandomKernelConfig] = None) -> Kernel:
+    """A deterministic random kernel for ``seed``."""
+    cfg = config or RandomKernelConfig()
+    rng = random.Random(seed)
+    b = KernelBuilder(
+        f"random{seed}",
+        rng.choice(list(Domain)),
+        record_in=cfg.record_in,
+        record_out=cfg.record_out,
+        description="randomly generated kernel",
+    )
+
+    def fresh_const(i: int) -> Value:
+        if cfg.integer:
+            return b.const(rng.randrange(1 << 32), f"c{i}")
+        return b.const(round(rng.uniform(-4.0, 4.0), 6), f"c{i}")
+
+    consts = [fresh_const(i) for i in range(cfg.n_constants)]
+    table_id = None
+    if cfg.table_size:
+        values = ([rng.randrange(1 << 16) for _ in range(cfg.table_size)]
+                  if cfg.integer else
+                  [round(rng.uniform(0, 1), 6) for _ in range(cfg.table_size)])
+        table_id = b.table(values)
+    space_id = None
+    if cfg.space_size:
+        values = ([rng.randrange(1 << 16) for _ in range(cfg.space_size)]
+                  if cfg.integer else
+                  [round(rng.uniform(0, 1), 6) for _ in range(cfg.space_size)])
+        space_id = b.space(values)
+
+    # Live SSA values the generator may consume.  Integer kernels mask
+    # record words through LO32 so the 32-bit ops see in-range values.
+    if cfg.integer:
+        live: List[Value] = [b.lo32(b.input(i)) for i in range(cfg.record_in)]
+    else:
+        live = b.inputs()
+
+    def emit_one() -> Value:
+        choice = rng.random()
+        if table_id is not None and choice < 0.15:
+            index = rng.choice(live)
+            return b.lut(table_id, index)
+        if space_id is not None and choice < 0.25:
+            address = rng.choice(live)
+            return b.ldi(space_id, address)
+        if cfg.integer:
+            if choice < 0.45:
+                op = rng.choice(INT_OPS_SHIFT)
+                return b.emit(op, rng.choice(live), b.imm(rng.randrange(32)))
+            op = rng.choice(INT_OPS_2)
+            a = rng.choice(live)
+            bb = rng.choice(live + consts) if consts else rng.choice(live)
+            return b.emit(op, a, bb)
+        if choice < 0.35:
+            op = rng.choice(FLOAT_OPS_1)
+            return b.emit(op, rng.choice(live))
+        op = rng.choice(FLOAT_OPS_2)
+        a = rng.choice(live)
+        bb = rng.choice(live + consts) if consts else rng.choice(live)
+        return b.emit(op, a, bb)
+
+    straight = cfg.size
+    if cfg.variable_loop_trips:
+        straight = max(1, cfg.size // 2)
+    for _ in range(straight):
+        live.append(emit_one())
+
+    if cfg.variable_loop_trips:
+        trips = cfg.variable_loop_trips
+        count = b.input(0)  # convention: first record word is the bound
+        per_trip = max(1, (cfg.size - straight) // trips)
+        acc = live[-1]
+        with b.variable_loop(trips, lambda rec: int(rec[0])) as loop:
+            for i in loop:
+                update = acc
+                for _ in range(per_trip):
+                    base = rng.choice(live)
+                    if cfg.integer:
+                        update = b.emit(rng.choice(INT_OPS_2), update, base)
+                    else:
+                        update = b.emit(rng.choice(FLOAT_OPS_2), update, base)
+                if cfg.integer:
+                    live_flag = b.tlt(b.imm(i), count)
+                    acc = b.select(live_flag, update, acc)
+                else:
+                    live_flag = b.fsub(count, b.imm(float(i)))
+                    acc = b.fsel(live_flag, update, acc)
+        live.append(acc)
+
+    # Outputs: the last values produced (always instruction results).
+    for slot in range(cfg.record_out):
+        b.output(live[-(slot % len(live)) - 1], slot=slot)
+    return b.build()
+
+
+def random_records(kernel: Kernel, count: int, seed: int,
+                   integer: bool = False) -> List[List]:
+    """Records compatible with a generated kernel (bound in word 0)."""
+    rng = random.Random(seed ^ 0xBEEF)
+    records = []
+    max_trips = kernel.loop.max_trips if kernel.loop.variable else None
+    for _ in range(count):
+        if integer:
+            record = [rng.randrange(1 << 32) for _ in range(kernel.record_in)]
+        else:
+            record = [round(rng.uniform(-8.0, 8.0), 6)
+                      for _ in range(kernel.record_in)]
+        if max_trips:
+            record[0] = (rng.randrange(max_trips + 1) if integer
+                         else float(rng.randrange(max_trips + 1)))
+        records.append(record)
+    return records

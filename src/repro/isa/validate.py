@@ -1,0 +1,116 @@
+"""Structural validation of kernels.
+
+Kernels are produced programmatically, so malformed graphs are generator
+bugs; this pass catches them at build time rather than as confusing
+simulator failures.  The checks mirror what a TRIPS block verifier would
+enforce: topological ordering, operand-reference sanity, output coverage,
+and loop-tag consistency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instruction import Const, Immediate, InstResult, RecordInput
+from .kernel import Kernel
+
+
+class KernelValidationError(ValueError):
+    """A kernel violates a structural invariant."""
+
+    def __init__(self, kernel_name: str, problems: List[str]):
+        self.kernel_name = kernel_name
+        self.problems = problems
+        listing = "\n  - ".join(problems)
+        super().__init__(f"kernel {kernel_name!r} is malformed:\n  - {listing}")
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`KernelValidationError` if the kernel is malformed."""
+    problems: List[str] = []
+
+    for position, inst in enumerate(kernel.body):
+        if inst.iid != position:
+            problems.append(
+                f"instruction at position {position} has iid {inst.iid}"
+            )
+
+    n = len(kernel.body)
+    for inst in kernel.body:
+        for pos, src in enumerate(inst.srcs):
+            if isinstance(src, InstResult):
+                if not 0 <= src.producer < n:
+                    problems.append(
+                        f"%{inst.iid} operand {pos} references missing "
+                        f"instruction %{src.producer}"
+                    )
+                elif src.producer >= inst.iid:
+                    problems.append(
+                        f"%{inst.iid} operand {pos} references %{src.producer} "
+                        "(not topologically ordered / cyclic)"
+                    )
+            elif isinstance(src, RecordInput):
+                if not 0 <= src.index < kernel.record_in:
+                    problems.append(
+                        f"%{inst.iid} reads record input {src.index}, record "
+                        f"size is {kernel.record_in}"
+                    )
+            elif not isinstance(src, (Const, Immediate)):
+                problems.append(f"%{inst.iid} has unknown operand {src!r}")
+        if inst.op.name == "LUT" and inst.table not in kernel.tables:
+            problems.append(f"%{inst.iid} reads unregistered table {inst.table}")
+        if inst.op.name == "LDI" and inst.space not in kernel.spaces:
+            problems.append(f"%{inst.iid} reads unregistered space {inst.space}")
+
+    if len(kernel.outputs) == 0:
+        problems.append("kernel produces no outputs")
+    seen_slots = set()
+    for producer, slot in kernel.outputs:
+        if not 0 <= producer < n:
+            problems.append(f"output slot {slot} from missing %{producer}")
+        if not 0 <= slot < kernel.record_out:
+            problems.append(
+                f"output slot {slot} out of range for record_out="
+                f"{kernel.record_out}"
+            )
+        if slot in seen_slots:
+            problems.append(f"output slot {slot} written twice")
+        seen_slots.add(slot)
+
+    # Loop-tag consistency.
+    if kernel.loop.variable:
+        if kernel.loop.max_trips is None or kernel.loop.trips_fn is None:
+            problems.append("variable loop lacks max_trips/trips_fn")
+        else:
+            for inst in kernel.body:
+                if inst.loop_iter is not None and not (
+                    0 <= inst.loop_iter < kernel.loop.max_trips
+                ):
+                    problems.append(
+                        f"%{inst.iid} tagged loop_iter={inst.loop_iter} beyond "
+                        f"max_trips={kernel.loop.max_trips}"
+                    )
+            # A loop iteration may depend on earlier iterations (loop
+            # carried values) but never on a *later* one; post-loop code
+            # (``loop_iter is None``) may consume anything.
+            iter_of = {inst.iid: inst.loop_iter for inst in kernel.body}
+            for inst in kernel.body:
+                if inst.loop_iter is None:
+                    continue
+                for p in inst.dataflow_sources():
+                    produced = iter_of[p]
+                    if produced is not None and inst.loop_iter < produced:
+                        problems.append(
+                            f"%{inst.iid} (iter {inst.loop_iter}) consumes "
+                            f"%{p} from later iteration {produced}"
+                        )
+    else:
+        for inst in kernel.body:
+            if inst.loop_iter is not None:
+                problems.append(
+                    f"%{inst.iid} has loop_iter tag but kernel has no "
+                    "variable loop"
+                )
+
+    if problems:
+        raise KernelValidationError(kernel.name, problems)

@@ -1,0 +1,58 @@
+"""The 14-kernel benchmark suite of the paper's Table 1.
+
+Every kernel exists in two synchronized forms: a dataflow graph built
+through :class:`~repro.isa.KernelBuilder` (what the machine simulates)
+and an independent per-record reference implementation (what the tests
+compare against).  The network/security kernels are bit-exact real
+cryptography, validated against hashlib / published test vectors.
+"""
+
+from . import (
+    anisotropic,
+    blowfish,
+    convert,
+    dct,
+    fft,
+    fragment_reflection,
+    fragment_simple,
+    highpass,
+    lu,
+    md5,
+    rijndael,
+    vertex_reflection,
+    vertex_simple,
+    vertex_skinning,
+)
+from .registry import (
+    TABLE1_ORDER,
+    KernelSpec,
+    PaperAttributes,
+    all_specs,
+    kernel,
+    registry,
+    spec,
+)
+
+__all__ = [
+    "anisotropic",
+    "blowfish",
+    "convert",
+    "dct",
+    "fft",
+    "fragment_reflection",
+    "fragment_simple",
+    "highpass",
+    "lu",
+    "md5",
+    "rijndael",
+    "vertex_reflection",
+    "vertex_simple",
+    "vertex_skinning",
+    "TABLE1_ORDER",
+    "KernelSpec",
+    "PaperAttributes",
+    "all_specs",
+    "kernel",
+    "registry",
+    "spec",
+]

@@ -1,0 +1,233 @@
+"""Shared shader algebra for the graphics kernels.
+
+Each shader's math is written once against this small operation algebra
+and instantiated twice: with :class:`BuilderAlg` to emit the dataflow
+kernel, and with :class:`FloatAlg` to produce the bit-identical pure
+Python reference.  This removes any chance of the kernel and its
+reference drifting apart structurally.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence
+
+from ..isa import KernelBuilder
+
+
+class BuilderAlg:
+    """Algebra that emits instructions through a KernelBuilder."""
+
+    def __init__(self, builder: KernelBuilder):
+        self.b = builder
+        self._tables: Dict[str, int] = {}
+        self._spaces: Dict[str, int] = {}
+
+    # -- values
+    def const(self, value: float, name: str = ""):
+        return self.b.const(value, name)
+
+    def imm(self, value: float):
+        return self.b.imm(value)
+
+    def register_table(self, key: str, values: Sequence[float]) -> None:
+        self._tables[key] = self.b.table(values)
+
+    def register_space(self, key: str, values: Sequence[float]) -> None:
+        self._spaces[key] = self.b.space(values)
+
+    # -- arithmetic
+    def mul(self, a, b):
+        return self.b.fmul(a, b)
+
+    def add(self, a, b):
+        return self.b.fadd(a, b)
+
+    def sub(self, a, b):
+        return self.b.fsub(a, b)
+
+    def madd(self, a, b, c):
+        return self.b.fmadd(a, b, c)
+
+    def max(self, a, b):
+        return self.b.fmax(a, b)
+
+    def min(self, a, b):
+        return self.b.fmin(a, b)
+
+    def abs(self, a):
+        return self.b.fabs(a)
+
+    def neg(self, a):
+        return self.b.fneg(a)
+
+    def rsqrt(self, a):
+        return self.b.frsqrt(a)
+
+    def rcp(self, a):
+        return self.b.frcp(a)
+
+    def pow(self, a, b):
+        return self.b.fpow(a, b)
+
+    def exp2(self, a):
+        return self.b.fexp2(a)
+
+    def floor(self, a):
+        return self.b.ffloor(a)
+
+    def sel(self, c, a, b):
+        """a if c > 0 else b."""
+        return self.b.fsel(c, a, b)
+
+    # -- memory
+    def addr(self, a, b, c):
+        """Overhead address generation: a*b + c."""
+        return self.b.fgen(a, b, c)
+
+    def table_fetch(self, key: str, index):
+        return self.b.lut(self._tables[key], index)
+
+    def tex_fetch(self, key: str, address):
+        return self.b.ldi(self._spaces[key], address)
+
+
+class FloatAlg:
+    """Plain-float mirror of :class:`BuilderAlg` (the reference)."""
+
+    def __init__(self):
+        self._tables: Dict[str, List[float]] = {}
+        self._spaces: Dict[str, List[float]] = {}
+
+    def const(self, value: float, name: str = "") -> float:
+        return value
+
+    def imm(self, value: float) -> float:
+        return value
+
+    def register_table(self, key: str, values: Sequence[float]) -> None:
+        self._tables[key] = list(values)
+
+    def register_space(self, key: str, values: Sequence[float]) -> None:
+        self._spaces[key] = list(values)
+
+    def mul(self, a, b):
+        return a * b
+
+    def add(self, a, b):
+        return a + b
+
+    def sub(self, a, b):
+        return a - b
+
+    def madd(self, a, b, c):
+        return a * b + c
+
+    def max(self, a, b):
+        return max(a, b)
+
+    def min(self, a, b):
+        return min(a, b)
+
+    def abs(self, a):
+        return abs(a)
+
+    def neg(self, a):
+        return -a
+
+    def rsqrt(self, a):
+        return 1.0 / math.sqrt(a) if a > 0.0 else math.inf
+
+    def rcp(self, a):
+        return 1.0 / a if a != 0.0 else math.inf
+
+    def pow(self, a, b):
+        if a < 0.0:
+            a = 0.0
+        if a == 0.0:
+            return 0.0 if b > 0.0 else 1.0
+        return math.pow(a, b)
+
+    def exp2(self, a):
+        return math.pow(2.0, a)
+
+    def floor(self, a):
+        return math.floor(a)
+
+    def sel(self, c, a, b):
+        return a if c > 0.0 else b
+
+    def addr(self, a, b, c):
+        return a * b + c
+
+    def table_fetch(self, key: str, index):
+        table = self._tables[key]
+        return table[int(index) % len(table)]
+
+    def tex_fetch(self, key: str, address):
+        space = self._spaces[key]
+        return space[int(address) % len(space)]
+
+
+# ---- shared shader math --------------------------------------------------------
+
+
+def dot3(alg, a, b):
+    """3-component dot product (mul + 2 madds)."""
+    return alg.madd(a[2], b[2], alg.madd(a[1], b[1], alg.mul(a[0], b[0])))
+
+
+def normalize3(alg, v):
+    """Normalize a 3-vector (dot, rsqrt, scale)."""
+    inv = alg.rsqrt(dot3(alg, v, v))
+    return [alg.mul(v[0], inv), alg.mul(v[1], inv), alg.mul(v[2], inv)]
+
+
+def mat34_transform(alg, rows, point):
+    """rows: 3 rows of 4 values (algebra constants); applies to xyz1."""
+    return [
+        alg.add(dot3(alg, row[:3], point), row[3]) for row in rows
+    ]
+
+
+def mat33_transform(alg, rows, vector):
+    """Apply a 3x3 matrix (rows of algebra constants) to a vector."""
+    return [dot3(alg, row, vector) for row in rows]
+
+
+# ---- deterministic scene constants -------------------------------------------------
+
+
+def scene_rng(tag: str) -> random.Random:
+    """Deterministic RNG for scene constants, keyed by tag."""
+    return random.Random(hash(tag) % (1 << 30) ^ 0x5EED)
+
+
+def make_matrix34(tag: str) -> List[List[float]]:
+    """A deterministic 3x4 transform for the tagged scene object."""
+    rng = scene_rng(tag)
+    return [
+        [rng.uniform(-1.0, 1.0) for _ in range(3)] + [rng.uniform(-2.0, 2.0)]
+        for _ in range(3)
+    ]
+
+
+def make_matrix33(tag: str) -> List[List[float]]:
+    """A deterministic 3x3 matrix for the tagged scene object."""
+    rng = scene_rng(tag)
+    return [[rng.uniform(-1.0, 1.0) for _ in range(3)] for _ in range(3)]
+
+
+def make_unit(tag: str) -> List[float]:
+    """A deterministic unit 3-vector for the tagged scene object."""
+    rng = scene_rng(tag)
+    v = [rng.uniform(-1.0, 1.0) for _ in range(3)]
+    norm = math.sqrt(sum(c * c for c in v)) or 1.0
+    return [c / norm for c in v]
+
+
+def make_texture(tag: str, size: int) -> List[float]:
+    """A deterministic texture of ``size`` luminance values."""
+    rng = scene_rng(tag)
+    return [rng.uniform(0.0, 1.0) for _ in range(size)]

@@ -1,0 +1,193 @@
+"""Machine configurations — combinations of the universal mechanisms.
+
+A :class:`MachineConfig` selects which of the paper's six mechanisms are
+active.  The five named configurations of Table 5 (plus the ILP baseline)
+are provided as constructors, and :func:`all_configs` enumerates the full
+legal lattice (the paper notes the mechanisms "can be combined in
+different ways ... to produce as many as 20 different run-time machine
+configurations").
+
+Legality rules encoded here:
+
+* Instruction revitalization and local program counters are alternative
+  instruction-control regimes (SIMD-style vs MIMD-style) — at most one.
+* Operand revitalization only means something under instruction
+  revitalization (it protects reservation-station operands across
+  revitalizations).
+* The baseline ILP machine uses neither the SMC streaming path nor any
+  DLP mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One run-time morph of the substrate."""
+
+    name: str
+    #: L2 banks morph to software-managed streaming (mechanism 1)
+    smc_stream: bool = False
+    #: instruction revitalization: CTR + revitalize broadcast (mechanism 5)
+    inst_revitalize: bool = False
+    #: operand revitalization: persistent constant operands (mechanism 3)
+    operand_revitalize: bool = False
+    #: software-managed L0 data store at each ALU (mechanism 4)
+    l0_data: bool = False
+    #: local program counters + L0 instruction store (mechanism 6)
+    local_pc: bool = False
+
+    def __post_init__(self) -> None:
+        if self.inst_revitalize and self.local_pc:
+            raise ValueError(
+                f"{self.name}: instruction revitalization and local PCs are "
+                "mutually exclusive control regimes"
+            )
+        if self.operand_revitalize and not self.inst_revitalize:
+            raise ValueError(
+                f"{self.name}: operand revitalization requires instruction "
+                "revitalization"
+            )
+
+    # ---- the named configurations of Table 5 -------------------------------
+
+    @staticmethod
+    def baseline() -> "MachineConfig":
+        """The unmorphed TRIPS processor running DLP code as ILP code."""
+        return MachineConfig(name="baseline")
+
+    @staticmethod
+    def S() -> "MachineConfig":
+        """SIMD model: SMC streaming + instruction revitalization."""
+        return MachineConfig(name="S", smc_stream=True, inst_revitalize=True)
+
+    @staticmethod
+    def S_O() -> "MachineConfig":
+        """SIMD + scalar constant access (operand revitalization)."""
+        return MachineConfig(
+            name="S-O", smc_stream=True, inst_revitalize=True,
+            operand_revitalize=True,
+        )
+
+    @staticmethod
+    def S_O_D() -> "MachineConfig":
+        """SIMD + scalar constants + lookup tables (L0 data store)."""
+        return MachineConfig(
+            name="S-O-D", smc_stream=True, inst_revitalize=True,
+            operand_revitalize=True, l0_data=True,
+        )
+
+    @staticmethod
+    def M() -> "MachineConfig":
+        """MIMD model: SMC streaming + local program counters."""
+        return MachineConfig(name="M", smc_stream=True, local_pc=True)
+
+    @staticmethod
+    def M_D() -> "MachineConfig":
+        """MIMD + lookup tables (L0 data store)."""
+        return MachineConfig(
+            name="M-D", smc_stream=True, local_pc=True, l0_data=True,
+        )
+
+    @property
+    def is_mimd(self) -> bool:
+        return self.local_pc
+
+    @property
+    def is_simd(self) -> bool:
+        return self.inst_revitalize
+
+    @property
+    def architecture_model(self) -> str:
+        """The Table 5 'architecture model' description."""
+        if self.local_pc:
+            return "MIMD+lookup table" if self.l0_data else "MIMD"
+        if self.inst_revitalize:
+            parts = ["SIMD"]
+            if self.operand_revitalize:
+                parts.append("scalar constant access")
+            if self.l0_data:
+                parts.append("lookup table")
+            return "+".join(parts)
+        return "ILP (baseline)"
+
+    def mechanisms(self) -> List[str]:
+        """Active mechanism names (for reports and the Table 3 cross-ref)."""
+        active = []
+        if self.smc_stream:
+            active.append("software managed streamed memory")
+        active.append("cached memory subsystem")  # L1 path always present
+        if self.operand_revitalize:
+            active.append("operand revitalization")
+        if self.l0_data:
+            active.append("L0 data store")
+        if self.inst_revitalize:
+            active.append("instruction revitalization")
+        if self.local_pc:
+            active.append("local program counters")
+        return active
+
+
+#: The configurations evaluated in the paper's Figure 5 / Table 5.
+TABLE5_CONFIGS = (
+    MachineConfig.S(),
+    MachineConfig.S_O(),
+    MachineConfig.S_O_D(),
+    MachineConfig.M(),
+    MachineConfig.M_D(),
+)
+
+
+def named_config(name: str) -> MachineConfig:
+    """Look up a configuration by its Table 5 name (or 'baseline')."""
+    table = {c.name: c for c in TABLE5_CONFIGS}
+    table["baseline"] = MachineConfig.baseline()
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown configuration {name!r}; known: {sorted(table)}"
+        ) from None
+
+
+def all_configs() -> List[MachineConfig]:
+    """Every legal mechanism combination (the full run-time morph space)."""
+    configs: List[MachineConfig] = [MachineConfig.baseline()]
+    seen = {(False, False, False, False, False)}
+    for smc in (False, True):
+        for control in ("none", "revit", "pc"):
+            for op_revit in (False, True):
+                if op_revit and control != "revit":
+                    continue
+                for l0 in (False, True):
+                    key = (
+                        smc, control == "revit", op_revit, l0, control == "pc"
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    parts = []
+                    if smc:
+                        parts.append("smc")
+                    if control == "revit":
+                        parts.append("ir")
+                    if op_revit:
+                        parts.append("or")
+                    if l0:
+                        parts.append("l0")
+                    if control == "pc":
+                        parts.append("pc")
+                    configs.append(
+                        MachineConfig(
+                            name="+".join(parts) or "baseline",
+                            smc_stream=smc,
+                            inst_revitalize=control == "revit",
+                            operand_revitalize=op_revit,
+                            l0_data=l0,
+                            local_pc=control == "pc",
+                        )
+                    )
+    return configs

@@ -1,0 +1,267 @@
+"""Cycle-level dataflow execution of a mapped window.
+
+This engine implements the TRIPS-style execution semantics: every mapped
+instruction instance waits in its node's reservation stations until all
+operands have arrived over the network, nodes issue at most one ready
+instruction per cycle (deepest-last — ties broken by age), and results
+are routed to consumer nodes with half-cycle hops.  Memory instances
+interact with the :class:`~repro.memory.system.MemorySystem`'s ports,
+channels and store buffers, so bandwidth contention — register-file
+pressure from scalar constants, L1 pressure from lookup tables,
+store-drain limits — is measured, not assumed.
+
+Invariant the loop relies on: every operand scheduled during cycle *c*
+arrives strictly after *c* (all latencies are >= 1), so arrivals never
+need to be re-examined for the current cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..memory.ports import PortQueue
+from ..memory.system import MemorySystem
+from .mapping import COMPUTE, LDI, LMW, LOAD, LUT, STORE, MappedWindow
+from .stats import WindowTiming
+
+
+@dataclass
+class EngineStats:
+    issued: int = 0
+    l1_accesses: int = 0
+    lmw_requests: int = 0
+    regfile_reads: int = 0
+    network_hops: int = 0
+
+
+class DeadlockError(RuntimeError):
+    """The window cannot make progress (a mapping bug)."""
+
+
+class DataflowEngine:
+    """Executes one mapped window against a memory system."""
+
+    def __init__(
+        self,
+        window: MappedWindow,
+        memory: MemorySystem,
+        seed: int = 0,
+        trace: bool = False,
+    ):
+        self.window = window
+        self.memory = memory
+        self.params = window.params
+        self._seed = seed
+        self.stats = EngineStats()
+        #: optional issue trace: (cycle, node, kind, iteration, kernel iid)
+        self.trace: List[tuple] = [] if trace else None  # type: ignore
+
+    # ---- address helpers ---------------------------------------------------
+
+    def _route(self, a: int, b: int) -> int:
+        hops = self.params.node_distance(a, b)
+        self.stats.network_hops += hops
+        return self.params.route_delay(hops)
+
+    def _hash(self, inst) -> int:
+        """Deterministic pseudo-random stream per instruction instance.
+
+        Independent of issue order, so two configurations mapping the same
+        kernel see identical address streams (no measurement jitter).
+        """
+        x = (inst.iteration * 2654435761 + inst.kernel_iid * 40503
+             + self._seed * 97) & 0xFFFFFFFF
+        x ^= x >> 16
+        x = (x * 2246822519) & 0xFFFFFFFF
+        x ^= x >> 13
+        return x
+
+    def _lut_address(self, inst) -> int:
+        """A lookup address within the instance's table (the index is
+        data-dependent; model it as uniform within the table)."""
+        kernel = self.window.kernel
+        kinst = kernel.body[inst.kernel_iid]
+        size = len(kernel.tables[kinst.table])
+        return inst.address + self._hash(inst) % size
+
+    def _ldi_address(self, inst) -> int:
+        """An irregular access with spatial locality (texture-style): a
+        random walk around a per-iteration focus point."""
+        size = max(1, inst.words)
+        focus = (inst.iteration * 97) % size
+        delta = self._hash(inst) % 33 - 16
+        return inst.address + (focus + delta) % size
+
+    # ---- main loop -----------------------------------------------------------
+
+    def run(self) -> WindowTiming:
+        window = self.window
+        params = self.params
+        instances = window.instances
+        remaining = [inst.operands for inst in instances]
+
+        ready: Dict[int, List] = {}          # node -> heap of (depth, uid)
+        active_nodes = set()
+        arrivals: Dict[int, List[int]] = {}  # cycle -> operand-delivery uids
+        arrival_cycles: List[int] = []       # heap of pending arrival cycles
+
+        def schedule_arrival(uid: int, at: int) -> None:
+            at = int(at)
+            bucket = arrivals.get(at)
+            if bucket is None:
+                arrivals[at] = [uid]
+                heapq.heappush(arrival_cycles, at)
+            else:
+                bucket.append(uid)
+
+        def make_ready(uid: int) -> None:
+            node = instances[uid].node
+            heapq.heappush(
+                ready.setdefault(node, []), (instances[uid].depth, uid)
+            )
+            active_nodes.add(node)
+
+        # Register-file reads deliver scalar constants (unless operand
+        # revitalization keeps them alive across revitalizations).
+        regfile = PortQueue(params.regfile_read_ports, name="regfile")
+        for read in window.const_reads:
+            grant = regfile.reserve(0)
+            self.stats.regfile_reads += 1
+            for cuid in read.consumers:
+                node = instances[cuid].node
+                schedule_arrival(
+                    cuid,
+                    grant + params.regfile_latency
+                    + params.route_from_regfile(node),
+                )
+
+        for inst in instances:
+            if inst.operands == 0:
+                make_ready(inst.uid)
+
+        cycle = 0
+        issued = 0
+        total = len(instances)
+        last_completion = 0
+        store_drain = 0
+
+        while issued < total:
+            # Deliver operands that arrive this cycle.
+            while arrival_cycles and arrival_cycles[0] <= cycle:
+                at = heapq.heappop(arrival_cycles)
+                for uid in arrivals.pop(at, ()):
+                    remaining[uid] -= 1
+                    if remaining[uid] == 0:
+                        make_ready(uid)
+
+            # Each node issues at most one ready instruction this cycle.
+            for node in list(active_nodes):
+                heap = ready.get(node)
+                if not heap:
+                    active_nodes.discard(node)
+                    continue
+                _, uid = heapq.heappop(heap)
+                if not heap:
+                    active_nodes.discard(node)
+                inst = instances[uid]
+                issued += 1
+                self.stats.issued += 1
+                if self.trace is not None:
+                    self.trace.append(
+                        (cycle, node, inst.kind, inst.iteration,
+                         inst.kernel_iid)
+                    )
+                completion = self._issue(inst, cycle, schedule_arrival)
+                if inst.kind == STORE:
+                    store_drain = max(store_drain, completion)
+                last_completion = max(last_completion, completion)
+
+            if issued >= total:
+                break
+            if active_nodes:
+                cycle += 1
+            elif arrival_cycles:
+                cycle = arrival_cycles[0]
+            else:
+                raise DeadlockError(
+                    f"issued {issued}/{total} instances in window of "
+                    f"{window.kernel.name}; remaining operand counts are "
+                    "unsatisfiable"
+                )
+
+        fetch_cycles = -(-window.machine_instructions // params.fetch_bandwidth)
+        cycles = max(last_completion, store_drain, 1)
+        return WindowTiming(
+            iterations=window.iterations,
+            machine_instructions=window.machine_instructions,
+            cycles=int(cycles),
+            issue_done_cycle=int(last_completion),
+            store_drain_cycle=int(store_drain),
+            fetch_cycles=fetch_cycles,
+            detail={
+                "network_hops": float(self.stats.network_hops),
+                "l1_accesses": float(self.stats.l1_accesses),
+                "regfile_reads": float(self.stats.regfile_reads),
+                "lmw_requests": float(self.stats.lmw_requests),
+            },
+        )
+
+    # ---- per-kind issue behaviour -----------------------------------------
+
+    def _issue(self, inst, cycle: int, schedule_arrival) -> int:
+        params = self.params
+        memory = self.memory
+        instances = self.window.instances
+
+        if inst.kind == COMPUTE or (
+            inst.kind == LUT and self.window.config.l0_data
+        ):
+            completion = cycle + inst.latency
+            for cuid in inst.consumers:
+                schedule_arrival(
+                    cuid,
+                    completion + self._route(inst.node, instances[cuid].node),
+                )
+            return completion
+
+        if inst.kind in (LUT, LDI, LOAD):
+            # Through the cached L1 path: route to the array edge, access
+            # the bank (port arbitration + hit/miss latency), route back.
+            if inst.kind == LUT:
+                address = self._lut_address(inst)
+            elif inst.kind == LDI:
+                address = self._ldi_address(inst)
+            else:
+                address = inst.address
+            edge = params.route_to_row_edge(inst.node)
+            ready_at = memory.l1_access(address, cycle + edge)
+            self.stats.l1_accesses += 1
+            back = ready_at + edge
+            for cuid in inst.consumers:
+                schedule_arrival(
+                    cuid, back + self._route(inst.node, instances[cuid].node)
+                )
+            return back
+
+        if inst.kind == LMW:
+            self.stats.lmw_requests += 1
+            word_cycles = memory.lmw_deliver(inst.row, cycle + 1, inst.words)
+            last = cycle + 1
+            for word_cycle, consumers in zip(word_cycles, inst.word_consumers):
+                for cuid in consumers:
+                    at = word_cycle + self._route(inst.node, instances[cuid].node)
+                    schedule_arrival(cuid, at)
+                    last = max(last, at)
+            return last
+
+        if inst.kind == STORE:
+            # Stores always leave through the row's coalescing store buffer
+            # (draining to the SMC bank in streaming mode, to the cache
+            # hierarchy otherwise) — they never consume L1 read ports.
+            edge = params.route_to_row_edge(inst.node)
+            done = memory.smc_store(inst.row, inst.address, cycle + edge)
+            return int(-(-done // 1))
+
+        raise ValueError(f"unknown instance kind {inst.kind!r}")

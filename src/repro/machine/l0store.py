@@ -1,0 +1,57 @@
+"""Software-managed L0 data store at each ALU (mechanism 4).
+
+Section 4.4: "A software managed L0 data storage at each ALU provides
+support for indexed scalar constants ...  For the applications we
+examined, 2KB was sufficient to store all such constants."
+
+This is the functional model: tables are loaded by a setup block, lookups
+index into them locally at single-cycle latency with no shared-structure
+contention (the timing engines charge ``l0_data_latency`` directly).  It
+enforces the capacity limit so configurations that do not fit fail loudly
+instead of silently under-modelling bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+class L0CapacityError(ValueError):
+    """The requested tables exceed the L0 data store capacity."""
+
+
+class L0DataStore:
+    """One node's L0 data store holding indexed-constant tables."""
+
+    def __init__(self, capacity_bytes: int = 2048, entry_bytes: int = 2):
+        self.capacity_bytes = capacity_bytes
+        self.entry_bytes = entry_bytes
+        self._tables: Dict[int, List[Number]] = {}
+
+    @property
+    def capacity_entries(self) -> int:
+        return self.capacity_bytes // self.entry_bytes
+
+    @property
+    def used_entries(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def load_tables(self, tables: Dict[int, Sequence[Number]]) -> None:
+        """Setup-block table load; replaces current contents atomically."""
+        total = sum(len(t) for t in tables.values())
+        if total > self.capacity_entries:
+            raise L0CapacityError(
+                f"{total} entries exceed L0 capacity of "
+                f"{self.capacity_entries} entries "
+                f"({self.capacity_bytes}B / {self.entry_bytes}B per entry)"
+            )
+        self._tables = {tid: list(vals) for tid, vals in tables.items()}
+
+    def lookup(self, table_id: int, index: int) -> Number:
+        table = self._tables[table_id]
+        return table[int(index) % len(table)]
+
+    def clear(self) -> None:
+        self._tables.clear()

@@ -1,0 +1,295 @@
+"""Mapping kernels onto the array for block-style (baseline / S-*) execution.
+
+A *mapped window* is the set of kernel iterations resident in the array at
+once: the spatially-unrolled iterations of the S-configurations (executed
+repeatedly via instruction revitalization), or the in-flight hyperblock
+window of the baseline ILP machine.  Mapping expands the architectural
+kernel into machine-level instruction instances:
+
+* compute instances (one per kernel instruction per iteration),
+* regular-memory access instances — LMW wide loads near the row memory
+  interface when the SMC streaming path is configured, or per-word L1
+  loads otherwise (the baseline's overhead),
+* store instances (store-buffer bound under SMC, L1-bound otherwise),
+* scalar-constant register reads (elided when operand revitalization
+  keeps constants alive in the reservation stations).
+
+These overhead instances compete for node issue slots and memory ports in
+the timing simulation, which is precisely how the paper's bandwidth
+arguments become measured cycle counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instruction import Const, Immediate, InstResult, RecordInput
+from ..isa.kernel import Kernel
+from ..isa.opcodes import OpClass
+from .config import MachineConfig
+from .params import MachineParams
+from .placement import Placement, max_unroll, place_iterations
+
+# Instance kinds
+COMPUTE = "compute"
+LUT = "lut"
+LDI = "ldi"
+LMW = "lmw"
+LOAD = "load"
+STORE = "store"
+
+
+@dataclass
+class Instance:
+    """One machine-level instruction instance mapped to a node."""
+
+    uid: int
+    kind: str
+    node: int
+    iteration: int
+    latency: int = 1
+    #: uids notified when this instance's result is produced
+    consumers: List[int] = field(default_factory=list)
+    #: dataflow operands still outstanding at window start
+    operands: int = 0
+    useful: bool = False
+    #: memory attributes
+    row: int = 0
+    words: int = 0
+    address: int = 0
+    #: per-word consumer lists for LMW deliveries
+    word_consumers: List[List[int]] = field(default_factory=list)
+    #: scheduling priority (negated height-from-sink: critical-path
+    #: instructions issue first; lower value = higher priority)
+    depth: int = 0
+    #: kernel instruction id (compute instances) for traceability
+    kernel_iid: int = -1
+
+
+@dataclass
+class ConstRead:
+    """One register-file read delivering a scalar constant to consumers."""
+
+    slot: int
+    iteration: int
+    consumers: List[int]
+
+
+@dataclass
+class MappedWindow:
+    """Everything the dataflow engine needs to time one window."""
+
+    kernel: Kernel
+    config: MachineConfig
+    params: MachineParams
+    iterations: int
+    instances: List[Instance]
+    const_reads: List[ConstRead]
+    placement: Placement
+    #: total machine instructions (for fetch-bandwidth accounting)
+    machine_instructions: int = 0
+    #: address bases for the L1 paths
+    table_bases: Dict[int, int] = field(default_factory=dict)
+    space_bases: Dict[int, int] = field(default_factory=dict)
+    record_base: int = 0
+    out_base: int = 0
+
+    @property
+    def useful_per_iteration(self) -> int:
+        return self.kernel.useful_ops()
+
+
+def overhead_per_iteration(kernel: Kernel, config: MachineConfig, params: MachineParams) -> int:
+    """Machine instructions added around the kernel body per iteration."""
+    if config.smc_stream:
+        n_loads = math.ceil(kernel.record_in / params.lmw_words)
+    else:
+        n_loads = kernel.record_in
+    return n_loads + kernel.record_out
+
+
+def window_iterations(kernel: Kernel, config: MachineConfig, params: MachineParams) -> int:
+    """How many iterations are concurrently resident for this config."""
+    per_iter = len(kernel.body) + overhead_per_iteration(kernel, config, params)
+    if config.inst_revitalize:
+        return max_unroll(
+            kernel, params,
+            overhead_per_iter=overhead_per_iteration(kernel, config, params),
+        )
+    # Baseline: the hyperblock in-flight window.  The compiler unrolls at
+    # most ``baseline_unroll_cap`` iterations per 128-instruction block and
+    # the processor keeps ``baseline_blocks_in_flight`` blocks in flight.
+    in_flight = params.baseline_blocks_in_flight * params.baseline_block_insts
+    by_capacity = max(1, round(in_flight / per_iter))
+    by_unroll = params.baseline_unroll_cap * params.baseline_blocks_in_flight
+    return max(1, min(by_capacity, by_unroll))
+
+
+# Address-space layout for the L1/baseline paths (word addresses).  Data
+# regions are spaced so streams, tables and textures never alias.
+_TABLE_REGION = 1 << 20
+_SPACE_REGION = 1 << 22
+_RECORD_REGION = 1 << 24
+_OUTPUT_REGION = 1 << 26
+
+
+def map_window(
+    kernel: Kernel,
+    config: MachineConfig,
+    params: MachineParams,
+    iterations: Optional[int] = None,
+    record_offset: int = 0,
+) -> MappedWindow:
+    """Expand and place one window of ``iterations`` kernel iterations.
+
+    ``record_offset`` advances the regular-memory addresses so consecutive
+    windows stream through memory (used to measure warm steady-state
+    windows on the cached paths).
+    """
+    if config.local_pc:
+        raise ValueError("MIMD configurations use repro.machine.mimd_engine")
+    U = iterations if iterations is not None else window_iterations(kernel, config, params)
+    placement = place_iterations(kernel, params, U)
+
+    instances: List[Instance] = []
+    const_reads: List[ConstRead] = []
+    table_bases = {tid: _TABLE_REGION + 4096 * i
+                   for i, tid in enumerate(sorted(kernel.tables))}
+    space_bases = {sid: _SPACE_REGION + (1 << 18) * i
+                   for i, sid in enumerate(sorted(kernel.spaces))}
+    record_base = _RECORD_REGION + record_offset * kernel.record_in
+    out_base = _OUTPUT_REGION + record_offset * kernel.record_out
+
+    # Issue priority: height-from-sink (critical-path first).  Stores and
+    # leaves get low priority; memory feeders get the highest.
+    heights = [1] * len(kernel.body)
+    consumers_map = kernel.consumers()
+    for kinst in reversed(kernel.body):
+        cons = consumers_map[kinst.iid]
+        if cons:
+            heights[kinst.iid] = 1 + max(heights[c] for c, _ in cons)
+    top_priority = -(max(heights, default=1) + 1)
+    lat = params.latencies
+
+    def new_instance(**kw) -> Instance:
+        inst = Instance(uid=len(instances), **kw)
+        instances.append(inst)
+        return inst
+
+    # uid of the compute instance for (iteration, kernel iid)
+    uid_of: Dict[Tuple[int, int], int] = {}
+
+    for u in range(U):
+        # ---- compute instances --------------------------------------------
+        for kinst in kernel.body:
+            node = placement.node_of[(u, kinst.iid)]
+            if kinst.op.name == "LUT":
+                kind = LUT
+                latency = params.l0_data_latency if config.l0_data else 1
+            elif kinst.op.name == "LDI":
+                kind = LDI
+                latency = 1
+            else:
+                kind = COMPUTE
+                latency = lat[kinst.op.opclass]
+            inst = new_instance(
+                kind=kind, node=node, iteration=u, latency=latency,
+                useful=kinst.useful, depth=-heights[kinst.iid],
+                kernel_iid=kinst.iid, row=node // params.cols,
+            )
+            if kind == LUT:
+                inst.address = table_bases[kinst.table]
+            elif kind == LDI:
+                inst.address = space_bases[kinst.space]
+                inst.words = len(kernel.spaces[kinst.space])
+            uid_of[(u, kinst.iid)] = inst.uid
+
+        # ---- regular-memory input instances ---------------------------------
+        in_consumers: Dict[int, List[int]] = {w: [] for w in range(kernel.record_in)}
+        const_consumers: Dict[int, List[int]] = {}
+        for kinst in kernel.body:
+            cuid = uid_of[(u, kinst.iid)]
+            for src in kinst.srcs:
+                if isinstance(src, RecordInput):
+                    in_consumers[src.index].append(cuid)
+                elif isinstance(src, Const):
+                    const_consumers.setdefault(src.slot, []).append(cuid)
+
+        home_row = placement.home_row[u]
+        if config.smc_stream:
+            # One LMW per lmw_words-wide chunk, placed at the row interface.
+            interface_node = home_row * params.cols
+            for chunk in range(math.ceil(kernel.record_in / params.lmw_words)):
+                words = list(range(
+                    chunk * params.lmw_words,
+                    min((chunk + 1) * params.lmw_words, kernel.record_in),
+                ))
+                lmw = new_instance(
+                    kind=LMW, node=interface_node, iteration=u,
+                    row=home_row, words=len(words), depth=top_priority,
+                )
+                lmw.word_consumers = [in_consumers[w] for w in words]
+        else:
+            # Baseline: one L1 load per record word, placed by its first
+            # consumer (or the iteration's first node when unconsumed).
+            fallback = placement.node_of[(u, 0)]
+            for w in range(kernel.record_in):
+                consumers = in_consumers[w]
+                node = (instances[consumers[0]].node if consumers else fallback)
+                load = new_instance(
+                    kind=LOAD, node=node, iteration=u,
+                    row=node // params.cols, depth=top_priority,
+                    address=record_base + u * kernel.record_in + w,
+                )
+                load.consumers = list(consumers)
+
+        # ---- scalar-constant register reads -----------------------------------
+        if not config.operand_revitalize:
+            for slot, consumers in sorted(const_consumers.items()):
+                const_reads.append(ConstRead(slot, u, list(consumers)))
+
+        # ---- store instances ----------------------------------------------------
+        for producer, out_slot in kernel.outputs:
+            puid = uid_of[(u, producer)]
+            node = instances[puid].node
+            store = new_instance(
+                kind=STORE, node=node, iteration=u, operands=1,
+                row=home_row if config.smc_stream else node // params.cols,
+                address=out_base + u * kernel.record_out + out_slot,
+                depth=0,  # stores issue when their value arrives; lowest urgency
+            )
+            instances[puid].consumers.append(store.uid)
+
+    # ---- dataflow edges -------------------------------------------------------
+    for u in range(U):
+        for kinst in kernel.body:
+            cuid = uid_of[(u, kinst.iid)]
+            consumer = instances[cuid]
+            for src in kinst.srcs:
+                if isinstance(src, InstResult):
+                    instances[uid_of[(u, src.producer)]].consumers.append(cuid)
+                    consumer.operands += 1
+                elif isinstance(src, RecordInput):
+                    consumer.operands += 1  # delivered by LMW/LOAD
+                elif isinstance(src, Const):
+                    if not config.operand_revitalize:
+                        consumer.operands += 1  # delivered by register read
+                # Immediates are encoded in the instruction: no operand.
+
+    machine_instructions = len(instances) + len(const_reads)
+    return MappedWindow(
+        kernel=kernel,
+        config=config,
+        params=params,
+        iterations=U,
+        instances=instances,
+        const_reads=const_reads,
+        placement=placement,
+        machine_instructions=machine_instructions,
+        table_bases=table_bases,
+        space_bases=space_bases,
+        record_base=record_base,
+        out_base=out_base,
+    )

@@ -1,0 +1,149 @@
+"""Machine parameters for the grid processor.
+
+Defaults follow Section 5.2 of the paper: an 8×8 mesh-interconnected ALU
+array, 64KB SMC banks (one per row), 2MB of L2, partitioned 64KB L1
+caches, functional-unit and cache latencies configured to match an Alpha
+21264, a 10FO4 clock in 100nm making the hop delay between adjacent ALUs
+half a cycle, and per-node integer ALU + integer multiplier + FPU.
+
+Everything is a knob so the sensitivity/ablation benchmarks can sweep the
+design space (grid size, hop delay, bandwidths, L0 capacity, revitalize
+cost).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa.opcodes import DEFAULT_LATENCY, OpClass
+from ..memory.system import MemoryTimings
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Static microarchitecture parameters (the substrate, not the morph)."""
+
+    # ---- execution array ------------------------------------------------
+    rows: int = 8
+    cols: int = 8
+    #: reservation-station slots per node available to DLP mapping
+    slots_per_node: int = 64
+    #: cycles per network hop (paper: 0.5 at 10FO4/100nm)
+    hop_cycles: float = 0.5
+
+    # ---- instruction supply ----------------------------------------------
+    #: block fetch/map bandwidth, instructions per cycle
+    fetch_bandwidth: int = 20
+    #: maximum instructions per hyperblock on the baseline (ILP) machine
+    baseline_block_insts: int = 128
+    #: in-flight hyperblocks on the baseline (block-level pipelining)
+    baseline_blocks_in_flight: int = 8
+    #: compiler unroll cap: data-parallel iterations per baseline hyperblock
+    baseline_unroll_cap: int = 4
+    #: maximum kernel iterations unrolled spatially in SIMD (S-*) modes
+    simd_max_unroll: int = 128
+    #: global revitalize broadcast + drain delay between SIMD iterations
+    revitalize_delay: int = 6
+    #: words fetched per LMW (load-multiple-word) instruction
+    lmw_words: int = 4
+
+    # ---- register file ------------------------------------------------------
+    #: total architectural register reads per cycle (banked)
+    regfile_read_ports: int = 8
+    regfile_latency: int = 2
+
+    # ---- L0 structures (the per-ALU mechanisms) ------------------------------
+    l0_data_bytes: int = 2048       # paper: "2KB was sufficient"
+    l0_data_latency: int = 1
+    l0_inst_capacity: int = 1024    # instructions per node's L0 I-store
+    l0_entry_bytes: int = 2         # lookup-table entry footprint
+
+    # ---- memory hierarchy ------------------------------------------------------
+    l1_capacity_kb: int = 64
+    l1_banks: int = 8
+    l1_line_words: int = 8
+    l1_assoc: int = 2
+    l1_hit_latency: int = 3
+    l2_latency: int = 12
+    l2_bank_kb: int = 64
+    smc_latency: int = 4
+    smc_dma_words_per_cycle: int = 8
+    channel_words_per_cycle: int = 4
+    store_drain_words_per_cycle: int = 2
+
+    # ---- functional-unit latencies ------------------------------------------
+    latencies: Dict[OpClass, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCY)
+    )
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid must be at least 1x1")
+        if self.lmw_words < 1:
+            raise ValueError("lmw_words must be >= 1")
+
+    # ---- derived quantities ------------------------------------------------
+
+    @property
+    def nodes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def mapping_capacity(self) -> int:
+        """Instruction instances mappable across the array in DLP modes."""
+        return self.nodes * self.slots_per_node
+
+    @property
+    def l0_data_entries(self) -> int:
+        return self.l0_data_bytes // self.l0_entry_bytes
+
+    def latency(self, opclass: OpClass) -> int:
+        return self.latencies[opclass]
+
+    def route_delay(self, hops: int) -> int:
+        """Network delay (whole cycles) for a given hop count."""
+        return int(-(-self.hop_cycles * hops // 1))  # ceil
+
+    def node_distance(self, a: int, b: int) -> int:
+        """Manhattan distance between two node indices (row-major)."""
+        ar, ac = divmod(a, self.cols)
+        br, bc = divmod(b, self.cols)
+        return abs(ar - br) + abs(ac - bc)
+
+    def route_between(self, a: int, b: int) -> int:
+        return self.route_delay(self.node_distance(a, b))
+
+    def route_to_row_edge(self, node: int) -> int:
+        """Delay from a node to its row's memory interface (column 0)."""
+        _, c = divmod(node, self.cols)
+        return self.route_delay(c + 1)
+
+    def route_from_regfile(self, node: int) -> int:
+        """Delay from the register-file banks (top edge) to a node."""
+        r, _ = divmod(node, self.cols)
+        return self.route_delay(r + 1)
+
+    def memory_timings(self) -> MemoryTimings:
+        return MemoryTimings(
+            l1_capacity_kb=self.l1_capacity_kb,
+            l1_banks=self.l1_banks,
+            l1_line_words=self.l1_line_words,
+            l1_assoc=self.l1_assoc,
+            l1_hit_latency=self.l1_hit_latency,
+            l2_latency=self.l2_latency,
+            l2_bank_kb=self.l2_bank_kb,
+            smc_latency=self.smc_latency,
+            smc_dma_words_per_cycle=self.smc_dma_words_per_cycle,
+            channel_words_per_cycle=self.channel_words_per_cycle,
+            store_drain_words_per_cycle=self.store_drain_words_per_cycle,
+        )
+
+    def scaled(self, **overrides) -> "MachineParams":
+        """A copy with the given fields replaced (for sweeps/ablations)."""
+        return dataclasses.replace(self, **overrides)
+
+
+#: The paper's evaluated configuration of the substrate.
+PAPER_BASELINE = MachineParams()

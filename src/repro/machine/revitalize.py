@@ -1,0 +1,83 @@
+"""Instruction & operand revitalization control (mechanism 5 and 3).
+
+Section 4.3 of the paper: "before the start of a kernel, a setup block
+executes a repeat instruction specifying the run-time loop bounds of the
+kernel which is saved to a special hardware count register CTR ...  When
+the iteration completes, the CTR register is decremented.  If the counter
+has not yet reached zero, the block control logic broadcasts a global
+revitalize signal to all the nodes in the execution array — which resets
+the status bits of the instructions in the reservation stations, priming
+them for executing another iteration."
+
+:class:`RevitalizationController` is that state machine.  The processor
+drives it once per executed window; it accounts for the broadcast delay
+and reports how many revitalizations a run needed (the quantity the paper
+amortizes by unrolling).  Operand revitalization is represented by the
+``preserve_operands`` flag: when set, constant operands survive the
+status-bit reset (so the register file is only read on the first
+iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+class RevitalizeStateError(RuntimeError):
+    """The controller was driven out of protocol order."""
+
+
+@dataclass
+class RevitalizationController:
+    """CTR-register sequencing of revitalized windows."""
+
+    broadcast_delay: int
+    preserve_operands: bool = False
+    ctr: int = 0
+    revitalizations: int = 0
+    armed: bool = False
+    #: status bits per reservation station (modelled at window granularity)
+    window_valid: bool = False
+    constants_resident: bool = False
+
+    def repeat(self, bound: int) -> None:
+        """The setup block's ``repeat`` instruction: load CTR."""
+        if bound < 1:
+            raise ValueError(f"repeat bound must be >= 1, got {bound}")
+        self.ctr = bound
+        self.armed = True
+        self.window_valid = True
+        # Mapping a fresh kernel always delivers constants once.
+        self.constants_resident = True
+
+    def iteration_complete(self) -> int:
+        """Block control signals window completion; returns added delay.
+
+        Decrements CTR; if work remains, broadcasts revitalize (costing
+        ``broadcast_delay`` cycles) and re-primes the stations.  Without
+        operand revitalization the constants' status bits are cleared too,
+        so the next window must re-read the register file.
+        """
+        if not self.armed or not self.window_valid:
+            raise RevitalizeStateError(
+                "iteration_complete() before repeat()/mapping"
+            )
+        if self.ctr <= 0:
+            raise RevitalizeStateError("CTR underflow: kernel already done")
+        self.ctr -= 1
+        if self.ctr == 0:
+            self.armed = False
+            return 0
+        self.revitalizations += 1
+        self.constants_resident = self.preserve_operands
+        return self.broadcast_delay
+
+    @property
+    def done(self) -> bool:
+        return not self.armed
+
+    @property
+    def needs_constant_delivery(self) -> bool:
+        """Whether the upcoming window must re-read scalar constants."""
+        return not self.constants_resident

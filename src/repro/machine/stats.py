@@ -1,0 +1,83 @@
+"""Result records produced by the simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class WindowTiming:
+    """Timing of one mapped window (a set of concurrently-mapped iterations)."""
+
+    iterations: int
+    machine_instructions: int
+    cycles: int
+    #: cycle everything issued (before stores finished draining)
+    issue_done_cycle: int = 0
+    store_drain_cycle: int = 0
+    fetch_cycles: int = 0
+    #: resource occupancy / contention summaries for reports
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck(self) -> str:
+        candidates = {
+            "execution": self.issue_done_cycle,
+            "store drain": self.store_drain_cycle,
+            "instruction fetch": self.fetch_cycles,
+        }
+        return max(candidates, key=candidates.get)
+
+
+@dataclass
+class RunResult:
+    """Steady-state simulation result for (kernel, configuration)."""
+
+    kernel: str
+    config: str
+    records: int
+    cycles: int
+    useful_ops: int
+    window: Optional[WindowTiming] = None
+    setup_cycles: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+    #: functional outputs (one record each) when simulated functionally
+    outputs: Optional[list] = None
+
+    @property
+    def ops_per_cycle(self) -> float:
+        """The paper's Table 4 metric: useful computation ops per cycle."""
+        return self.useful_ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def cycles_per_record(self) -> float:
+        return self.cycles / self.records if self.records else 0.0
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """Relative speedup in execution cycles for the same work."""
+        if self.kernel != other.kernel:
+            raise ValueError(
+                f"speedup between different kernels: {self.kernel} vs {other.kernel}"
+            )
+        if self.records != other.records:
+            # Normalize per record when run lengths differ.
+            return (other.cycles_per_record / self.cycles_per_record
+                    if self.cycles_per_record else 0.0)
+        return other.cycles / self.cycles if self.cycles else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RunResult {self.kernel}/{self.config}: {self.records} recs, "
+            f"{self.cycles} cyc, {self.ops_per_cycle:.2f} ops/cyc>"
+        )
+
+
+def harmonic_mean(values) -> float:
+    """Harmonic mean (the paper's aggregate for Figure 5's Flexible bar)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)

@@ -1,0 +1,108 @@
+"""ASCII visualization of the array, placements and window activity.
+
+Debugging/teaching aids standing in for the paper's block diagrams
+(Figures 3 and 4): render the grid's structural configuration, the slot
+occupancy of a placement, and a cycle-bucketed issue timeline of a
+simulated window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .config import MachineConfig
+from .mapping import MappedWindow
+from .params import MachineParams
+from .placement import Placement
+
+
+def render_array(params: MachineParams, config: Optional[MachineConfig] = None) -> str:
+    """Figure 3-style block diagram of the configured substrate."""
+    lines: List[str] = []
+    title = f"{params.rows}x{params.cols} grid processor"
+    if config is not None:
+        title += f" — configuration {config.name} ({config.architecture_model})"
+    lines.append(title)
+    lines.append("")
+    bank = "SMC" if (config and config.smc_stream) else "L2 "
+    for r in range(params.rows):
+        cells = []
+        for c in range(params.cols):
+            tags = "A"  # ALU
+            if config and config.local_pc:
+                tags += "P"  # local PC + L0 I-store
+            if config and config.l0_data:
+                tags += "D"  # L0 data store
+            cells.append(f"[{tags:>3s}]")
+        lines.append(f" {bank}{r} ══▶ " + " ".join(cells))
+    lines.append("")
+    legend = ["A = ALU node (reservation stations, FPU/int units)"]
+    if config and config.local_pc:
+        legend.append("P = local program counter + L0 instruction store")
+    if config and config.l0_data:
+        legend.append("D = software-managed L0 data store")
+    legend.append(
+        f"{bank.strip()}<r> = per-row memory bank feeding its streaming channel"
+    )
+    lines.extend("  " + item for item in legend)
+    return "\n".join(lines)
+
+
+def render_placement(placement: Placement, params: MachineParams) -> str:
+    """Slot occupancy heat map of a placement (one cell per node)."""
+    lines = [f"placement: {placement.iterations} iteration(s), "
+             f"{len(placement.node_of)} instructions"]
+    for r in range(params.rows):
+        cells = []
+        for c in range(params.cols):
+            used = placement.slots_used.get(r * params.cols + c, 0)
+            cells.append(f"{used:3d}")
+        lines.append("  " + " ".join(cells))
+    lines.append(f"  max slots on one node: {placement.max_slot_usage()} "
+                 f"(capacity {params.slots_per_node})")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    trace, params: MachineParams, bucket: int = 8, max_buckets: int = 24
+) -> str:
+    """Issue-activity timeline from a DataflowEngine trace.
+
+    One row per cycle bucket: issues in the bucket and a bar proportional
+    to array utilization (issues / (bucket x nodes)).
+    """
+    if not trace:
+        return "(empty trace)"
+    last = max(entry[0] for entry in trace)
+    n_buckets = min(max_buckets, last // bucket + 1)
+    scale = max(1, (last + 1) // n_buckets)
+    counts: Dict[int, int] = {}
+    for cycle, *_ in trace:
+        counts[cycle // scale] = counts.get(cycle // scale, 0) + 1
+    lines = [f"issue timeline ({len(trace)} issues over {last + 1} cycles, "
+             f"{scale}-cycle buckets)"]
+    peak = scale * params.nodes
+    for b in range(max(counts) + 1):
+        n = counts.get(b, 0)
+        bar = "#" * max(1 if n else 0, round(40 * n / peak))
+        lines.append(f"  {b * scale:6d}+ {n:6d} {bar}")
+    return "\n".join(lines)
+
+
+def render_window_summary(window: MappedWindow) -> str:
+    """Composition of a mapped window by instance kind."""
+    kinds: Dict[str, int] = {}
+    for inst in window.instances:
+        kinds[inst.kind] = kinds.get(inst.kind, 0) + 1
+    lines = [
+        f"window of {window.iterations} x {window.kernel.name}: "
+        f"{window.machine_instructions} machine instructions"
+    ]
+    for kind in sorted(kinds):
+        lines.append(f"  {kind:8s} {kinds[kind]:6d}")
+    if window.const_reads:
+        lines.append(f"  register reads for scalar constants: "
+                     f"{len(window.const_reads)}")
+    else:
+        lines.append("  scalar constants revitalized (no register traffic)")
+    return "\n".join(lines)

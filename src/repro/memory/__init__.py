@@ -1,0 +1,34 @@
+"""Reconfigurable memory hierarchy for the data-parallel substrate.
+
+Implements both memory-system mechanisms of the paper: the software
+managed streamed memory (SMC banks with DMA engines, store-coalescing
+buffers, per-row streaming channels, LMW wide loads) for regular
+accesses, and the hardware-managed banked L1 cache for irregular
+accesses.
+"""
+
+from .mainmem import WORD_BYTES, MainMemory
+from .ports import PortQueue, ThroughputMeter
+from .cache import BankedL1, CacheStats, SetAssocCache
+from .smc import DmaDescriptor, L2Bank, SmcBank
+from .storebuffer import StoreBuffer, StoreBufferStats
+from .channels import StreamChannel
+from .system import MemorySystem, MemoryTimings
+
+__all__ = [
+    "WORD_BYTES",
+    "MainMemory",
+    "PortQueue",
+    "ThroughputMeter",
+    "BankedL1",
+    "CacheStats",
+    "SetAssocCache",
+    "DmaDescriptor",
+    "L2Bank",
+    "SmcBank",
+    "StoreBuffer",
+    "StoreBufferStats",
+    "StreamChannel",
+    "MemorySystem",
+    "MemoryTimings",
+]

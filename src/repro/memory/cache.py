@@ -1,0 +1,158 @@
+"""Set-associative cache model (the hardware-managed L1 path).
+
+The paper's second memory-system mechanism is a conventional cached
+memory subsystem for *irregular* accesses (texture lookups, and — on the
+baseline ILP machine — all accesses).  This module provides a banked,
+set-associative, LRU cache with real tag state, so hit/miss behaviour is
+measured rather than assumed, plus port arbitration for bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .mainmem import WORD_BYTES, MainMemory
+from .ports import PortQueue
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssocCache:
+    """One cache bank: set-associative with true-LRU replacement.
+
+    Addresses are word addresses; ``line_words`` words form a line.  The
+    cache is write-allocate / write-back, which is what the misses vs.
+    writebacks statistics assume.
+    """
+
+    def __init__(
+        self,
+        capacity_kb: int,
+        line_words: int = 8,
+        assoc: int = 2,
+        name: str = "L1",
+    ):
+        line_bytes = line_words * WORD_BYTES
+        total_lines = capacity_kb * 1024 // line_bytes
+        if total_lines % assoc:
+            raise ValueError(
+                f"{capacity_kb}KB / {assoc}-way / {line_bytes}B lines does "
+                "not divide evenly"
+            )
+        self.name = name
+        self.line_words = line_words
+        self.assoc = assoc
+        self.n_sets = total_lines // assoc
+        # sets[set_index] = list of (tag, dirty) in LRU order (front = LRU)
+        self._sets: List[List[Tuple[int, bool]]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_words
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Touch ``address``; returns True on hit.  Updates LRU/dirty state."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        for i, (t, dirty) in enumerate(ways):
+            if t == tag:
+                ways.pop(i)
+                ways.append((tag, dirty or write))
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        if len(ways) >= self.assoc:
+            _, victim_dirty = ways.pop(0)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        ways.append((tag, write))
+        return False
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return any(t == tag for t, _ in self._sets[set_index])
+
+    def flush(self) -> int:
+        """Invalidate everything; returns number of dirty lines written back."""
+        dirty = sum(1 for ways in self._sets for _, d in ways if d)
+        self.stats.writebacks += dirty
+        self._sets = [[] for _ in range(self.n_sets)]
+        return dirty
+
+
+class BankedL1:
+    """The level-1 data cache: several banks, each with its own port.
+
+    The paper's baseline routes *every* operand through shared structures
+    like the L1; its limited bandwidth is one of the two reasons the
+    baseline starves (Section 5.2).  ``timed_access`` combines the
+    functional hit/miss outcome with port arbitration to give a completion
+    cycle.
+    """
+
+    def __init__(
+        self,
+        capacity_kb: int = 64,
+        banks: int = 4,
+        line_words: int = 8,
+        assoc: int = 2,
+        hit_latency: int = 3,
+        l2_latency: int = 12,
+        backing: Optional[MainMemory] = None,
+    ):
+        self.banks = [
+            SetAssocCache(capacity_kb // banks, line_words, assoc, name=f"L1b{i}")
+            for i in range(banks)
+        ]
+        self.ports = [PortQueue(1, name=f"L1p{i}") for i in range(banks)]
+        self.hit_latency = hit_latency
+        self.l2_latency = l2_latency
+        self.line_words = line_words
+        self.backing = backing
+
+    def bank_of(self, address: int) -> int:
+        return (address // self.line_words) % len(self.banks)
+
+    def timed_access(self, address: int, cycle: int, write: bool = False) -> int:
+        """Perform an access arriving at ``cycle``; return data-ready cycle."""
+        bank = self.bank_of(address)
+        grant = self.ports[bank].reserve(cycle)
+        hit = self.banks[bank].access(address, write=write)
+        latency = self.hit_latency + (0 if hit else self.l2_latency)
+        return grant + latency
+
+    def warm(self, addresses) -> None:
+        """Pre-touch addresses (used to model steady-state resident tables)."""
+        for address in addresses:
+            bank = self.bank_of(address)
+            self.banks[bank].access(address)
+
+    @property
+    def stats(self) -> CacheStats:
+        total = CacheStats()
+        for bank in self.banks:
+            total.accesses += bank.stats.accesses
+            total.hits += bank.stats.hits
+            total.misses += bank.stats.misses
+            total.evictions += bank.stats.evictions
+            total.writebacks += bank.stats.writebacks
+        return total
+
+    def reset_timing(self) -> None:
+        for port in self.ports:
+            port.reset()

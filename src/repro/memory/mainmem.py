@@ -1,0 +1,62 @@
+"""Flat word-addressed backing store.
+
+Per the paper's methodology, "the simulations assumed that all data was
+resident in the software managed cache (SMC) or L2 storage for all
+applications" (Section 5.1), so this backing store exists to give the
+caches, SMC DMA engines and functional tests a concrete address space —
+not to model DRAM timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+WORD_BYTES = 8  # records are measured in 64-bit words (paper Table 2)
+
+
+class MainMemory:
+    """Sparse word-addressed memory holding Python numbers.
+
+    Addresses are word indices.  Reads of never-written words return 0,
+    matching zero-initialized simulation memory.
+    """
+
+    def __init__(self):
+        self._words: Dict[int, Number] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, address: int) -> Number:
+        if address < 0:
+            raise IndexError(f"negative address {address}")
+        self.reads += 1
+        return self._words.get(address, 0)
+
+    def write(self, address: int, value: Number) -> None:
+        if address < 0:
+            raise IndexError(f"negative address {address}")
+        self.writes += 1
+        self._words[address] = value
+
+    def read_block(self, address: int, count: int) -> List[Number]:
+        return [self.read(address + i) for i in range(count)]
+
+    def write_block(self, address: int, values: Sequence[Number]) -> None:
+        for offset, value in enumerate(values):
+            self.write(address + offset, value)
+
+    def load_segments(self, segments: Iterable[Sequence[Number]], base: int = 0) -> List[int]:
+        """Place several arrays back to back; return their base addresses."""
+        bases: List[int] = []
+        cursor = base
+        for segment in segments:
+            bases.append(cursor)
+            self.write_block(cursor, segment)
+            cursor += len(segment)
+        return bases
+
+    @property
+    def footprint_words(self) -> int:
+        return len(self._words)

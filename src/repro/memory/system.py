@@ -1,0 +1,163 @@
+"""Composed memory system for the grid processor.
+
+One :class:`MemorySystem` owns the full hierarchy of Figure 4a: the
+backing store, a banked L1, one L2 bank per ALU row (each reconfigurable
+to SMC mode), per-row store buffers and per-row streaming channels.  The
+machine simulator asks it timing questions ("a regular record read for
+row 3 arrives at cycle 12 — when is each word at the row edge?") and the
+test suite asks it functional questions (DMA copies, cache contents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .cache import BankedL1
+from .channels import StreamChannel
+from .mainmem import MainMemory
+from .smc import DmaDescriptor, L2Bank, SmcBank
+from .storebuffer import StoreBuffer
+
+
+@dataclass(frozen=True)
+class MemoryTimings:
+    """Latency/bandwidth parameters of the hierarchy (cycles / words)."""
+
+    l1_capacity_kb: int = 64
+    l1_banks: int = 4
+    l1_line_words: int = 8
+    l1_assoc: int = 2
+    l1_hit_latency: int = 3
+    l2_latency: int = 12
+    l2_bank_kb: int = 64
+    smc_latency: int = 4
+    smc_dma_words_per_cycle: int = 8
+    channel_words_per_cycle: int = 4
+    store_drain_words_per_cycle: int = 2
+
+
+class MemorySystem:
+    """The reconfigurable memory hierarchy for an R-row grid."""
+
+    def __init__(self, rows: int = 8, timings: Optional[MemoryTimings] = None):
+        self.rows = rows
+        self.timings = timings or MemoryTimings()
+        t = self.timings
+        self.memory = MainMemory()
+        self.l1 = BankedL1(
+            capacity_kb=t.l1_capacity_kb,
+            banks=t.l1_banks,
+            line_words=t.l1_line_words,
+            assoc=t.l1_assoc,
+            hit_latency=t.l1_hit_latency,
+            l2_latency=t.l2_latency,
+            backing=self.memory,
+        )
+        self.l2_banks = [
+            L2Bank(t.l2_bank_kb, name=f"l2r{r}", dma_words_per_cycle=t.smc_dma_words_per_cycle)
+            for r in range(rows)
+        ]
+        self.channels = [
+            StreamChannel(t.channel_words_per_cycle, name=f"chan{r}")
+            for r in range(rows)
+        ]
+        self.store_buffers = [
+            StoreBuffer(
+                line_words=t.l1_line_words,
+                drain_words_per_cycle=t.store_drain_words_per_cycle,
+                name=f"stbuf{r}",
+            )
+            for r in range(rows)
+        ]
+
+    # ---- configuration -------------------------------------------------------
+
+    def configure_smc(self, enabled: bool) -> None:
+        """Morph every row's L2 bank into (or out of) software-managed mode."""
+        for bank in self.l2_banks:
+            bank.configure(L2Bank.SMC if enabled else L2Bank.HARDWARE)
+
+    @property
+    def smc_enabled(self) -> bool:
+        return all(bank.is_smc for bank in self.l2_banks)
+
+    def smc_bank(self, row: int) -> SmcBank:
+        bank = self.l2_banks[row].smc
+        if bank is None:
+            raise RuntimeError(f"row {row} L2 bank is not in SMC mode")
+        return bank
+
+    # ---- timing interface used by the grid simulator --------------------------
+
+    def lmw_deliver(
+        self, row: int, request_cycle: int, words: int, scattered: bool = False
+    ) -> List[int]:
+        """Time one LMW: SMC port grant + latency, then channel delivery.
+
+        Returns the cycle each word reaches the row edge (consumer nodes
+        add their own routing hops on top).
+
+        ``scattered=True`` models MIMD-style requests arriving from
+        individual ALUs: without a block-synchronized schedule the bank
+        cannot burst a whole record per port grant, so each word pays its
+        own port slot — the paper's "multi-word load ... placed near the
+        memory interface, to behave like a vector fetch unit" advantage of
+        the SIMD configurations, inverted.
+        """
+        bank = self.smc_bank(row)
+        if scattered:
+            cycles = []
+            for _ in range(words):
+                grant = bank.port.reserve(request_cycle)
+                ready = grant + self.timings.smc_latency
+                cycles.extend(self.channels[row].deliver(ready, 1))
+            return cycles
+        grant = bank.port.reserve(request_cycle)
+        ready = grant + self.timings.smc_latency
+        return self.channels[row].deliver(ready, words)
+
+    def smc_store(self, row: int, address: int, cycle: int) -> float:
+        """Time one word store through the row's store buffer."""
+        return self.store_buffers[row].push(address, cycle)
+
+    def l1_access(self, address: int, cycle: int, write: bool = False) -> int:
+        """Time one access through the hardware-cached L1 path."""
+        return self.l1.timed_access(address, cycle, write=write)
+
+    def row_store_drain_cycle(self, row: int) -> int:
+        return self.store_buffers[row].drain_complete_cycle()
+
+    def reset_timing(self) -> None:
+        """Clear all timing state (ports, buffers) but keep functional state."""
+        self.l1.reset_timing()
+        for channel in self.channels:
+            channel.reset()
+        for buf in self.store_buffers:
+            buf.reset()
+        for bank in self.l2_banks:
+            if bank.smc is not None:
+                bank.smc.reset_timing()
+
+    # ---- functional helpers ----------------------------------------------------
+
+    def stage_records(
+        self, row: int, records: Sequence[Sequence], base: int = 0
+    ) -> int:
+        """Functionally stage input records into a row's SMC bank.
+
+        Returns the SMC offset after the staged data (useful for staging
+        output space behind it).  This mirrors what the DMA engine does
+        during double-buffered streaming.
+        """
+        bank = self.smc_bank(row)
+        cursor = base
+        for record in records:
+            for word in record:
+                bank.write(cursor, word)
+                cursor += 1
+        return cursor
+
+    def dma_fill(self, row: int, descriptor: DmaDescriptor, start_cycle: int = 0) -> int:
+        """Run a DMA descriptor on a row's SMC bank against main memory."""
+        return self.smc_bank(row).run_dma(descriptor, self.memory, start_cycle)

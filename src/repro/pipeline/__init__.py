@@ -1,0 +1,5 @@
+"""Partitioned multi-kernel pipelines on one array (Section 4.3)."""
+
+from .partition import PipelinedArray, PipelineResult, Stage, StageResult
+
+__all__ = ["PipelinedArray", "PipelineResult", "Stage", "StageResult"]

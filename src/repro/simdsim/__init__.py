@@ -1,0 +1,5 @@
+"""Measured classic lock-step SIMD array comparator (Section 3)."""
+
+from .machine import SimdArray, SimdParams
+
+__all__ = ["SimdArray", "SimdParams"]

@@ -1,0 +1,99 @@
+"""A classic lock-step SIMD array, simulated (Section 3's second model).
+
+A CM-2/MasPar-style machine: a global control unit broadcasting one
+instruction per cycle to an array of PEs with private memories and
+nearest-neighbor links.  Kernels map one record per PE; every PE executes
+every instruction in lock step (conditionals and data-dependent loops are
+nullified per-PE with activity masks — full worst-case issue).  Indexed
+and irregular accesses serialize at the array edge: classic SIMD arrays
+had no per-PE gather path, which Section 3 calls "a more severe
+limitation for the early SIMD machines".
+
+Together with :mod:`repro.vectorsim` (vector) and the grid's M morphs
+(fine-grain MIMD) this completes a *measured* version of Figure 2's
+architecture trio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..isa.kernel import Kernel
+from ..isa.opcodes import OpClass
+from ..machine.stats import RunResult
+
+
+@dataclass(frozen=True)
+class SimdParams:
+    """A classic fine-grain SIMD array."""
+
+    pes: int = 64                  # processing elements
+    broadcast_overhead: int = 1    # control-unit decode+broadcast per inst
+    #: cycles per op class on the (simple) PE datapath
+    op_cycles: Dict[OpClass, int] = field(default_factory=lambda: {
+        OpClass.INT_ALU: 1, OpClass.INT_MUL: 4, OpClass.FP_ADD: 2,
+        OpClass.FP_MUL: 3, OpClass.FP_DIV: 12, OpClass.FP_SPECIAL: 12,
+        OpClass.MEM_LOAD: 2, OpClass.MEM_STORE: 2, OpClass.LUT: 2,
+        OpClass.MOVE: 1, OpClass.CONTROL: 1,
+    })
+    #: words/cycle loaded into the PE private memories (front-end staging)
+    stage_bandwidth: int = 16
+    #: serialized per-element cost of an edge gather (indexed/irregular)
+    gather_cost: int = 2
+
+
+class SimdArray:
+    """Times a kernel's record stream on the lock-step array."""
+
+    def __init__(self, params: Optional[SimdParams] = None):
+        self.params = params or SimdParams()
+
+    def wave_cycles(self, kernel: Kernel) -> int:
+        """Cycles for one wave of ``pes`` records, one record per PE.
+
+        Lock step: the control unit steps through every instruction of
+        the (fully-unrolled) kernel; each step costs broadcast overhead
+        plus the op's datapath time.  Gather steps additionally serialize
+        across the whole array.  Staging the wave's records into/out of
+        the private memories overlaps with the previous wave but bounds
+        throughput.
+        """
+        p = self.params
+        compute = 0
+        for inst in kernel.body:
+            compute += p.broadcast_overhead
+            if inst.op.name in ("LUT", "LDI"):
+                # Every active PE's element serializes at the array edge.
+                compute += p.pes * p.gather_cost
+            else:
+                compute += p.op_cycles[inst.op.opclass] - 1 \
+                    if p.op_cycles[inst.op.opclass] > 1 else 0
+        staging = math.ceil(
+            p.pes * (kernel.record_in + kernel.record_out)
+            / p.stage_bandwidth
+        )
+        return max(compute, staging)
+
+    def run(self, kernel: Kernel, records: Sequence[Sequence]) -> RunResult:
+        """Simulate the stream in waves of ``pes`` records."""
+        p = self.params
+        n = len(records)
+        if n == 0:
+            raise ValueError("cannot simulate an empty record stream")
+        waves = math.ceil(n / p.pes)
+        cycles = waves * self.wave_cycles(kernel)
+        useful = (
+            sum(kernel.useful_ops_live(kernel.trip_count(r)) for r in records)
+            if kernel.loop.variable else kernel.useful_ops() * n
+        )
+        return RunResult(
+            kernel=kernel.name,
+            config="simd-array",
+            records=n,
+            cycles=int(cycles),
+            useful_ops=useful,
+            detail={"wave_cycles": float(self.wave_cycles(kernel)),
+                    "waves": float(waves)},
+        )

@@ -1,0 +1,5 @@
+"""Stream-programming layer over the software-managed cache (SRF-style)."""
+
+from .driver import StreamDriver, StreamRunResult
+
+__all__ = ["StreamDriver", "StreamRunResult"]

@@ -1,0 +1,6 @@
+"""The universal mechanisms ported to a conventional superscalar core
+(Section 4.5's applicability claim, as a runnable model)."""
+
+from .core import SuperscalarConfig, SuperscalarCore, SuperscalarParams
+
+__all__ = ["SuperscalarConfig", "SuperscalarCore", "SuperscalarParams"]

@@ -1,0 +1,5 @@
+"""Measured classic vector-machine comparator (Section 3)."""
+
+from .machine import VectorMachine, VectorParams
+
+__all__ = ["VectorMachine", "VectorParams"]

@@ -1,0 +1,136 @@
+"""A classic vector machine, simulated (Section 3's first comparator).
+
+A Cray-style register vector architecture: a vector register file staged
+between memory and deeply-pipelined lanes, strip-mined execution, a
+scalar unit for constants, optional chaining, and a serializing
+gather/scatter unit for indexed and irregular accesses.  Kernels map
+directly: each dataflow instruction becomes one vector instruction over
+a strip of records; data-dependent loops execute under vector masks
+(full worst-case work, as Section 2.1.2 describes).
+
+This is a measured comparator — it schedules real vector instructions
+with real dependence/chaining timing — at the architecture level the
+paper's Section 3 discusses, complementing the first-order analytic
+models in :mod:`repro.compare.classic`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..isa.instruction import Const, Immediate, InstResult, RecordInput
+from ..isa.kernel import Kernel
+from ..isa.opcodes import OpClass
+from ..machine.stats import RunResult
+
+
+@dataclass(frozen=True)
+class VectorParams:
+    """A competent early-2000s vector core."""
+
+    vector_length: int = 64       # elements per vector register / strip
+    lanes: int = 16               # parallel pipelines
+    chaining: bool = True         # forward results element-by-element
+    startup: int = 4              # per-vector-instruction issue/decode
+    #: words/cycle between memory and the VRF (unit-stride streams)
+    stream_bandwidth: int = 16
+    #: serialized element cost for gathers (indexed/irregular accesses)
+    gather_cost: int = 4
+    #: functional-unit depth by class (pipeline fill latency)
+    depths: Dict[OpClass, int] = field(default_factory=lambda: {
+        OpClass.INT_ALU: 2, OpClass.INT_MUL: 6, OpClass.FP_ADD: 6,
+        OpClass.FP_MUL: 7, OpClass.FP_DIV: 20, OpClass.FP_SPECIAL: 20,
+        OpClass.MEM_LOAD: 0, OpClass.MEM_STORE: 0, OpClass.LUT: 0,
+        OpClass.MOVE: 1, OpClass.CONTROL: 1,
+    })
+
+
+class VectorMachine:
+    """Times a kernel's record stream on the vector model."""
+
+    def __init__(self, params: Optional[VectorParams] = None):
+        self.params = params or VectorParams()
+
+    def strip_cycles(self, kernel: Kernel) -> int:
+        """Cycles to process one strip of ``vector_length`` records.
+
+        Schedules one vector instruction per kernel instruction in
+        topological order.  With chaining, a consumer starts
+        ``depth + 1`` cycles after its producer started (element-wise
+        forwarding); without, it waits for the producer's last element.
+        Gathers (LUT/LDI) serialize through the gather unit.  Record
+        loads/stores stream at ``stream_bandwidth`` overlapped with
+        compute (the VRF's whole point), but bound the strip time.
+        """
+        p = self.params
+        vl = p.vector_length
+        element_time = math.ceil(vl / p.lanes)
+
+        # Vector-unit availability and per-value completion times.
+        ready_at: List[int] = [0] * len(kernel.body)
+        start_at: List[int] = [0] * len(kernel.body)
+        unit_free = 0          # single vector issue pipe (classic design)
+        gather_free = 0
+
+        for inst in kernel.body:
+            operands_start = 0
+            operands_done = 0
+            for src in inst.srcs:
+                if isinstance(src, InstResult):
+                    operands_start = max(
+                        operands_start, start_at[src.producer]
+                        + p.depths[kernel.body[src.producer].op.opclass] + 1,
+                    )
+                    operands_done = max(operands_done, ready_at[src.producer])
+                # Record inputs stream from the VRF (pre-loaded);
+                # constants come from the scalar unit: both free here.
+            earliest = operands_start if p.chaining else operands_done
+
+            if inst.op.name in ("LUT", "LDI"):
+                begin = max(earliest, gather_free)
+                duration = vl * p.gather_cost
+                gather_free = begin + duration
+                start_at[inst.iid] = begin
+                ready_at[inst.iid] = begin + duration
+                continue
+
+            begin = max(earliest, unit_free)
+            depth = p.depths[inst.op.opclass]
+            start_at[inst.iid] = begin + p.startup
+            ready_at[inst.iid] = begin + p.startup + depth + element_time
+            # The issue pipe frees once the instruction's elements are
+            # flowing (fully pipelined units).
+            unit_free = begin + p.startup + element_time
+
+        compute = max(ready_at, default=0)
+        stream = math.ceil(
+            vl * (kernel.record_in + kernel.record_out) / p.stream_bandwidth
+        )
+        return max(compute, stream)
+
+    def run(self, kernel: Kernel, records: Sequence[Sequence]) -> RunResult:
+        p = self.params
+        n = len(records)
+        if n == 0:
+            raise ValueError("cannot simulate an empty record stream")
+        strips = math.ceil(n / p.vector_length)
+        per_strip = self.strip_cycles(kernel)
+        cycles = strips * per_strip
+
+        useful = (
+            sum(kernel.useful_ops_live(kernel.trip_count(r)) for r in records)
+            if kernel.loop.variable else kernel.useful_ops() * n
+        )
+        return RunResult(
+            kernel=kernel.name,
+            config="vector" + ("" if p.chaining else "-nochain"),
+            records=n,
+            cycles=int(cycles),
+            useful_ops=useful,
+            detail={
+                "strip_cycles": float(per_strip),
+                "strips": float(strips),
+            },
+        )

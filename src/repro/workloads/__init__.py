@@ -1,0 +1,39 @@
+"""Seeded synthetic workload generators for the benchmark suite.
+
+The paper's experiments run each kernel over streams of records drawn
+from its domain (image blocks, 1500-byte packets, matrix rows, vertex and
+fragment streams).  These generators produce deterministic, seeded
+equivalents with the shapes the paper states, so every experiment is
+reproducible bit for bit.
+"""
+
+from .images import image_blocks_8x8, neighborhood_records, rgb_pixels
+from .matrices import butterfly_records, fft_input, lu_matrix, lu_update_records
+from .packets import md5_block_records, packet_block_records, packet_stream
+from .graphics import (
+    fragment_records,
+    reflection_fragment_records,
+    reflection_vertex_records,
+    skinning_records,
+    vertex_records,
+    anisotropic_records,
+)
+
+__all__ = [
+    "rgb_pixels",
+    "image_blocks_8x8",
+    "neighborhood_records",
+    "fft_input",
+    "butterfly_records",
+    "lu_matrix",
+    "lu_update_records",
+    "packet_stream",
+    "packet_block_records",
+    "md5_block_records",
+    "vertex_records",
+    "fragment_records",
+    "reflection_vertex_records",
+    "reflection_fragment_records",
+    "skinning_records",
+    "anisotropic_records",
+]

@@ -1,0 +1,136 @@
+"""Real-time graphics workloads: vertex and fragment streams.
+
+Record shapes follow Table 2:
+
+* vertex-simple: 7 words in (position xyz, normal xyz, vertex shade)
+* fragment-simple: 8 in (position xyz, normal xyz, texture uv)
+* vertex-reflection: 9 in (position xyz, normal xyz, eye xyz)
+* fragment-reflection: 5 in (reflection xyz, uv)
+* vertex-skinning: 16 in (position xyz, normal xyz, 4 matrix indices,
+  4 blend weights, bone count, pad) — the bone count is the
+  data-dependent loop bound
+* anisotropic-filter: 9 in (uv, du/dx, dv/dx, du/dy, dv/dy, tap count,
+  lod, pad)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def _unit(rng: random.Random) -> List[float]:
+    while True:
+        v = [rng.uniform(-1.0, 1.0) for _ in range(3)]
+        norm = sum(c * c for c in v) ** 0.5
+        if norm > 1e-3:
+            return [c / norm for c in v]
+
+
+def vertex_records(count: int, seed: int = 29) -> List[List[float]]:
+    """Vertex records: position, normal, per-vertex shade (7 words)."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        pos = [rng.uniform(-10.0, 10.0) for _ in range(3)]
+        normal = _unit(rng)
+        shade = rng.uniform(0.0, 1.0)
+        records.append(pos + normal + [shade])
+    return records
+
+
+def fragment_records(count: int, seed: int = 31) -> List[List[float]]:
+    """Fragment records: position, normal, uv (8 words)."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        pos = [rng.uniform(-10.0, 10.0) for _ in range(3)]
+        normal = _unit(rng)
+        uv = [rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)]
+        records.append(pos + normal + uv)
+    return records
+
+
+def reflection_vertex_records(count: int, seed: int = 37) -> List[List[float]]:
+    """Reflective-surface vertex records (9 words)."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        pos = [rng.uniform(-10.0, 10.0) for _ in range(3)]
+        normal = _unit(rng)
+        eye = _unit(rng)
+        records.append(pos + normal + eye)
+    return records
+
+
+def reflection_fragment_records(count: int, seed: int = 41) -> List[List[float]]:
+    """Reflection fragment records: reflection vector + uv (5 words)."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        refl = _unit(rng)
+        uv = [rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)]
+        records.append(refl + uv)
+    return records
+
+
+#: the skinning palette holds 24 matrices of 12 entries = 288 indexed
+#: constants (Table 2)
+SKINNING_PALETTE_MATRICES = 24
+SKINNING_MAX_BONES = 4
+
+
+def skinning_records(
+    count: int, seed: int = 43, max_bones: int = SKINNING_MAX_BONES
+) -> List[List[float]]:
+    """Vertex-skinning records; bone counts vary per vertex (1..max).
+
+    The distribution skews toward 2 bones (typical character meshes), so
+    MIMD execution skips roughly half of the worst-case work — the
+    paper's data-dependent-branching argument.
+    """
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        pos = [rng.uniform(-10.0, 10.0) for _ in range(3)]
+        normal = _unit(rng)
+        bones = rng.choices(
+            range(1, max_bones + 1), weights=[2, 4, 2, 1][:max_bones]
+        )[0]
+        indices = [
+            float(rng.randrange(SKINNING_PALETTE_MATRICES))
+            for _ in range(max_bones)
+        ]
+        raw = sorted(rng.uniform(0.1, 1.0) for _ in range(bones))
+        weights = [0.0] * max_bones
+        total = sum(raw)
+        for b in range(bones):
+            weights[b] = raw[b] / total
+        records.append(
+            pos + normal + indices + weights + [float(bones), 0.0]
+        )
+    return records
+
+
+ANISO_MAX_TAPS = 16
+
+
+def anisotropic_records(
+    count: int, seed: int = 47, max_taps: int = ANISO_MAX_TAPS
+) -> List[List[float]]:
+    """Anisotropic-filter records; tap counts vary with the footprint."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(count):
+        uv = [rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)]
+        dx = [rng.uniform(-0.05, 0.05) for _ in range(2)]
+        dy = [rng.uniform(-0.05, 0.05) for _ in range(2)]
+        anisotropy = max(
+            1e-6,
+            (dx[0] ** 2 + dx[1] ** 2) ** 0.5,
+        ) / max(1e-6, (dy[0] ** 2 + dy[1] ** 2) ** 0.5)
+        ratio = max(anisotropy, 1.0 / anisotropy)
+        taps = max(1, min(max_taps, int(round(ratio * 2))))
+        lod = rng.uniform(0.0, 4.0)
+        records.append(uv + dx + dy + [float(taps), lod, 0.0])
+    return records

@@ -1,0 +1,68 @@
+"""Image-domain workloads (multimedia kernels).
+
+Records follow Table 2: ``convert`` reads 3 words (R, G, B) per pixel;
+``highpassfilter`` reads a 3x3 neighborhood (9 words); ``dct`` reads a
+full 8x8 block (64 words).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def rgb_pixels(count: int, seed: int = 7) -> List[List[float]]:
+    """``count`` RGB pixel records (components in 0..255)."""
+    rng = random.Random(seed)
+    return [
+        [float(rng.randrange(256)) for _ in range(3)] for _ in range(count)
+    ]
+
+
+def _image(width: int, height: int, seed: int) -> List[List[float]]:
+    rng = random.Random(seed)
+    # A smooth-ish field (sums of low-frequency terms plus noise) so the
+    # filters and DCT see realistic spectra rather than white noise.
+    import math
+
+    image = []
+    fx = rng.uniform(0.05, 0.2)
+    fy = rng.uniform(0.05, 0.2)
+    for y in range(height):
+        row = []
+        for x in range(width):
+            value = (
+                128.0
+                + 80.0 * math.sin(fx * x) * math.cos(fy * y)
+                + rng.uniform(-16.0, 16.0)
+            )
+            row.append(max(0.0, min(255.0, value)))
+        image.append(row)
+    return image
+
+
+def neighborhood_records(count: int, seed: int = 11) -> List[List[float]]:
+    """``count`` 3x3 neighborhoods (9 words each) from a synthetic image."""
+    side = max(8, int(count ** 0.5) + 3)
+    image = _image(side, side, seed)
+    records = []
+    rng = random.Random(seed + 1)
+    for _ in range(count):
+        x = rng.randrange(1, side - 1)
+        y = rng.randrange(1, side - 1)
+        records.append(
+            [image[y + dy][x + dx] for dy in (-1, 0, 1) for dx in (-1, 0, 1)]
+        )
+    return records
+
+
+def image_blocks_8x8(count: int, seed: int = 13) -> List[List[float]]:
+    """``count`` 8x8 image blocks (64 words each, row-major)."""
+    image = _image(8 * count, 8, seed)
+    records = []
+    for b in range(count):
+        block = []
+        for y in range(8):
+            block.extend(image[y][8 * b : 8 * b + 8])
+        records.append(block)
+    return records

@@ -1,0 +1,91 @@
+"""Network/security workloads: 1500-byte packets and their block streams.
+
+The paper processes "1500 byte packets" (Table 1).  A packet is chopped
+into the block sizes the ciphers/digests consume: 64-bit blocks for
+Blowfish, 128-bit blocks for Rijndael, 512-bit blocks for MD5.  Records
+carry the blocks packed into 64-bit words, matching Table 2's record
+sizes (blowfish 1/1, rijndael 2/2, md5 10/2 — message block plus chaining
+state).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+PACKET_BYTES = 1500
+
+
+def packet_stream(count: int, seed: int = 23) -> List[bytes]:
+    """``count`` random 1500-byte packets."""
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(PACKET_BYTES)) for _ in range(count)]
+
+
+def _pad_to(data: bytes, multiple: int) -> bytes:
+    if len(data) % multiple:
+        data += b"\x00" * (multiple - len(data) % multiple)
+    return data
+
+
+def _words_be(data: bytes) -> List[int]:
+    """Pack bytes into big-endian 64-bit words."""
+    return [
+        int.from_bytes(data[i : i + 8], "big") for i in range(0, len(data), 8)
+    ]
+
+
+def packet_block_records(
+    packets: List[bytes], block_bytes: int, limit: int = 0
+) -> List[List[int]]:
+    """Chop packets into cipher blocks packed as 64-bit-word records.
+
+    ``block_bytes`` is 8 for Blowfish (1-word records) and 16 for
+    Rijndael (2-word records).  ``limit`` truncates the stream (0 = all).
+    """
+    if block_bytes % 8:
+        raise ValueError("block size must be a whole number of 64-bit words")
+    records: List[List[int]] = []
+    for packet in packets:
+        data = _pad_to(packet, block_bytes)
+        for i in range(0, len(data), block_bytes):
+            records.append(_words_be(data[i : i + block_bytes]))
+            if limit and len(records) >= limit:
+                return records
+    return records
+
+
+#: MD5's standard initial chaining state (A, B, C, D), packed two 32-bit
+#: halves per record word: word = (first << 32) | second.
+MD5_IV_WORDS = [
+    (0x67452301 << 32) | 0xEFCDAB89,
+    (0x98BADCFE << 32) | 0x10325476,
+]
+
+
+def md5_block_records(
+    packets: List[bytes], limit: int = 0, iv: List[int] = None
+) -> List[List[int]]:
+    """512-bit MD5 message blocks with chaining state: 10-word records.
+
+    Record layout: 8 words of message (each packing two little-endian
+    32-bit message words, first in the high half) followed by 2 words of
+    chaining state.  Each record is independent (the data-parallel
+    formulation digests blocks from many packets concurrently, as in
+    per-packet checksums).
+    """
+    state = iv or MD5_IV_WORDS
+    records: List[List[int]] = []
+    for packet in packets:
+        data = _pad_to(packet, 64)
+        for i in range(0, len(data), 64):
+            chunk = data[i : i + 64]
+            message_words = []
+            for j in range(0, 64, 8):
+                lo = int.from_bytes(chunk[j : j + 4], "little")
+                hi = int.from_bytes(chunk[j + 4 : j + 8], "little")
+                message_words.append((lo << 32) | hi)
+            records.append(message_words + list(state))
+            if limit and len(records) >= limit:
+                return records
+    return records

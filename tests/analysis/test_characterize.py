@@ -1,0 +1,90 @@
+"""Table 2 characterization: measured attributes track the paper's."""
+
+import pytest
+
+from repro.analysis import characterize, iteration_ilp
+from repro.isa.kernel import ControlClass
+from repro.kernels import all_specs, spec
+
+
+class TestExactMatches:
+    """Attributes that must match the paper exactly."""
+
+    @pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+    def test_record_sizes(self, s):
+        attrs = characterize(s.kernel())
+        assert attrs.record_read == s.paper.record_read
+        assert attrs.record_write == s.paper.record_write
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("convert", 15), ("highpassfilter", 17), ("fft", 10), ("lu", 2)],
+    )
+    def test_small_kernel_instruction_counts(self, name, expected):
+        assert characterize(spec(name).kernel()).instructions == expected
+
+    @pytest.mark.parametrize(
+        "name,bound",
+        [("dct", "16"), ("blowfish", "16"), ("rijndael", "10"),
+         ("vertex-skinning", "Variable"), ("anisotropic-filter", "Variable"),
+         ("convert", None)],
+    )
+    def test_loop_bounds(self, name, bound):
+        assert characterize(spec(name).kernel()).loop_bound == bound
+
+    @pytest.mark.parametrize(
+        "name,irregular", [("fragment-simple", 4), ("fragment-reflection", 4)]
+    )
+    def test_irregular_access_counts(self, name, irregular):
+        assert characterize(spec(name).kernel()).irregular == irregular
+
+    def test_rijndael_indexed_constants(self):
+        assert characterize(spec("rijndael").kernel()).indexed_constants == 1024
+
+    def test_skinning_indexed_constants(self):
+        assert characterize(
+            spec("vertex-skinning").kernel()
+        ).indexed_constants == 288
+
+
+class TestCloseMatches:
+    """Attributes expected within a factor of the paper (generated code)."""
+
+    @pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+    def test_instruction_count_within_2x(self, s):
+        attrs = characterize(s.kernel())
+        ratio = attrs.instructions / s.paper.instructions
+        assert 0.4 <= ratio <= 3.2, (attrs.instructions, s.paper.instructions)
+
+    @pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+    def test_ilp_same_regime(self, s):
+        """Serial kernels stay serial (<3), parallel stay parallel (>2)."""
+        attrs = characterize(s.kernel())
+        if s.paper.ilp < 2.0:
+            assert attrs.ilp < 3.0
+        if s.paper.ilp > 4.0:
+            assert attrs.ilp > 2.0
+
+
+class TestIlpConventions:
+    def test_static_loop_uses_per_trip_subgraph(self):
+        dct = spec("dct").kernel()
+        assert iteration_ilp(dct) < dct.inherent_ilp()
+
+    def test_straightline_uses_whole_graph(self):
+        fft = spec("fft").kernel()
+        assert iteration_ilp(fft) == pytest.approx(fft.inherent_ilp())
+
+    def test_control_class_reported(self):
+        assert characterize(spec("md5").kernel()).control is ControlClass.SEQUENTIAL
+        assert (characterize(spec("vertex-skinning").kernel()).control
+                is ControlClass.RUNTIME_LOOP)
+
+    def test_lut_access_frequency_measured(self):
+        assert characterize(spec("blowfish").kernel()).lut_accesses == 64
+        assert characterize(spec("rijndael").kernel()).lut_accesses == 160
+
+    def test_as_row_formats_dashes(self):
+        row = characterize(spec("fft").kernel()).as_row()
+        assert row[0] == "fft"
+        assert "-" in row  # no constants / tables / loops

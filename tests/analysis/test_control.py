@@ -1,0 +1,45 @@
+"""Figure 1 control-behaviour profiling."""
+
+import pytest
+
+from repro.analysis import control_profile, trip_histogram
+from repro.isa.kernel import ControlClass
+from repro.kernels import spec
+
+
+class TestClassification:
+    def test_straightline_kernels_prefer_simd(self):
+        profile = control_profile(spec("convert").kernel())
+        assert profile.control is ControlClass.SEQUENTIAL
+        assert profile.preferred_model == "vector/SIMD"
+        assert profile.nullification_waste == 0.0
+
+    def test_static_loops_still_prefer_simd(self):
+        profile = control_profile(spec("blowfish").kernel())
+        assert profile.control is ControlClass.STATIC_LOOP
+        assert profile.static_trips == 16
+
+    def test_variable_loops_prefer_mimd(self):
+        s = spec("vertex-skinning")
+        profile = control_profile(s.kernel(), s.workload(128))
+        assert profile.control is ControlClass.RUNTIME_LOOP
+        assert profile.preferred_model == "fine-grain MIMD"
+        assert 0.1 < profile.nullification_waste < 0.9
+
+    def test_variable_loop_without_records_raises(self):
+        with pytest.raises(ValueError, match="pass records"):
+            control_profile(spec("vertex-skinning").kernel())
+
+
+class TestTripHistogram:
+    def test_histogram_counts_sum_to_records(self):
+        s = spec("anisotropic-filter")
+        records = s.workload(100)
+        hist = trip_histogram(s.kernel(), records)
+        assert sum(hist.values()) == 100
+        assert all(1 <= t <= 16 for t in hist)
+
+    def test_static_kernel_histogram_is_single_bucket(self):
+        s = spec("dct")
+        hist = trip_histogram(s.kernel(), s.workload(5))
+        assert hist == {16: 5}

@@ -1,0 +1,85 @@
+"""Energy model: the mechanisms' power story, quantified."""
+
+import pytest
+
+from repro.analysis import EnergyConstants, estimate_energy
+from repro.kernels import spec
+from repro.machine import GridProcessor, MachineConfig
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Blowfish and convert runs across the interesting configurations."""
+    processor = GridProcessor()
+    out = {}
+    for name in ("blowfish", "convert"):
+        s = spec(name)
+        # Long enough for the one-time mapping of the revitalized
+        # configurations to amortize (the regime the mechanism targets).
+        records = s.workload(1024)
+        kernel = s.kernel()
+        out[name] = {
+            cfg.name: (kernel, processor.run(kernel, records, cfg), cfg)
+            for cfg in (MachineConfig.baseline(), MachineConfig.S(),
+                        MachineConfig.S_O(), MachineConfig.S_O_D(),
+                        MachineConfig.M_D())
+        }
+    return out
+
+
+def energy(runs, name, config):
+    kernel, result, cfg = runs[name][config]
+    return estimate_energy(kernel, result, cfg)
+
+
+class TestMechanismEnergyStory:
+    def test_instruction_revitalization_cuts_fetch_energy(self, runs):
+        """Section 4.3's motivation: refetching burns I-cache power."""
+        base = energy(runs, "convert", "baseline")
+        revit = energy(runs, "convert", "S")
+        assert (revit.by_structure["instruction fetch"]
+                < 0.2 * base.by_structure["instruction fetch"])
+
+    def test_operand_revitalization_cuts_regfile_energy(self, runs):
+        s = energy(runs, "convert", "S")
+        so = energy(runs, "convert", "S-O")
+        assert (so.by_structure["register file"]
+                < 0.05 * s.by_structure["register file"])
+
+    def test_l0_store_cuts_lookup_energy(self, runs):
+        so = energy(runs, "blowfish", "S-O")
+        sod = energy(runs, "blowfish", "S-O-D")
+        assert "L1 (lookups)" in so.by_structure
+        assert "L0 data store" in sod.by_structure
+        assert (sod.by_structure["L0 data store"]
+                < 0.2 * so.by_structure["L1 (lookups)"])
+
+    def test_mimd_pays_no_revitalize_energy(self, runs):
+        md = energy(runs, "blowfish", "M-D")
+        assert "revitalize" not in md.by_structure
+
+    def test_total_energy_drops_with_matched_mechanisms(self, runs):
+        """The preferred configuration is also the energy-efficient one."""
+        base = energy(runs, "blowfish", "baseline")
+        best = energy(runs, "blowfish", "M-D")
+        assert best.pj_per_record < base.pj_per_record
+
+
+class TestModelBehaviour:
+    def test_breakdown_sums_to_total(self, runs):
+        e = energy(runs, "convert", "S-O")
+        assert e.total_pj == pytest.approx(sum(e.by_structure.values()))
+        assert e.pj_per_record == pytest.approx(e.total_pj / 1024)
+
+    def test_render_mentions_big_consumers(self, runs):
+        text = energy(runs, "blowfish", "baseline").render()
+        assert "pJ/record" in text
+        assert "instruction fetch" in text
+
+    def test_custom_constants_scale_results(self, runs):
+        kernel, result, cfg = runs["convert"]["S-O"]
+        cheap = estimate_energy(kernel, result, cfg,
+                                constants=EnergyConstants(fp_op=1.0))
+        dear = estimate_energy(kernel, result, cfg,
+                               constants=EnergyConstants(fp_op=100.0))
+        assert dear.total_pj > cheap.total_pj

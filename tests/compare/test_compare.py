@@ -1,0 +1,90 @@
+"""Specialized-hardware rows (Table 6) and classic models (Figure 2)."""
+
+import pytest
+
+from repro.analysis import characterize
+from repro.compare import (
+    TABLE6,
+    ClassicMachine,
+    classic_comparison,
+    convert_metric,
+    preferred_classic,
+    table6_benchmarks,
+)
+from repro.kernels import spec
+from repro.machine.stats import RunResult
+
+
+def fake_run(kernel, cycles, records, useful):
+    return RunResult(kernel=kernel, config="S", records=records,
+                     cycles=cycles, useful_ops=useful)
+
+
+class TestTable6Data:
+    def test_all_rows_have_known_benchmarks(self):
+        from repro.kernels import registry
+
+        known = set(registry())
+        assert all(row.benchmark in known for row in TABLE6)
+
+    def test_crypto_rows_are_lower_is_better(self):
+        rows = {r.benchmark: r for r in TABLE6}
+        assert rows["md5"].lower_is_better
+        assert not rows["fft"].lower_is_better
+
+    def test_benchmarks_helper(self):
+        assert "dct" in table6_benchmarks()
+
+
+class TestMetricConversion:
+    def test_ops_per_cycle_rows(self):
+        row = next(r for r in TABLE6 if r.benchmark == "fft")
+        run = fake_run("fft", cycles=100, records=10, useful=500)
+        assert convert_metric(row, run) == pytest.approx(5.0)
+
+    def test_cycles_per_block_rows(self):
+        row = next(r for r in TABLE6 if r.benchmark == "blowfish")
+        run = fake_run("blowfish", cycles=120, records=10, useful=0)
+        assert convert_metric(row, run) == pytest.approx(12.0)
+
+    def test_per_second_rows_use_normalized_clock(self):
+        row = next(r for r in TABLE6 if r.benchmark == "fragment-simple")
+        run = fake_run("fragment-simple", cycles=450, records=100, useful=0)
+        # 4.5 cycles/fragment at 450MHz = 100M fragments/sec.
+        assert convert_metric(row, run) == pytest.approx(100.0)
+
+    def test_dsp_rows_scale_by_frame(self):
+        row = next(r for r in TABLE6 if r.benchmark == "convert")
+        run = fake_run("convert", cycles=76800, records=76800, useful=0)
+        # 1 cycle/pixel at 1.3GHz over a 76800-pixel frame.
+        assert convert_metric(row, run) == pytest.approx(1.3e9 / 76800)
+
+
+class TestClassicModels:
+    def test_regular_kernels_prefer_vector(self):
+        for name in ("convert", "fft", "lu", "dct"):
+            attrs = characterize(spec(name).kernel())
+            assert preferred_classic(attrs) == "vector", name
+
+    def test_variable_kernels_prefer_mimd_with_live_fraction(self):
+        attrs = characterize(spec("anisotropic-filter").kernel())
+        assert preferred_classic(attrs, live_fraction=0.3) == "mimd"
+
+    def test_simd_never_beats_vector_on_pure_streaming(self):
+        attrs = characterize(spec("fft").kernel())
+        models = classic_comparison(attrs)
+        assert models["vector"] <= models["simd"]
+
+    def test_gather_penalty_hits_vector_for_lut_kernels(self):
+        """Table-heavy kernels erode the vector advantage (Section 3)."""
+        stream = classic_comparison(characterize(spec("fft").kernel()))
+        lut = classic_comparison(characterize(spec("blowfish").kernel()))
+        stream_gap = stream["mimd"] / stream["vector"]
+        lut_gap = lut["mimd"] / lut["vector"]
+        assert lut_gap < stream_gap
+
+    def test_machine_parameters_scale_results(self):
+        attrs = characterize(spec("convert").kernel())
+        small = classic_comparison(attrs, ClassicMachine(lanes=8))
+        large = classic_comparison(attrs, ClassicMachine(lanes=128))
+        assert small["vector"] > large["vector"]

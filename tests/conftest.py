@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import ExperimentContext
+from repro.kernels import all_specs
+from repro.machine import GridProcessor, MachineParams
+
+
+@pytest.fixture(scope="session")
+def params() -> MachineParams:
+    """The paper's 8x8 substrate."""
+    return MachineParams()
+
+
+@pytest.fixture(scope="session")
+def processor(params) -> GridProcessor:
+    return GridProcessor(params)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """Shared experiment context (the harness defaults).
+
+    Session-scoped so the performance sweeps (Figure 5 / Table 4 /
+    Table 6 shape tests) simulate each (kernel, config) pair only once.
+    The record counts match the experiment-runner defaults: steady-state
+    behaviour needs enough records to amortize SIMD mapping setup.
+    """
+    return ExperimentContext(records=512, large_kernel_records=128)
+
+
+def pytest_make_parametrize_id(config, val, argname):
+    if hasattr(val, "name") and isinstance(getattr(val, "name"), str):
+        return val.name
+    return None
+
+
+def all_spec_params():
+    """Parametrization helper: every benchmark spec."""
+    return [pytest.param(s, id=s.name) for s in all_specs()]

@@ -1,0 +1,75 @@
+"""FlexibleArchitecture and the Figure 5 aggregation math."""
+
+import pytest
+
+from repro.core import FlexibleArchitecture, tuned_config
+from repro.core.flexible import flexible_vs_fixed
+from repro.kernels import spec
+from repro.machine import MachineConfig, TABLE5_CONFIGS
+from repro.machine.stats import RunResult, harmonic_mean
+
+
+def result(kernel, config, cycles, records=10, useful=100):
+    return RunResult(kernel=kernel, config=config, records=records,
+                     cycles=cycles, useful_ops=useful)
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_empty_is_zero(self):
+        assert harmonic_mean([]) == 0.0
+
+
+class TestFlexibleVsFixed:
+    def test_flexible_takes_per_kernel_best(self):
+        baseline = {"a": result("a", "baseline", 100),
+                    "b": result("b", "baseline", 100)}
+        runs = {
+            "a": {"S": result("a", "S", 50), "M": result("a", "M", 25)},
+            "b": {"S": result("b", "S", 25), "M": result("b", "M", 50)},
+        }
+        fixed, flexible = flexible_vs_fixed(runs, baseline)
+        # Fixed machines: hmean of (2,4) either way = 8/3.
+        assert fixed["S"] == pytest.approx(8 / 3)
+        assert fixed["M"] == pytest.approx(8 / 3)
+        # Flexible picks 4x on both.
+        assert flexible == pytest.approx(4.0)
+        assert flexible / fixed["S"] > 1.0
+
+    def test_missing_config_counts_as_baseline(self):
+        baseline = {"a": result("a", "baseline", 100)}
+        runs = {"a": {"S": result("a", "S", 50)}}
+        fixed, _ = flexible_vs_fixed(runs, baseline)
+        assert "S" in fixed
+
+
+class TestTunedSelection:
+    def test_tuned_config_picks_minimum_cycles(self):
+        s = spec("blowfish")
+        best, results = tuned_config(s.kernel(), s.workload(64))
+        assert best.name == min(results, key=lambda n: results[n].cycles)
+        assert best.name == "M-D"  # the paper's preference
+
+    def test_flexible_architecture_runs_and_reports(self):
+        arch = FlexibleArchitecture(policy="tuned")
+        s = spec("fft")
+        run = arch.run(s.kernel(), s.workload(128))
+        assert run.chosen.name in {c.name for c in TABLE5_CONFIGS}
+        assert run.result.cycles > 0
+        assert run.candidates  # all candidates reported
+
+    def test_predicted_policy_uses_table3(self):
+        arch = FlexibleArchitecture(policy="predicted")
+        s = spec("convert")
+        run = arch.run(s.kernel(), s.workload(64))
+        assert run.chosen.name == "S-O"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FlexibleArchitecture(policy="oracle")

@@ -1,0 +1,83 @@
+"""Table 3 mechanisms and the attribute-driven configurator."""
+
+import pytest
+
+from repro.analysis import characterize
+from repro.core import (
+    Mechanism,
+    TABLE3,
+    config_from_mechanisms,
+    info,
+    mechanisms_for,
+    predicted_config,
+)
+from repro.kernels import all_specs, spec
+from repro.machine import MachineConfig
+
+
+class TestTable3:
+    def test_six_mechanisms(self):
+        assert len(TABLE3) == 6
+        assert {row.mechanism for row in TABLE3} == set(Mechanism)
+
+    def test_info_lookup(self):
+        row = info(Mechanism.L0_DATA_STORE)
+        assert row.attribute == "Indexed named constants"
+        assert row.config_flag == "l0_data"
+
+
+class TestMechanismSelection:
+    def test_lut_kernels_want_l0(self):
+        wanted = mechanisms_for(characterize(spec("blowfish").kernel()))
+        assert Mechanism.L0_DATA_STORE in wanted
+
+    def test_texture_kernels_want_cached_memory(self):
+        wanted = mechanisms_for(characterize(spec("fragment-simple").kernel()))
+        assert Mechanism.CACHED_MEMORY in wanted
+
+    def test_variable_loops_want_local_pcs(self):
+        wanted = mechanisms_for(characterize(spec("vertex-skinning").kernel()))
+        assert Mechanism.LOCAL_PROGRAM_COUNTERS in wanted
+        assert Mechanism.INSTRUCTION_REVITALIZATION not in wanted
+
+    def test_static_kernels_want_revitalization(self):
+        wanted = mechanisms_for(characterize(spec("fft").kernel()))
+        assert Mechanism.INSTRUCTION_REVITALIZATION in wanted
+        assert Mechanism.LOCAL_PROGRAM_COUNTERS not in wanted
+
+
+class TestConfigAssembly:
+    def test_assembled_config_is_legal(self):
+        config = config_from_mechanisms(
+            [Mechanism.STREAMED_MEMORY, Mechanism.LOCAL_PROGRAM_COUNTERS,
+             Mechanism.L0_DATA_STORE]
+        )
+        assert config.local_pc and config.l0_data and config.smc_stream
+
+    def test_operand_revit_dropped_without_inst_revit(self):
+        config = config_from_mechanisms(
+            [Mechanism.OPERAND_REVITALIZATION,
+             Mechanism.LOCAL_PROGRAM_COUNTERS]
+        )
+        assert not config.operand_revitalize  # would be illegal
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("fft", "S"),
+            ("lu", "S"),
+            ("convert", "S-O"),
+            ("vertex-simple", "S-O"),
+            ("blowfish", "S-O-D"),
+            ("rijndael", "S-O-D"),
+            ("vertex-skinning", "M-D"),
+            ("anisotropic-filter", "M-D"),
+        ],
+    )
+    def test_predicted_config_follows_table3(self, name, expected):
+        assert predicted_config(spec(name).kernel()).name == expected
+
+    @pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+    def test_prediction_always_lands_on_a_named_point(self, s):
+        config = predicted_config(s.kernel())
+        assert config.name in {"S", "S-O", "S-O-D", "M", "M-D"}

@@ -1,0 +1,108 @@
+"""Experiment runners produce complete, well-formed reproductions."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.kernels import TABLE1_ORDER
+
+
+class TestStaticTables:
+    def test_table1_covers_the_suite(self):
+        t1 = experiments.table1()
+        assert [r[0] for r in t1.rows] == list(TABLE1_ORDER)
+        assert all(r[2] for r in t1.rows)  # descriptions present
+        assert "Table 1" in t1.render()
+
+    def test_table2_rows_pair_measured_with_paper(self):
+        t2 = experiments.table2()
+        assert len(t2.measured) == 14
+        rendered = t2.render()
+        assert "1024 (1024)" in rendered  # rijndael indexed constants
+
+    def test_table3_has_six_mechanism_rows(self):
+        t3 = experiments.table3()
+        assert len(t3.rows) == 6
+        assert "operand revitalization" in t3.render()
+
+    def test_table5_matrix(self):
+        t5 = experiments.table5()
+        assert [r[0] for r in t5.rows] == ["S", "S-O", "S-O-D", "M", "M-D"]
+        rendered = t5.render()
+        assert "MIMD+lookup table" in rendered
+
+
+class TestFigures:
+    def test_figure1_classifies_all_kernels(self):
+        f1 = experiments.figure1(records=64)
+        assert len(f1.profiles) == 14
+        waste = {p.name: p.nullification_waste for p in f1.profiles}
+        assert waste["anisotropic-filter"] > waste["convert"]
+
+    def test_figure2_names_a_winner_per_kernel(self):
+        f2 = experiments.figure2(records=64)
+        winners = {name: winner for name, _, winner in f2.rows}
+        assert winners["fft"] == "vector"
+        assert winners["anisotropic-filter"] == "mimd"
+
+
+class TestPerformanceExperiments:
+    def test_table4_rows_cover_performance_suite(self, ctx):
+        t4 = experiments.table4(ctx)
+        assert len(t4.rows) == 13  # anisotropic excluded, as in the paper
+        assert all(measured > 0 for _, measured, _ in t4.rows)
+        assert "anisotropic" not in t4.render()
+
+    def test_figure5_structure(self, ctx):
+        f5 = experiments.figure5(ctx)
+        assert set(f5.preferred) == set(experiments.PAPER_PREFERRED)
+        assert f5.flexible_hmean > max(f5.fixed_hmean.values())
+        rendered = f5.render()
+        assert "Flexible" in rendered and "paper" in rendered
+
+    def test_table6_regenerates_every_row(self, ctx):
+        t6 = experiments.table6(ctx)
+        assert len(t6.results) == 13
+        for r in t6.results:
+            assert r.measured_value > 0
+        assert "Cryptomaniac" in t6.render()
+
+    def test_context_caches_runs(self, ctx):
+        from repro.machine import MachineConfig
+
+        a = ctx.run("fft", MachineConfig.S())
+        b = ctx.run("fft", MachineConfig.S())
+        assert a is b
+
+
+class TestRunnerCli:
+    def test_main_with_specific_experiments(self, capsys):
+        from repro.harness.runner import main
+
+        assert main(["table1", "table5", "--records", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 5" in out
+
+    def test_main_rejects_unknown_experiment(self, capsys):
+        from repro.harness.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        from repro.harness.reporting import render_table
+
+        out = render_table(["name", "v"], [["a", 1], ["bb", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_fmt_helpers(self):
+        from repro.harness.reporting import fmt_float, fmt_speedup
+
+        assert fmt_float(None) == "-"
+        assert fmt_float(1.234, 1) == "1.2"
+        assert fmt_speedup(2.5) == "2.50x"
+        assert fmt_speedup(None) == "-"

@@ -1,0 +1,24 @@
+"""Figures 3/4 rendering through the harness."""
+
+from repro.harness.experiments import figure3_4
+from repro.machine import MachineParams
+
+
+def test_figure3_4_renders_all_morphs():
+    result = figure3_4(MachineParams())
+    text = result.render()
+    for label in ("baseline", "S-O-D", "M-D", "SMC", "local program counter"):
+        assert label in text
+
+
+def test_figure3_4_respects_grid_size():
+    text = figure3_4(MachineParams(rows=2, cols=3)).render()
+    assert "2x3 grid" in text
+
+
+def test_runner_exposes_figure3_4(capsys):
+    from repro.harness.runner import main
+
+    assert main(["figure3_4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figures 3/4" in out

@@ -1,0 +1,36 @@
+"""Functional execution through the processor for the whole suite.
+
+For every benchmark and every machine configuration the kernel fits,
+running with ``functional=True`` must return outputs identical to the
+independent per-record reference — the machine may never change the
+answer, only the cycle count.
+"""
+
+import pytest
+
+from repro.kernels import all_specs
+from repro.machine import GridProcessor, MachineConfig, TABLE5_CONFIGS
+
+CONFIGS = [MachineConfig.baseline()] + list(TABLE5_CONFIGS)
+
+
+@pytest.fixture(scope="module")
+def proc():
+    return GridProcessor()
+
+
+@pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_functional_outputs_match_reference(proc, s, config):
+    kernel = s.kernel()
+    if not proc.supports(kernel, config):
+        pytest.skip(f"{s.name} does not fit {config.name}")
+    records = s.workload(6)
+    result = proc.run(kernel, records, config, functional=True)
+    assert result.outputs is not None
+    for record, out in zip(records, result.outputs):
+        expected = s.reference(record)
+        if s.floating:
+            assert out == pytest.approx(expected, rel=1e-9, abs=1e-9)
+        else:
+            assert out == expected

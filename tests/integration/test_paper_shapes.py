@@ -1,0 +1,164 @@
+"""The paper's headline results, as executable assertions.
+
+These tests encode the *shape* of the evaluation section — who wins,
+in what order, by roughly what kind of factor — on the shared
+experiment context.  Absolute cycle counts differ from the authors'
+simulator (documented in EXPERIMENTS.md); these relationships are the
+reproduction target.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    PAPER_PREFERRED,
+    ExperimentContext,
+    figure5,
+    table4,
+    table6,
+)
+from repro.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def fig5(ctx):
+    return figure5(ctx)
+
+
+@pytest.fixture(scope="module")
+def t4(ctx):
+    return table4(ctx)
+
+
+class TestConfigurationPreferences:
+    """Figure 5's grouping: which configuration each benchmark prefers."""
+
+    @pytest.mark.parametrize("name,expected", sorted(PAPER_PREFERRED.items()))
+    def test_preferred_config_matches_paper(self, fig5, name, expected):
+        got = fig5.preferred[name]
+        if name == "md5":
+            # md5 has no lookup tables, so M and M-D are identical
+            # machines; the paper groups it under M-D.
+            assert got in ("M", "M-D")
+            assert fig5.speedups[name]["M"] == pytest.approx(
+                fig5.speedups[name]["M-D"]
+            )
+        else:
+            assert got == expected
+
+    def test_every_mechanism_config_beats_baseline_somewhere(self, fig5):
+        for config in ("S", "S-O", "S-O-D", "M", "M-D"):
+            assert any(
+                per.get(config, 0) > 1.0 for per in fig5.speedups.values()
+            ), config
+
+
+class TestMechanismEffects:
+    """Section 5.3's per-mechanism observations."""
+
+    def test_scientific_kernels_gain_from_s_alone(self, fig5):
+        """fft and lu: SMC + revitalization give a multi-x speedup."""
+        for name in ("fft", "lu"):
+            assert fig5.speedups[name]["S"] > 1.8
+
+    def test_operand_revitalization_helps_constant_heavy_kernels(self, fig5):
+        """S-O >> S exactly for the scalar-constant-bound kernels."""
+        for name in ("convert", "vertex-simple", "vertex-reflection",
+                     "highpassfilter"):
+            assert fig5.speedups[name]["S-O"] > 1.25 * fig5.speedups[name]["S"]
+
+    def test_operand_revitalization_is_noop_without_constants(self, fig5):
+        for name in ("fft", "lu"):
+            assert fig5.speedups[name]["S-O"] == pytest.approx(
+                fig5.speedups[name]["S"], rel=0.02
+            )
+
+    def test_l0_store_accelerates_lookup_kernels(self, fig5):
+        """Blowfish and rijndael gain >25% from the L0 data store
+        (the paper reports 27% and 80%)."""
+        for name in ("blowfish", "rijndael"):
+            assert (fig5.speedups[name]["S-O-D"]
+                    > 1.25 * fig5.speedups[name]["S-O"])
+
+    def test_l0_store_is_noop_without_tables(self, fig5):
+        for name in ("convert", "fft", "fragment-simple"):
+            assert fig5.speedups[name]["S-O-D"] == pytest.approx(
+                fig5.speedups[name]["S-O"], rel=0.02
+            )
+
+    def test_mimd_degrades_streaming_kernels(self, fig5):
+        """'The baseline MIMD configuration degrades performance somewhat
+        relative to S-O-D for all applications except vertex-skinning'."""
+        for name in ("fft", "lu", "convert", "highpassfilter",
+                     "fragment-simple"):
+            assert fig5.speedups[name]["M"] < fig5.speedups[name]["S-O-D"]
+
+    def test_mimd_wins_for_data_dependent_branching(self, fig5):
+        """vertex-skinning: local PCs skip dead bones."""
+        assert (fig5.speedups["vertex-skinning"]["M-D"]
+                > fig5.speedups["vertex-skinning"]["S-O-D"])
+
+    def test_crypto_prefers_mimd_with_tables(self, fig5):
+        for name in ("blowfish", "rijndael", "md5"):
+            assert (fig5.speedups[name]["M-D"]
+                    >= fig5.speedups[name]["S-O-D"])
+
+
+class TestFlexibleAggregate:
+    """Figure 5's Flexible bar: 5%-55% over the fixed machines."""
+
+    def test_flexible_beats_every_fixed_machine(self, fig5):
+        for name in ("S", "S-O", "S-O-D", "M", "M-D"):
+            assert fig5.flexible_vs(name) > 1.0, name
+
+    def test_gain_over_fixed_s_is_large(self, fig5):
+        """Paper: +55%.  Accept 30%-100%."""
+        assert 1.30 < fig5.flexible_vs("S") < 2.0
+
+    def test_gain_over_fixed_so_is_moderate(self, fig5):
+        """Paper: +20%.  Accept 8%-50%."""
+        assert 1.08 < fig5.flexible_vs("S-O") < 1.5
+
+    def test_fixed_machine_ordering_matches_paper(self, fig5):
+        """Paper's quoted fixed machines order: S < S-O < M-D < Flexible."""
+        assert (fig5.fixed_hmean["S"] < fig5.fixed_hmean["S-O"]
+                < fig5.fixed_hmean["M-D"] < fig5.flexible_hmean)
+
+
+class TestBaselineLevels:
+    """Table 4: the ILP baseline sustains DSP >> other domains."""
+
+    def test_dsp_baseline_outruns_other_domains(self, t4):
+        by_name = t4.by_name()
+        dsp = [by_name[n] for n in ("convert", "dct", "highpassfilter")]
+        others = [by_name[n] for n in ("lu", "md5", "blowfish", "rijndael")]
+        assert min(dsp) > max(others)
+
+    def test_all_baselines_within_3x_of_paper(self, t4):
+        for name, measured, paper in t4.rows:
+            assert measured / paper < 3.5, (name, measured, paper)
+            assert measured / paper > 0.2, (name, measured, paper)
+
+
+class TestTable6Shape:
+    def test_crypto_beats_cryptomaniac_by_an_order(self, ctx):
+        """Paper: TRIPS processes blocks ~10x faster than CryptoManiac."""
+        t6 = table6(ctx)
+        rows = {r.row.benchmark: r for r in t6.results}
+        assert rows["blowfish"].vs_specialized > 5
+        assert rows["rijndael"].vs_specialized > 5
+
+    def test_tarantula_beats_trips_on_scientific(self, ctx):
+        t6 = table6(ctx)
+        rows = {r.row.benchmark: r for r in t6.results}
+        assert rows["fft"].vs_specialized < 1.0
+        assert rows["lu"].vs_specialized < 1.0
+
+    def test_quadrofx_beats_trips_on_fragments(self, ctx):
+        t6 = table6(ctx)
+        rows = {r.row.benchmark: r for r in t6.results}
+        assert rows["fragment-simple"].vs_specialized < 0.5
+
+    def test_trips_beats_p4_vertex_shading(self, ctx):
+        t6 = table6(ctx)
+        rows = {r.row.benchmark: r for r in t6.results}
+        assert rows["vertex-simple"].vs_specialized > 1.0

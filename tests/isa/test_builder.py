@@ -1,0 +1,110 @@
+"""KernelBuilder DSL behaviour."""
+
+import pytest
+
+from repro.isa import Domain, KernelBuilder
+from repro.isa.instruction import Const, Immediate, InstResult, RecordInput
+
+
+def fresh(record_in=2, record_out=1):
+    return KernelBuilder("t", Domain.SCIENTIFIC, record_in, record_out)
+
+
+class TestOperands:
+    def test_input_out_of_range(self):
+        b = fresh()
+        with pytest.raises(IndexError):
+            b.input(2)
+
+    def test_raw_numbers_become_immediates(self):
+        b = fresh()
+        v = b.fadd(b.input(0), 3.5)
+        inst = b._body[v.operand.producer]
+        assert isinstance(inst.srcs[1], Immediate)
+        assert inst.srcs[1].value == 3.5
+
+    def test_const_slots_dedup_by_value_and_name(self):
+        b = fresh()
+        c1 = b.const(1.5, "k")
+        c2 = b.const(1.5, "k")
+        c3 = b.const(1.5, "other")
+        assert c1.operand.slot == c2.operand.slot
+        assert c3.operand.slot != c1.operand.slot
+
+    def test_cross_builder_values_rejected(self):
+        b1, b2 = fresh(), fresh()
+        v = b1.input(0)
+        with pytest.raises(ValueError, match="different builder"):
+            b2.fadd(v, 1.0)
+
+    def test_keyword_mnemonics_have_underscore_aliases(self):
+        b = fresh()
+        v = b.and_(b.or_(b.input(0), 1), b.not_(b.input(1)))
+        assert isinstance(v.operand, InstResult)
+
+
+class TestTablesAndSpaces:
+    def test_lut_requires_registered_table(self):
+        b = fresh()
+        with pytest.raises(KeyError):
+            b.lut(0, b.input(0))
+
+    def test_ldi_requires_registered_space(self):
+        b = fresh()
+        with pytest.raises(KeyError):
+            b.ldi(3, b.input(0))
+
+    def test_table_ids_are_sequential(self):
+        b = fresh()
+        assert b.table([1, 2]) == 0
+        assert b.table([3]) == 1
+
+
+class TestOutputs:
+    def test_pass_through_output_materializes_mov(self):
+        b = fresh()
+        b.output(b.input(0))
+        k = b.build()
+        assert k.body[-1].op.name == "MOV"
+
+    def test_output_slot_out_of_range(self):
+        b = fresh(record_out=1)
+        v = b.fadd(b.input(0), b.input(1))
+        with pytest.raises(IndexError):
+            b.output(v, slot=5)
+
+
+class TestLoops:
+    def test_variable_loop_tags_iterations(self):
+        b = KernelBuilder("v", Domain.GRAPHICS, record_in=2, record_out=1)
+        x = b.input(1)
+        acc = b.imm(0.0)
+        with b.variable_loop(3, lambda rec: int(rec[0])) as trips:
+            for i in trips:
+                acc = b.fadd(acc, x)
+        b.output(acc)
+        k = b.build()
+        tagged = [inst.loop_iter for inst in k.body if inst.loop_iter is not None]
+        assert tagged == [0, 1, 2]
+        assert k.loop.variable and k.loop.max_trips == 3
+        assert k.trip_count([2.0, 1.0]) == 2
+
+    def test_instructions_after_loop_untagged(self):
+        b = KernelBuilder("v", Domain.GRAPHICS, record_in=1, record_out=1)
+        acc = b.imm(0.0)
+        with b.variable_loop(2, lambda rec: int(rec[0])) as trips:
+            for _ in trips:
+                acc = b.fadd(acc, 1.0)
+        final = b.fmul(acc, 2.0)
+        b.output(final)
+        k = b.build()
+        assert k.body[-1].op.name == "FMUL"
+        assert k.body[-1].loop_iter is None
+
+    def test_static_loop_metadata(self):
+        b = fresh()
+        b.output(b.fadd(b.input(0), b.input(1)))
+        b.static_loop(8)
+        k = b.build()
+        assert k.loop.static_trips == 8
+        assert k.control_class().name == "STATIC_LOOP"

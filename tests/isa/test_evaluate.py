@@ -1,0 +1,73 @@
+"""Functional evaluator behaviour and error handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import Domain, KernelBuilder, evaluate_kernel, evaluate_stream
+from repro.isa.evaluate import EvaluationError
+
+
+def make_affine(scale, offset):
+    b = KernelBuilder("affine", Domain.SCIENTIFIC, record_in=1, record_out=1)
+    b.output(b.fadd(b.fmul(b.const(scale, "m"), b.input(0)), b.imm(offset)))
+    return b.build()
+
+
+class TestBasics:
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    def test_affine_kernel(self, x):
+        k = make_affine(2.0, 1.0)
+        assert evaluate_kernel(k, [x]) == [2.0 * x + 1.0]
+
+    def test_short_record_raises(self):
+        k = make_affine(1.0, 0.0)
+        with pytest.raises(EvaluationError, match="expects 1 input"):
+            evaluate_kernel(k, [])
+
+    def test_stream_preserves_order(self):
+        k = make_affine(1.0, 0.0)
+        outs = evaluate_stream(k, [[1.0], [2.0], [3.0]])
+        assert outs == [[1.0], [2.0], [3.0]]
+
+
+class TestMemoryOps:
+    def test_lut_wraps_index(self):
+        b = KernelBuilder("l", Domain.NETWORK, record_in=1, record_out=1)
+        t = b.table([10, 20, 30, 40])
+        b.output(b.lut(t, b.input(0)))
+        k = b.build()
+        assert evaluate_kernel(k, [1])[0] == 20
+        assert evaluate_kernel(k, [5])[0] == 20  # 5 % 4
+
+    def test_ldi_space_override(self):
+        b = KernelBuilder("s", Domain.GRAPHICS, record_in=1, record_out=1)
+        s = b.space([1.0, 2.0])
+        b.output(b.ldi(s, b.input(0)))
+        k = b.build()
+        assert evaluate_kernel(k, [0]) == [1.0]
+        assert evaluate_kernel(k, [0], spaces={0: [9.0, 8.0]}) == [9.0]
+
+    def test_ldi_truncates_float_address(self):
+        b = KernelBuilder("s", Domain.GRAPHICS, record_in=1, record_out=1)
+        s = b.space([1.0, 2.0, 3.0, 4.0])
+        b.output(b.ldi(s, b.input(0)))
+        k = b.build()
+        assert evaluate_kernel(k, [2.9]) == [3.0]
+
+
+class TestPredicatedLoops:
+    def test_full_graph_always_executes(self):
+        """Predicated variable-loop kernels are trip-count-correct."""
+        b = KernelBuilder("p", Domain.GRAPHICS, record_in=2, record_out=1)
+        count = b.input(0)
+        x = b.input(1)
+        acc = b.imm(0.0)
+        with b.variable_loop(4, lambda rec: int(rec[0])) as trips:
+            for i in trips:
+                live = b.fsub(count, b.imm(float(i)))
+                acc = b.fsel(live, b.fadd(acc, x), acc)
+        b.output(acc)
+        k = b.build()
+        for n in range(5):
+            assert evaluate_kernel(k, [float(n), 2.0]) == [2.0 * min(n, 4)]

@@ -1,0 +1,92 @@
+"""Kernel container: structural queries and attribute counting."""
+
+import pytest
+
+from repro.isa import Domain, KernelBuilder
+from repro.kernels import all_specs, spec
+
+
+def diamond_kernel():
+    """mul/mul feeding an add: height 2, 3 instructions, ILP 1.5."""
+    b = KernelBuilder("d", Domain.SCIENTIFIC, record_in=2, record_out=1)
+    x, y = b.inputs()
+    b.output(b.fadd(b.fmul(x, x), b.fmul(y, y)))
+    return b.build()
+
+
+class TestStructure:
+    def test_consumers_map(self):
+        k = diamond_kernel()
+        consumers = k.consumers()
+        assert consumers[0] == [(2, 0)]
+        assert consumers[1] == [(2, 1)]
+        assert consumers[2] == []
+
+    def test_depths_and_height(self):
+        k = diamond_kernel()
+        assert k.depths() == [1, 1, 2]
+        assert k.dataflow_height() == 2
+
+    def test_inherent_ilp(self):
+        assert diamond_kernel().inherent_ilp() == pytest.approx(1.5)
+
+    def test_len(self):
+        assert len(diamond_kernel()) == 3
+
+
+class TestAttributeCounts:
+    def test_scalar_constants_sorted_and_unique(self):
+        b = KernelBuilder("c", Domain.NETWORK, record_in=1, record_out=1)
+        x = b.input(0)
+        v = b.add(b.add(x, b.const(7, "a")), b.const(9, "b"))
+        v = b.add(v, b.const(7, "a"))  # reused slot
+        b.output(v)
+        k = b.build()
+        consts = k.scalar_constants()
+        assert [c.value for c in consts] == [7, 9]
+
+    def test_indexed_constant_entries_sums_tables(self):
+        b = KernelBuilder("t", Domain.NETWORK, record_in=1, record_out=1)
+        t0 = b.table(range(16))
+        t1 = b.table(range(8))
+        b.output(b.add(b.lut(t0, b.input(0)), b.lut(t1, b.input(0))))
+        k = b.build()
+        assert k.indexed_constant_entries() == 24
+        assert k.count_lut_accesses() == 2
+
+    def test_useful_ops_excludes_overhead(self):
+        b = KernelBuilder("u", Domain.NETWORK, record_in=1, record_out=1)
+        addr = b.gen(b.input(0), 4)  # overhead
+        s = b.space([1, 2, 3, 4])
+        v = b.add(b.ldi(s, addr), 1)  # LDI overhead, ADD useful
+        b.output(v)
+        k = b.build()
+        assert k.useful_ops() == 1
+
+    def test_live_instructions_monotonic_in_trips(self):
+        k = spec("vertex-skinning").kernel()
+        sizes = [len(k.live_instructions(t)) for t in range(0, 5)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == len(k.body)
+
+    def test_useful_ops_live_at_full_trips_equals_static(self):
+        k = spec("vertex-skinning").kernel()
+        assert k.useful_ops_live(4) == k.useful_ops()
+
+
+class TestSuiteWideInvariants:
+    @pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+    def test_every_kernel_validates(self, s):
+        s.kernel().validate()
+
+    @pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+    def test_every_kernel_topologically_ordered(self, s):
+        k = s.kernel()
+        for inst in k.body:
+            assert all(p < inst.iid for p in inst.dataflow_sources())
+
+    @pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+    def test_record_sizes_match_paper(self, s):
+        k = s.kernel()
+        assert k.record_in == s.paper.record_read
+        assert k.record_out == s.paper.record_write

@@ -1,0 +1,139 @@
+"""Opcode semantics: unit checks + property-based 32-bit invariants."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import (
+    DEFAULT_LATENCY,
+    MASK32,
+    OPCODES,
+    OpClass,
+    opcode,
+)
+
+words32 = st.integers(min_value=0, max_value=MASK32)
+shifts = st.integers(min_value=0, max_value=31)
+
+
+class TestLookup:
+    def test_every_opcode_has_latency_class(self):
+        for info in OPCODES.values():
+            assert info.opclass in DEFAULT_LATENCY
+
+    def test_unknown_opcode_raises_with_context(self):
+        with pytest.raises(KeyError, match="FANCYOP"):
+            opcode("FANCYOP")
+
+    def test_arity_matches_semantics(self):
+        # Every opcode with a semantic function accepts exactly its arity.
+        for info in OPCODES.values():
+            if info.semantic is None:
+                continue
+            args = [1] * info.arity
+            if info.opclass in (OpClass.FP_ADD, OpClass.FP_MUL,
+                                OpClass.FP_DIV, OpClass.FP_SPECIAL):
+                args = [1.0] * info.arity
+            info.semantic(*args)  # must not raise
+
+    def test_useful_classification(self):
+        assert opcode("FMUL").useful
+        assert opcode("ADD").useful
+        assert not opcode("MOV").useful
+        assert not opcode("GEN").useful
+        assert not opcode("FGEN").useful
+        assert not opcode("LDI").useful
+        assert not opcode("LUT").useful
+
+
+class TestIntegerSemantics:
+    @given(words32, words32)
+    def test_add_wraps_to_32_bits(self, a, b):
+        result = opcode("ADD").semantic(a, b)
+        assert 0 <= result <= MASK32
+        assert result == (a + b) % (1 << 32)
+
+    @given(words32, words32)
+    def test_sub_wraps_to_32_bits(self, a, b):
+        result = opcode("SUB").semantic(a, b)
+        assert result == (a - b) % (1 << 32)
+
+    @given(words32, shifts)
+    def test_rotl_is_invertible(self, a, s):
+        rotl = opcode("ROTL").semantic
+        rotated = rotl(a, s)
+        assert rotl(rotated, (32 - s) % 32) == a
+
+    @given(words32)
+    def test_not_is_involution(self, a):
+        n = opcode("NOT").semantic
+        assert n(n(a)) == a
+
+    @given(words32, words32)
+    def test_xor_self_inverse(self, a, b):
+        x = opcode("XOR").semantic
+        assert x(x(a, b), b) == a
+
+    @given(words32, shifts)
+    def test_shl_shr_consistency(self, a, s):
+        shl = opcode("SHL").semantic(a, s)
+        assert shl == (a << s) & MASK32
+        assert opcode("SHR").semantic(a, s) == (a & MASK32) >> s
+
+    @given(words32, words32)
+    def test_select_picks_by_condition(self, a, b):
+        sel = opcode("SELECT").semantic
+        assert sel(1, a, b) == a
+        assert sel(0, a, b) == b
+
+
+class TestPackUnpack:
+    @given(words32, words32)
+    def test_pack_then_unpack_roundtrips(self, hi, lo):
+        packed = opcode("PACK64").semantic(hi, lo)
+        assert opcode("HI32").semantic(packed) == hi
+        assert opcode("LO32").semantic(packed) == lo
+
+    def test_hi32_ignores_low_half(self):
+        assert opcode("HI32").semantic(0xDEADBEEF_12345678) == 0xDEADBEEF
+
+
+class TestFloatSemantics:
+    def test_division_by_zero_saturates(self):
+        assert math.isinf(opcode("FDIV").semantic(1.0, 0.0))
+        assert math.isinf(opcode("FRCP").semantic(0.0))
+
+    def test_rsqrt_of_nonpositive_is_infinite(self):
+        assert math.isinf(opcode("FRSQRT").semantic(0.0))
+        assert math.isinf(opcode("FRSQRT").semantic(-4.0))
+
+    @given(st.floats(min_value=1e-3, max_value=1e3))
+    def test_rsqrt_matches_reference(self, x):
+        assert opcode("FRSQRT").semantic(x) == pytest.approx(1 / math.sqrt(x))
+
+    def test_pow_clamps_negative_base(self):
+        # Shader-style pow: negative bases saturate to zero.
+        assert opcode("FPOW").semantic(-2.0, 3.0) == 0.0
+        assert opcode("FPOW").semantic(0.0, 0.0) == 1.0
+
+    @given(st.floats(min_value=-100, max_value=100),
+           st.floats(min_value=-100, max_value=100))
+    def test_fmin_fmax_ordering(self, a, b):
+        lo = opcode("FMIN").semantic(a, b)
+        hi = opcode("FMAX").semantic(a, b)
+        assert lo <= hi
+        assert {lo, hi} == {a, b} or lo == hi
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=-1e6, max_value=1e6))
+    def test_fmadd_matches_mul_add(self, a, b, c):
+        assert opcode("FMADD").semantic(a, b, c) == a * b + c
+
+    def test_fsel_threshold_is_strictly_positive(self):
+        fsel = opcode("FSEL").semantic
+        assert fsel(0.5, 1.0, 2.0) == 1.0
+        assert fsel(0.0, 1.0, 2.0) == 2.0
+        assert fsel(-0.5, 1.0, 2.0) == 2.0

@@ -1,0 +1,84 @@
+"""Fuzzing: random well-formed kernels cross-validate the whole stack.
+
+Every generated kernel must validate, evaluate, survive the assembly
+round-trip with identical semantics, and execute on both timing engines
+without deadlock — with the MIMD engine's functional mode agreeing with
+the reference evaluator bit for bit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble, disassemble, evaluate_kernel
+from repro.isa.random_kernels import (
+    RandomKernelConfig,
+    random_kernel,
+    random_records,
+)
+from repro.machine import GridProcessor, MachineConfig, MachineParams
+
+configs = st.builds(
+    RandomKernelConfig,
+    size=st.integers(min_value=1, max_value=60),
+    record_in=st.integers(min_value=1, max_value=8),
+    record_out=st.integers(min_value=1, max_value=4),
+    integer=st.booleans(),
+    n_constants=st.integers(min_value=0, max_value=6),
+    table_size=st.sampled_from([0, 0, 16, 64]),
+    space_size=st.sampled_from([0, 0, 32]),
+    variable_loop_trips=st.sampled_from([0, 0, 0, 2, 4]),
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000), cfg=configs)
+@settings(max_examples=60, deadline=None)
+def test_generated_kernels_validate_and_evaluate(seed, cfg):
+    kernel = random_kernel(seed, cfg)  # build() already validates
+    records = random_records(kernel, 3, seed, integer=cfg.integer)
+    for record in records:
+        out = evaluate_kernel(kernel, record)
+        assert len(out) == kernel.record_out
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000), cfg=configs)
+@settings(max_examples=30, deadline=None)
+def test_assembly_roundtrip_preserves_semantics(seed, cfg):
+    kernel = random_kernel(seed, cfg)
+    reassembled = assemble(disassemble(kernel))
+    for record in random_records(kernel, 2, seed, integer=cfg.integer):
+        a = evaluate_kernel(kernel, record)
+        b = evaluate_kernel(reassembled, record)
+        if cfg.integer:
+            assert a == b
+        else:
+            assert a == pytest.approx(b, nan_ok=True)
+
+
+@given(seed=st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=12, deadline=None)
+def test_block_engine_runs_any_kernel(seed):
+    cfg = RandomKernelConfig(size=24, record_in=4, record_out=2,
+                             integer=seed % 2 == 0, n_constants=3,
+                             table_size=16 if seed % 3 == 0 else 0)
+    kernel = random_kernel(seed, cfg)
+    records = random_records(kernel, 16, seed, integer=cfg.integer)
+    processor = GridProcessor(MachineParams())
+    for config in (MachineConfig.baseline(), MachineConfig.S_O_D()):
+        result = processor.run(kernel, records, config)
+        assert result.cycles > 0
+
+
+@given(seed=st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=12, deadline=None)
+def test_mimd_functional_matches_evaluator(seed):
+    cfg = RandomKernelConfig(size=20, record_in=4, record_out=2,
+                             integer=True, n_constants=2,
+                             table_size=16, variable_loop_trips=2)
+    kernel = random_kernel(seed, cfg)
+    records = random_records(kernel, 8, seed, integer=True)
+    processor = GridProcessor(MachineParams())
+    result = processor.run(kernel, records, MachineConfig.M_D(),
+                           functional=True)
+    for record, out in zip(records, result.outputs):
+        assert out == evaluate_kernel(kernel, record)

@@ -1,0 +1,87 @@
+"""Structural validation: malformed kernels must fail loudly."""
+
+import pytest
+
+from repro.isa import Domain, Kernel, KernelBuilder, LoopInfo, make_instruction
+from repro.isa.instruction import InstResult, RecordInput
+from repro.isa.validate import KernelValidationError, validate_kernel
+
+
+def raw_kernel(body, outputs, record_in=1, record_out=1, **kw):
+    return Kernel(
+        name="bad", domain=Domain.NETWORK, body=body,
+        record_in=record_in, record_out=record_out, outputs=outputs, **kw,
+    )
+
+
+class TestStructuralErrors:
+    def test_forward_reference_rejected(self):
+        body = [
+            make_instruction(0, "ADD", [InstResult(1), RecordInput(0)]),
+            make_instruction(1, "MOV", [RecordInput(0)]),
+        ]
+        with pytest.raises(KernelValidationError, match="not topologically"):
+            validate_kernel(raw_kernel(body, [(1, 0)]))
+
+    def test_bad_iid_sequence_rejected(self):
+        body = [make_instruction(5, "MOV", [RecordInput(0)])]
+        with pytest.raises(KernelValidationError, match="iid"):
+            validate_kernel(raw_kernel(body, [(5, 0)]))
+
+    def test_record_input_out_of_range(self):
+        body = [make_instruction(0, "MOV", [RecordInput(3)])]
+        with pytest.raises(KernelValidationError, match="record input 3"):
+            validate_kernel(raw_kernel(body, [(0, 0)]))
+
+    def test_no_outputs_rejected(self):
+        body = [make_instruction(0, "MOV", [RecordInput(0)])]
+        with pytest.raises(KernelValidationError, match="no outputs"):
+            validate_kernel(raw_kernel(body, []))
+
+    def test_duplicate_output_slot_rejected(self):
+        body = [make_instruction(0, "MOV", [RecordInput(0)])]
+        with pytest.raises(KernelValidationError, match="written twice"):
+            validate_kernel(raw_kernel(body, [(0, 0), (0, 0)]))
+
+    def test_unregistered_table_rejected(self):
+        body = [make_instruction(0, "LUT", [RecordInput(0)], table=7)]
+        with pytest.raises(KernelValidationError, match="table 7"):
+            validate_kernel(raw_kernel(body, [(0, 0)]))
+
+
+class TestLoopTagErrors:
+    def test_loop_tag_without_loop_rejected(self):
+        body = [
+            make_instruction(0, "MOV", [RecordInput(0)], loop_iter=1),
+        ]
+        with pytest.raises(KernelValidationError, match="no\\s+variable loop"):
+            validate_kernel(raw_kernel(body, [(0, 0)]))
+
+    def test_consuming_later_iteration_rejected(self):
+        body = [
+            make_instruction(0, "MOV", [RecordInput(0)], loop_iter=1),
+            make_instruction(1, "MOV", [InstResult(0)], loop_iter=0),
+        ]
+        loop = LoopInfo(variable=True, max_trips=2, trips_fn=lambda r: int(r[0]))
+        with pytest.raises(KernelValidationError, match="later iteration"):
+            validate_kernel(raw_kernel(body, [(1, 0)], loop=loop))
+
+    def test_post_loop_consumption_allowed(self):
+        body = [
+            make_instruction(0, "MOV", [RecordInput(0)], loop_iter=1),
+            make_instruction(1, "MOV", [InstResult(0)]),  # post-loop
+        ]
+        loop = LoopInfo(variable=True, max_trips=2, trips_fn=lambda r: int(r[0]))
+        validate_kernel(raw_kernel(body, [(1, 0)], loop=loop))
+
+    def test_tag_beyond_max_trips_rejected(self):
+        body = [make_instruction(0, "MOV", [RecordInput(0)], loop_iter=9)]
+        loop = LoopInfo(variable=True, max_trips=2, trips_fn=lambda r: 1)
+        with pytest.raises(KernelValidationError, match="beyond"):
+            validate_kernel(raw_kernel(body, [(0, 0)], loop=loop))
+
+
+def test_builder_output_validates_by_default():
+    b = KernelBuilder("ok", Domain.NETWORK, record_in=1, record_out=1)
+    b.output(b.add(b.input(0), 1))
+    b.build()  # must not raise

@@ -1,0 +1,99 @@
+"""End-to-end cryptographic validation of the network kernels.
+
+The strongest correctness statement in the repository: running the
+*dataflow kernels* (the graphs the machine executes) over packet streams
+produces digests/ciphertexts identical to hashlib and the reference
+ciphers.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.crypto import Blowfish, aes_encrypt_block
+from repro.isa import evaluate_kernel
+from repro.kernels import blowfish as bf_mod
+from repro.kernels import md5 as md5_mod
+from repro.kernels import rijndael as rj_mod
+from repro.workloads.packets import MD5_IV_WORDS, md5_block_records
+
+
+class TestMd5Kernel:
+    def test_single_block_digest_matches_hashlib(self):
+        """A <=55-byte message fits one padded block: the kernel's output
+        state, serialized, must equal hashlib's digest."""
+        kernel = md5_mod.build_kernel()
+        for message in (b"", b"abc", b"message digest", b"a" * 55):
+            from repro.crypto.md5_ref import pad
+
+            records = md5_block_records([pad(message)[:64]], limit=1)
+            # md5_block_records pads to 64 itself; pass the padded block.
+            out = evaluate_kernel(kernel, records[0])
+            digest = b"".join(
+                half.to_bytes(4, "little")
+                for word in out
+                for half in ((word >> 32) & 0xFFFFFFFF, word & 0xFFFFFFFF)
+            )
+            assert digest == hashlib.md5(message).digest(), message
+
+    def test_chained_blocks_digest_matches_hashlib(self):
+        """Multi-block digest: chain the kernel across a long message."""
+        from repro.crypto.md5_ref import pad
+
+        kernel = md5_mod.build_kernel()
+        message = bytes(range(256)) * 2  # 512 bytes -> 9 padded blocks
+        data = pad(message)
+        state = list(MD5_IV_WORDS)
+        for offset in range(0, len(data), 64):
+            records = md5_block_records([data[offset:offset + 64]], limit=1,
+                                        iv=state)
+            state = evaluate_kernel(kernel, records[0])
+        digest = b"".join(
+            half.to_bytes(4, "little")
+            for word in state
+            for half in ((word >> 32) & 0xFFFFFFFF, word & 0xFFFFFFFF)
+        )
+        assert digest == hashlib.md5(message).digest()
+
+
+class TestBlowfishKernel:
+    def test_kernel_encrypts_like_reference_cipher(self):
+        kernel = bf_mod.build_kernel()
+        cipher = Blowfish(bf_mod.DEFAULT_KEY)
+        for record in bf_mod.workload(32):
+            out = evaluate_kernel(kernel, record)[0]
+            block = record[0].to_bytes(8, "big")
+            assert out.to_bytes(8, "big") == cipher.encrypt_block(block)
+
+    def test_kernel_with_custom_key(self):
+        key = b"another-secret-key"
+        kernel = bf_mod.build_kernel(key)
+        cipher = Blowfish(key)
+        record = bf_mod.workload(1)[0]
+        out = evaluate_kernel(kernel, record)[0]
+        assert out.to_bytes(8, "big") == cipher.encrypt_block(
+            record[0].to_bytes(8, "big")
+        )
+
+
+class TestRijndaelKernel:
+    def test_kernel_encrypts_like_fips_aes(self):
+        kernel = rj_mod.build_kernel()
+        for record in rj_mod.workload(16):
+            out = evaluate_kernel(kernel, record)
+            block = b"".join(w.to_bytes(8, "big") for w in record)
+            expected = aes_encrypt_block(block, rj_mod.DEFAULT_KEY)
+            got = b"".join(w.to_bytes(8, "big") for w in out)
+            assert got == expected
+
+    def test_fips_vector_through_the_kernel(self):
+        from repro.crypto import AES_FIPS_VECTOR
+
+        key, plaintext, ciphertext = AES_FIPS_VECTOR
+        kernel = rj_mod.build_kernel(key)
+        record = [
+            int.from_bytes(plaintext[:8], "big"),
+            int.from_bytes(plaintext[8:], "big"),
+        ]
+        out = evaluate_kernel(kernel, record)
+        assert b"".join(w.to_bytes(8, "big") for w in out) == ciphertext

@@ -1,0 +1,71 @@
+"""Workload generators: shapes, determinism, distributions."""
+
+import pytest
+
+from repro.kernels import all_specs
+from repro.workloads import (
+    anisotropic_records,
+    image_blocks_8x8,
+    md5_block_records,
+    packet_block_records,
+    packet_stream,
+    rgb_pixels,
+    skinning_records,
+)
+from repro.workloads.packets import PACKET_BYTES
+
+
+class TestShapes:
+    @pytest.mark.parametrize("s", all_specs(), ids=lambda s: s.name)
+    def test_records_match_kernel_record_size(self, s):
+        kernel = s.kernel()
+        for record in s.workload(5):
+            assert len(record) == kernel.record_in
+
+    def test_packets_are_1500_bytes(self):
+        assert all(len(p) == PACKET_BYTES for p in packet_stream(3))
+
+    def test_block_records_pack_whole_packets(self):
+        packets = packet_stream(1)
+        blocks = packet_block_records(packets, block_bytes=8)
+        assert len(blocks) == (PACKET_BYTES + 7) // 8
+        assert all(len(b) == 1 for b in blocks)
+
+    def test_md5_records_carry_state(self):
+        records = md5_block_records(packet_stream(1), limit=3)
+        assert all(len(r) == 10 for r in records)
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        assert rgb_pixels(10, seed=1) == rgb_pixels(10, seed=1)
+        assert skinning_records(10, seed=2) == skinning_records(10, seed=2)
+
+    def test_different_seed_different_workload(self):
+        assert rgb_pixels(10, seed=1) != rgb_pixels(10, seed=2)
+
+
+class TestDistributions:
+    def test_pixels_in_range(self):
+        for record in rgb_pixels(50):
+            assert all(0.0 <= c <= 255.0 for c in record)
+
+    def test_image_blocks_have_64_words(self):
+        assert all(len(b) == 64 for b in image_blocks_8x8(4))
+
+    def test_skinning_bone_counts_vary(self):
+        counts = {int(r[14]) for r in skinning_records(200)}
+        assert counts == {1, 2, 3, 4}
+
+    def test_skinning_weights_sum_to_one_over_live_bones(self):
+        for record in skinning_records(20):
+            bones = int(record[14])
+            weights = record[10:14]
+            assert sum(weights[:bones]) == pytest.approx(1.0)
+            assert all(w == 0.0 for w in weights[bones:])
+
+    def test_anisotropic_tap_counts_bounded(self):
+        taps = [int(r[6]) for r in anisotropic_records(100)]
+        assert min(taps) >= 1
+        assert max(taps) <= 16
+        assert len(set(taps)) > 2  # genuinely data-dependent

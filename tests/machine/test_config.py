@@ -1,0 +1,76 @@
+"""Machine configurations: legality rules and the Table 5 points."""
+
+import pytest
+
+from repro.machine import MachineConfig, TABLE5_CONFIGS, all_configs, named_config
+
+
+class TestLegality:
+    def test_revitalize_and_local_pc_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            MachineConfig(name="bad", inst_revitalize=True, local_pc=True)
+
+    def test_operand_revitalize_requires_inst_revitalize(self):
+        with pytest.raises(ValueError, match="requires instruction"):
+            MachineConfig(name="bad", operand_revitalize=True)
+
+
+class TestNamedConfigs:
+    def test_table5_names(self):
+        assert [c.name for c in TABLE5_CONFIGS] == ["S", "S-O", "S-O-D", "M", "M-D"]
+
+    def test_architecture_models_match_table5(self):
+        models = {c.name: c.architecture_model for c in TABLE5_CONFIGS}
+        assert models["S"] == "SIMD"
+        assert models["S-O"] == "SIMD+scalar constant access"
+        assert models["S-O-D"] == "SIMD+scalar constant access+lookup table"
+        assert models["M"] == "MIMD"
+        assert models["M-D"] == "MIMD+lookup table"
+
+    def test_baseline_is_ilp(self):
+        assert MachineConfig.baseline().architecture_model == "ILP (baseline)"
+
+    def test_named_lookup(self):
+        assert named_config("S-O-D").l0_data
+        assert not named_config("baseline").smc_stream
+        with pytest.raises(KeyError):
+            named_config("Z")
+
+    def test_simd_mimd_flags(self):
+        assert MachineConfig.S().is_simd and not MachineConfig.S().is_mimd
+        assert MachineConfig.M().is_mimd and not MachineConfig.M().is_simd
+
+    def test_mechanism_listing(self):
+        mechanisms = MachineConfig.S_O_D().mechanisms()
+        assert "operand revitalization" in mechanisms
+        assert "L0 data store" in mechanisms
+        assert "local program counters" not in mechanisms
+
+
+class TestConfigLattice:
+    def test_all_configs_are_legal_and_unique(self):
+        configs = all_configs()
+        keys = {
+            (c.smc_stream, c.inst_revitalize, c.operand_revitalize,
+             c.l0_data, c.local_pc)
+            for c in configs
+        }
+        assert len(keys) == len(configs)
+
+    def test_lattice_size(self):
+        # The paper claims "as many as 20 different run-time machine
+        # configurations"; under our (stricter) legality rules — operand
+        # revitalization only with instruction revitalization, one control
+        # regime at a time — the lattice has 16 points: 2 (smc) x
+        # [no-control x 2 (l0) + revit x 2 (op) x 2 (l0) + pc x 2 (l0)].
+        assert len(all_configs()) == 16
+
+    def test_lattice_contains_table5_points(self):
+        keys = {
+            (c.smc_stream, c.inst_revitalize, c.operand_revitalize,
+             c.l0_data, c.local_pc)
+            for c in all_configs()
+        }
+        for c in TABLE5_CONFIGS:
+            assert (c.smc_stream, c.inst_revitalize, c.operand_revitalize,
+                    c.l0_data, c.local_pc) in keys

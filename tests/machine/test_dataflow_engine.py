@@ -1,0 +1,117 @@
+"""Dataflow engine timing semantics."""
+
+import pytest
+
+from repro.isa import Domain, KernelBuilder
+from repro.machine import DataflowEngine, MachineConfig, MachineParams, map_window
+from repro.machine.dataflow_engine import DeadlockError
+from repro.memory import MemorySystem
+
+
+def build_engine(kernel, config, params, iterations):
+    memory = MemorySystem(params.rows, params.memory_timings())
+    memory.configure_smc(config.smc_stream)
+    window = map_window(kernel, config, params, iterations=iterations)
+    return DataflowEngine(window, memory, seed=1), memory
+
+
+def chain(length):
+    b = KernelBuilder("chain", Domain.NETWORK, record_in=1, record_out=1)
+    x = b.lo32(b.input(0))
+    for _ in range(length):
+        x = b.add(x, 1)
+    b.output(b.pack64(x, x))
+    return b.build()
+
+
+def wide(width):
+    b = KernelBuilder("wide", Domain.SCIENTIFIC, record_in=1, record_out=1)
+    x = b.input(0)
+    vals = [b.fmul(x, float(i)) for i in range(width)]
+    acc = vals[0]
+    for v in vals[1:]:
+        acc = b.fadd(acc, v)
+    b.output(acc)
+    return b.build()
+
+
+class TestChainTiming:
+    def test_chain_cost_scales_with_length(self):
+        params = MachineParams()
+        short_eng, _ = build_engine(chain(10), MachineConfig.S_O(), params, 1)
+        long_eng, _ = build_engine(chain(40), MachineConfig.S_O(), params, 1)
+        t_short = short_eng.run().cycles
+        t_long = long_eng.run().cycles
+        assert t_long - t_short == pytest.approx(30, abs=6)
+
+    def test_parallel_iterations_amortize(self):
+        """64 independent chains cost barely more than one (ALU-parallel)."""
+        params = MachineParams()
+        one, _ = build_engine(chain(30), MachineConfig.S_O(), params, 1)
+        many, _ = build_engine(chain(30), MachineConfig.S_O(), params, 64)
+        t1 = one.run().cycles
+        t64 = many.run().cycles
+        assert t64 < 2.5 * t1
+
+
+class TestResourceLimits:
+    def test_single_issue_per_node(self):
+        """A wide graph on a tiny grid is issue-bound."""
+        params = MachineParams(rows=1, cols=1, slots_per_node=256)
+        engine, _ = build_engine(wide(64), MachineConfig.S_O(), params, 1)
+        timing = engine.run()
+        assert timing.cycles >= 129  # 129+ instances, one per cycle
+
+    def test_fetch_cycles_reported(self):
+        params = MachineParams(fetch_bandwidth=10)
+        engine, _ = build_engine(chain(20), MachineConfig.S(), params, 4)
+        timing = engine.run()
+        expected = -(-engine.window.machine_instructions // 10)
+        assert timing.fetch_cycles == expected
+
+    def test_store_drain_tracked(self):
+        params = MachineParams()
+        engine, _ = build_engine(wide(4), MachineConfig.S(), params, 8)
+        timing = engine.run()
+        assert timing.store_drain_cycle > 0
+        assert timing.cycles >= timing.store_drain_cycle
+
+
+class TestConstantDelivery:
+    def test_const_reads_slow_the_window(self):
+        """Without operand revitalization, constants eat regfile slots."""
+        b = KernelBuilder("consts", Domain.GRAPHICS, record_in=1, record_out=1)
+        x = b.input(0)
+        acc = b.fmul(x, b.const(1.5, "c0"))
+        for i in range(20):
+            acc = b.fadd(acc, b.fmul(x, b.const(float(i) + 2, f"c{i + 1}")))
+        b.output(acc)
+        k = b.build()
+        params = MachineParams(regfile_read_ports=2)
+        s_engine, _ = build_engine(k, MachineConfig.S(), params, 32)
+        so_engine, _ = build_engine(k, MachineConfig.S_O(), params, 32)
+        assert s_engine.run().cycles > so_engine.run().cycles
+
+    def test_regfile_read_count_in_stats(self):
+        b = KernelBuilder("c", Domain.GRAPHICS, record_in=1, record_out=1)
+        b.output(b.fmul(b.input(0), b.const(2.0, "k")))
+        k = b.build()
+        engine, _ = build_engine(k, MachineConfig.S(), MachineParams(), 4)
+        timing = engine.run()
+        assert timing.detail["regfile_reads"] == 4
+
+
+class TestDeterminismAndErrors:
+    def test_identical_runs_identical_cycles(self):
+        params = MachineParams()
+        e1, _ = build_engine(wide(16), MachineConfig.S_O(), params, 8)
+        e2, _ = build_engine(wide(16), MachineConfig.S_O(), params, 8)
+        assert e1.run().cycles == e2.run().cycles
+
+    def test_deadlock_detection(self):
+        params = MachineParams()
+        engine, _ = build_engine(wide(4), MachineConfig.S_O(), params, 1)
+        # Corrupt an operand count to create an unsatisfiable instance.
+        engine.window.instances[-1].operands += 1
+        with pytest.raises(DeadlockError):
+            engine.run()

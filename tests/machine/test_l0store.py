@@ -1,0 +1,43 @@
+"""L0 data store: capacity and lookup semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernels import spec
+from repro.machine import L0CapacityError, L0DataStore
+
+
+class TestCapacity:
+    def test_paper_sizing_fits_rijndael(self):
+        """2KB holds the 1024 T-table entries (the paper's claim)."""
+        store = L0DataStore(capacity_bytes=2048, entry_bytes=2)
+        store.load_tables(spec("rijndael").kernel().tables)
+        assert store.used_entries == 1024
+
+    def test_overflow_raises(self):
+        store = L0DataStore(capacity_bytes=16, entry_bytes=2)
+        with pytest.raises(L0CapacityError, match="exceed"):
+            store.load_tables({0: list(range(9))})
+
+    def test_load_is_atomic_replace(self):
+        store = L0DataStore(capacity_bytes=64, entry_bytes=2)
+        store.load_tables({0: [1, 2]})
+        store.load_tables({1: [3]})
+        assert store.used_entries == 1
+        with pytest.raises(KeyError):
+            store.lookup(0, 0)
+
+
+class TestLookup:
+    @given(st.integers(min_value=-100, max_value=100))
+    def test_lookup_wraps_modulo(self, index):
+        store = L0DataStore()
+        store.load_tables({0: [10, 20, 30]})
+        assert store.lookup(0, index) == [10, 20, 30][index % 3]
+
+    def test_clear(self):
+        store = L0DataStore()
+        store.load_tables({0: [1]})
+        store.clear()
+        assert store.used_entries == 0

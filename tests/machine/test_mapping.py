@@ -1,0 +1,90 @@
+"""Window mapping: per-configuration expansion of kernels."""
+
+import math
+
+import pytest
+
+from repro.kernels import spec
+from repro.machine import MachineConfig, MachineParams, map_window, window_iterations
+from repro.machine.mapping import LMW, LOAD, STORE, overhead_per_iteration
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MachineParams()
+
+
+class TestOverheads:
+    def test_smc_amortizes_loads_with_lmw(self, params):
+        k = spec("dct").kernel()  # record 64/64
+        smc = overhead_per_iteration(k, MachineConfig.S(), params)
+        base = overhead_per_iteration(k, MachineConfig.baseline(), params)
+        assert smc == math.ceil(64 / params.lmw_words) + 64
+        assert base == 64 + 64
+
+    def test_window_iterations_baseline_capped_by_unroll(self, params):
+        k = spec("lu").kernel()  # tiny kernel
+        u = window_iterations(k, MachineConfig.baseline(), params)
+        assert u == params.baseline_unroll_cap * params.baseline_blocks_in_flight
+
+    def test_window_iterations_simd_fills_stations(self, params):
+        k = spec("md5").kernel()
+        cfg = MachineConfig.S_O()
+        u = window_iterations(k, cfg, params)
+        per_iter = len(k.body) + overhead_per_iteration(k, cfg, params)
+        assert u == params.mapping_capacity // per_iter
+
+
+class TestInstanceExpansion:
+    def test_mimd_config_rejected(self, params):
+        with pytest.raises(ValueError, match="mimd_engine"):
+            map_window(spec("fft").kernel(), MachineConfig.M(), params)
+
+    def test_smc_window_uses_lmw_not_loads(self, params):
+        w = map_window(spec("fft").kernel(), MachineConfig.S(), params,
+                       iterations=4)
+        kinds = {i.kind for i in w.instances}
+        assert LMW in kinds and LOAD not in kinds
+        lmws = [i for i in w.instances if i.kind == LMW]
+        assert len(lmws) == 4 * math.ceil(6 / params.lmw_words)
+        # LMWs sit at the row memory interface (column 0).
+        assert all(i.node % params.cols == 0 for i in lmws)
+
+    def test_baseline_window_uses_per_word_loads(self, params):
+        w = map_window(spec("fft").kernel(), MachineConfig.baseline(),
+                       params, iterations=4)
+        loads = [i for i in w.instances if i.kind == LOAD]
+        assert len(loads) == 4 * 6
+
+    def test_store_instances_per_output_word(self, params):
+        w = map_window(spec("convert").kernel(), MachineConfig.S(), params,
+                       iterations=3)
+        stores = [i for i in w.instances if i.kind == STORE]
+        assert len(stores) == 3 * 3
+        assert all(i.operands == 1 for i in stores)
+
+    def test_operand_revitalization_elides_const_reads(self, params):
+        k = spec("convert").kernel()  # 9 scalar constants
+        with_reads = map_window(k, MachineConfig.S(), params, iterations=4)
+        without = map_window(k, MachineConfig.S_O(), params, iterations=4)
+        assert len(with_reads.const_reads) == 9 * 4
+        assert without.const_reads == []
+
+    def test_operand_counts_cover_all_edges(self, params):
+        w = map_window(spec("convert").kernel(), MachineConfig.S(), params,
+                       iterations=2)
+        # Every instance with operands must be reachable via consumers.
+        feeds = sum(len(i.consumers) for i in w.instances)
+        feeds += sum(len(c) for i in w.instances for c in i.word_consumers)
+        feeds += sum(len(r.consumers) for r in w.const_reads)
+        needs = sum(i.operands for i in w.instances)
+        assert feeds == needs
+
+    def test_record_offset_advances_addresses(self, params):
+        k = spec("lu").kernel()
+        w0 = map_window(k, MachineConfig.baseline(), params, iterations=2)
+        w1 = map_window(k, MachineConfig.baseline(), params, iterations=2,
+                        record_offset=2)
+        a0 = [i.address for i in w0.instances if i.kind == LOAD]
+        a1 = [i.address for i in w1.instances if i.kind == LOAD]
+        assert min(a1) > max(a0) - k.record_in  # streams forward

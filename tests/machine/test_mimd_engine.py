@@ -1,0 +1,122 @@
+"""MIMD engine: functional equivalence, capacity limits, control skipping."""
+
+import pytest
+
+from repro.isa import evaluate_kernel
+from repro.kernels import spec
+from repro.machine import (
+    MachineConfig,
+    MachineParams,
+    MimdCapacityError,
+    MimdEngine,
+    rolled_instruction_count,
+)
+from repro.machine.mimd_engine import check_capacity
+from repro.memory import MemorySystem
+
+
+def engine_for(name, config, params=None, functional=False):
+    params = params or MachineParams()
+    memory = MemorySystem(params.rows, params.memory_timings())
+    memory.configure_smc(True)
+    kernel = spec(name).kernel()
+    return MimdEngine(kernel, config, params, memory, functional=functional)
+
+
+class TestFunctionalExecution:
+    @pytest.mark.parametrize("name", ["blowfish", "md5", "rijndael"])
+    def test_crypto_outputs_bit_exact(self, name):
+        s = spec(name)
+        records = s.workload(16)
+        engine = engine_for(name, MachineConfig.M_D() if s.kernel().tables
+                            else MachineConfig.M(), functional=True)
+        result = engine.run(records)
+        for record, out in zip(records, result.outputs):
+            assert out == s.reference(record)
+
+    def test_variable_loop_outputs_match_evaluator(self):
+        s = spec("vertex-skinning")
+        records = s.workload(12)
+        engine = engine_for("vertex-skinning", MachineConfig.M_D(),
+                            functional=True)
+        result = engine.run(records)
+        for record, out in zip(records, result.outputs):
+            assert out == pytest.approx(evaluate_kernel(s.kernel(), record))
+
+
+class TestControlSkipping:
+    def test_dead_iterations_not_charged(self):
+        """A 1-bone vertex must run faster than a 4-bone vertex."""
+        s = spec("vertex-skinning")
+        base = s.workload(1)[0]
+        light = list(base)
+        light[14] = 1.0
+        heavy = list(base)
+        heavy[14] = 4.0
+        e_light = engine_for("vertex-skinning", MachineConfig.M_D())
+        e_heavy = engine_for("vertex-skinning", MachineConfig.M_D())
+        t_light = e_light.run([light]).cycles
+        t_heavy = e_heavy.run([heavy]).cycles
+        assert t_light < t_heavy
+
+    def test_useful_ops_counts_live_work_only(self):
+        s = spec("vertex-skinning")
+        record = list(s.workload(1)[0])
+        record[14] = 2.0
+        engine = engine_for("vertex-skinning", MachineConfig.M_D())
+        result = engine.run([record])
+        assert result.useful_ops == s.kernel().useful_ops_live(2)
+
+    def test_skipped_instruction_stat(self):
+        record = list(spec("vertex-skinning").workload(1)[0])
+        record[14] = 1.0
+        engine = engine_for("vertex-skinning", MachineConfig.M_D())
+        engine.run([record])
+        assert engine.stats.instructions_skipped > 0
+
+
+class TestCapacity:
+    def test_rolled_count_uses_loop_structure(self):
+        dct = spec("dct").kernel()
+        assert rolled_instruction_count(dct) == -(-len(dct.body) // 16)
+        skin = spec("vertex-skinning").kernel()
+        assert rolled_instruction_count(skin) < len(skin.body)
+
+    def test_istore_capacity_enforced(self):
+        params = MachineParams(l0_inst_capacity=32)
+        with pytest.raises(MimdCapacityError, match="instruction store"):
+            check_capacity(spec("md5").kernel(), MachineConfig.M(), params)
+
+    def test_l0_data_capacity_enforced(self):
+        params = MachineParams(l0_data_bytes=256)
+        with pytest.raises(MimdCapacityError, match="data store"):
+            check_capacity(
+                spec("blowfish").kernel(), MachineConfig.M_D(), params
+            )
+
+    def test_non_mimd_config_rejected(self):
+        params = MachineParams()
+        memory = MemorySystem(params.rows, params.memory_timings())
+        with pytest.raises(ValueError, match="not a MIMD"):
+            MimdEngine(spec("fft").kernel(), MachineConfig.S(), params, memory)
+
+
+class TestTimingShape:
+    def test_nodes_share_work_round_robin(self):
+        """2x the records on a full grid costs about 2x the cycles."""
+        s = spec("fft")
+        params = MachineParams()
+        e1 = engine_for("fft", MachineConfig.M(), params)
+        e2 = engine_for("fft", MachineConfig.M(), params)
+        t64 = e1.run(s.workload(64)).cycles
+        t128 = e2.run(s.workload(128)).cycles
+        assert t128 > t64
+        assert t128 < 2.6 * t64
+
+    def test_l0_lookup_beats_remote_l1(self):
+        """M-D's local tables beat plain M's mesh-routed L1 lookups."""
+        s = spec("blowfish")
+        records = s.workload(64)
+        m = engine_for("blowfish", MachineConfig.M())
+        md = engine_for("blowfish", MachineConfig.M_D())
+        assert md.run(records).cycles < m.run(records).cycles

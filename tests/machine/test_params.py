@@ -1,0 +1,75 @@
+"""Machine parameters: routing math and derived quantities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import OpClass
+from repro.machine import MachineParams
+
+
+class TestGeometry:
+    def test_paper_defaults(self):
+        p = MachineParams()
+        assert p.nodes == 64
+        assert p.mapping_capacity == 64 * 64
+        assert p.l0_data_entries == 1024
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            MachineParams(rows=0)
+
+    def test_scaled_copy(self):
+        p = MachineParams().scaled(rows=4, cols=4)
+        assert p.nodes == 16
+        assert MachineParams().rows == 8  # original untouched
+
+
+class TestRouting:
+    def test_half_cycle_hops_round_up(self):
+        p = MachineParams()
+        assert p.route_delay(0) == 0
+        assert p.route_delay(1) == 1
+        assert p.route_delay(2) == 1
+        assert p.route_delay(3) == 2
+
+    def test_manhattan_distance(self):
+        p = MachineParams()
+        assert p.node_distance(0, 0) == 0
+        assert p.node_distance(0, 7) == 7          # same row
+        assert p.node_distance(0, 8) == 1          # next row
+        assert p.node_distance(0, 63) == 14        # opposite corner
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_distance_is_a_metric(self, a, b, c):
+        p = MachineParams()
+        assert p.node_distance(a, b) == p.node_distance(b, a)
+        assert p.node_distance(a, a) == 0
+        assert (p.node_distance(a, c)
+                <= p.node_distance(a, b) + p.node_distance(b, c))
+
+    def test_row_edge_route(self):
+        p = MachineParams()
+        assert p.route_to_row_edge(0) == 1   # column 0: one hop to the bank
+        assert p.route_to_row_edge(7) == 4   # column 7: 8 hops / 2
+
+    def test_regfile_route_grows_with_row(self):
+        p = MachineParams()
+        assert p.route_from_regfile(0) < p.route_from_regfile(56)
+
+
+class TestLatencies:
+    def test_alpha_21264_style_defaults(self):
+        p = MachineParams()
+        assert p.latency(OpClass.INT_ALU) == 1
+        assert p.latency(OpClass.INT_MUL) == 7
+        assert p.latency(OpClass.FP_ADD) == 4
+        assert p.latency(OpClass.FP_DIV) == 12
+
+    def test_memory_timings_mirror_params(self):
+        p = MachineParams(l1_banks=2, l2_latency=20)
+        t = p.memory_timings()
+        assert t.l1_banks == 2
+        assert t.l2_latency == 20

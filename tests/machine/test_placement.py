@@ -1,0 +1,81 @@
+"""Static placement: capacity enforcement, locality, determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Domain, KernelBuilder
+from repro.kernels import spec
+from repro.machine import MachineParams, max_unroll, place_iterations, region_width
+
+
+def chain_kernel(length=20):
+    b = KernelBuilder("chain", Domain.NETWORK, record_in=1, record_out=1)
+    x = b.lo32(b.input(0))
+    for _ in range(length):
+        x = b.add(x, 1)
+    b.output(b.pack64(x, x))
+    return b.build()
+
+
+class TestCapacity:
+    def test_overflow_rejected(self):
+        params = MachineParams(rows=2, cols=2, slots_per_node=4)
+        k = chain_kernel(20)
+        with pytest.raises(ValueError):
+            place_iterations(k, params, iterations=2)
+
+    def test_slots_never_exceed_capacity(self):
+        params = MachineParams(rows=2, cols=2, slots_per_node=16)
+        k = chain_kernel(10)
+        placement = place_iterations(k, params, iterations=5)
+        assert placement.max_slot_usage() <= 16
+        assert sum(placement.slots_used.values()) == 5 * len(k.body)
+
+    def test_max_unroll_respects_capacity_and_cap(self):
+        params = MachineParams(simd_max_unroll=128)
+        k = spec("convert").kernel()
+        u = max_unroll(k, params, overhead_per_iter=5)
+        assert u == 128  # small kernel: unroll cap binds
+        big = spec("dct").kernel()
+        assert max_unroll(big, params) == params.mapping_capacity // len(big)
+
+
+class TestLocality:
+    def test_chain_stays_on_one_node(self):
+        """Chain-affine placement keeps a pure chain local."""
+        params = MachineParams()
+        k = chain_kernel(30)
+        placement = place_iterations(k, params, iterations=1)
+        nodes = {placement.node_of[(0, i)] for i in range(len(k.body))}
+        assert len(nodes) <= 2
+
+    def test_iterations_spread_across_rows(self):
+        params = MachineParams()
+        k = spec("fft").kernel()
+        placement = place_iterations(k, params, iterations=16)
+        assert len(set(placement.home_row)) > 1
+
+    def test_region_width_covers_footprint(self):
+        params = MachineParams(slots_per_node=64)
+        wide = spec("rijndael").kernel()  # 614 insts: needs >= 10 nodes
+        assert region_width(wide, params) >= 10
+        assert region_width(spec("lu").kernel(), params) == 1
+
+
+class TestDeterminism:
+    def test_same_inputs_same_placement(self):
+        params = MachineParams()
+        k = spec("blowfish").kernel()
+        a = place_iterations(k, params, iterations=8)
+        b = place_iterations(k, params, iterations=8)
+        assert a.node_of == b.node_of
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_every_instance_placed(self, iterations):
+        params = MachineParams()
+        k = spec("highpassfilter").kernel()
+        placement = place_iterations(k, params, iterations=iterations)
+        assert len(placement.node_of) == iterations * len(k.body)
+        assert all(0 <= n < params.nodes for n in placement.node_of.values())

@@ -1,0 +1,104 @@
+"""GridProcessor end-to-end behaviour across configurations."""
+
+import pytest
+
+from repro.isa import evaluate_stream
+from repro.kernels import spec
+from repro.machine import GridProcessor, MachineConfig, MachineParams, TABLE5_CONFIGS
+
+
+@pytest.fixture(scope="module")
+def proc():
+    return GridProcessor()
+
+
+class TestRunBasics:
+    def test_empty_stream_rejected(self, proc):
+        with pytest.raises(ValueError, match="empty record stream"):
+            proc.run(spec("fft").kernel(), [], MachineConfig.S())
+
+    @pytest.mark.parametrize("config", list(TABLE5_CONFIGS) +
+                             [MachineConfig.baseline()],
+                             ids=lambda c: c.name)
+    def test_all_configs_produce_positive_results(self, proc, config):
+        s = spec("fft")
+        result = proc.run(s.kernel(), s.workload(64), config)
+        assert result.cycles > 0
+        assert result.useful_ops == 64 * s.kernel().useful_ops()
+        assert 0 < result.ops_per_cycle < 64  # bounded by the issue width
+
+    def test_more_records_more_cycles(self, proc):
+        s = spec("convert")
+        k = s.kernel()
+        short = proc.run(k, s.workload(256), MachineConfig.S_O())
+        long = proc.run(k, s.workload(1024), MachineConfig.S_O())
+        assert long.cycles > short.cycles
+        # Setup amortizes away: the long run has *better* throughput, and
+        # the steady-state per-window interval is identical.
+        assert long.ops_per_cycle >= short.ops_per_cycle
+        assert long.window.cycles == short.window.cycles
+
+    def test_determinism(self, proc):
+        s = spec("blowfish")
+        a = proc.run(s.kernel(), s.workload(64), MachineConfig.S_O_D())
+        b = proc.run(s.kernel(), s.workload(64), MachineConfig.S_O_D())
+        assert a.cycles == b.cycles
+
+
+class TestFunctionalMode:
+    def test_block_configs_return_evaluator_outputs(self, proc):
+        s = spec("convert")
+        records = s.workload(8)
+        result = proc.run(s.kernel(), records, MachineConfig.S_O(),
+                          functional=True)
+        assert result.outputs == evaluate_stream(s.kernel(), records)
+
+    def test_mimd_outputs_match_reference(self, proc):
+        s = spec("blowfish")
+        records = s.workload(8)
+        result = proc.run(s.kernel(), records, MachineConfig.M_D(),
+                          functional=True)
+        assert result.outputs == [s.reference(r) for r in records]
+
+
+class TestAccounting:
+    def test_variable_loop_useful_ops_use_trip_counts(self, proc):
+        s = spec("vertex-skinning")
+        records = s.workload(32)
+        k = s.kernel()
+        result = proc.run(k, records, MachineConfig.S_O_D())
+        expected = sum(k.useful_ops_live(k.trip_count(r)) for r in records)
+        assert result.useful_ops == expected
+        assert result.useful_ops < 32 * k.useful_ops()  # some bones skipped
+
+    def test_speedup_requires_same_kernel(self, proc):
+        a = proc.run(spec("fft").kernel(), spec("fft").workload(16),
+                     MachineConfig.S())
+        b = proc.run(spec("lu").kernel(), spec("lu").workload(16),
+                     MachineConfig.S())
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+    def test_supports_honours_l0_capacity(self):
+        small = GridProcessor(MachineParams(l0_data_bytes=64))
+        assert not small.supports(spec("rijndael").kernel(),
+                                  MachineConfig.S_O_D())
+        assert small.supports(spec("fft").kernel(), MachineConfig.S_O_D())
+
+
+class TestScaling:
+    def test_bigger_grid_is_faster_for_parallel_kernels(self):
+        s = spec("fft")
+        small = GridProcessor(MachineParams(rows=4, cols=4))
+        big = GridProcessor(MachineParams(rows=8, cols=8))
+        t_small = small.run(s.kernel(), s.workload(256), MachineConfig.S())
+        t_big = big.run(s.kernel(), s.workload(256), MachineConfig.S())
+        assert t_big.cycles < t_small.cycles
+
+    def test_revitalize_delay_costs_cycles(self):
+        s = spec("fft")
+        cheap = GridProcessor(MachineParams(revitalize_delay=0))
+        dear = GridProcessor(MachineParams(revitalize_delay=40))
+        t_cheap = cheap.run(s.kernel(), s.workload(512), MachineConfig.S())
+        t_dear = dear.run(s.kernel(), s.workload(512), MachineConfig.S())
+        assert t_dear.cycles > t_cheap.cycles

@@ -1,0 +1,49 @@
+"""Revitalization controller (CTR register) state machine."""
+
+import pytest
+
+from repro.machine import RevitalizationController, RevitalizeStateError
+
+
+class TestProtocol:
+    def test_repeat_then_count_down(self):
+        ctrl = RevitalizationController(broadcast_delay=6)
+        ctrl.repeat(3)
+        assert ctrl.iteration_complete() == 6
+        assert ctrl.iteration_complete() == 6
+        assert ctrl.iteration_complete() == 0  # last window: no broadcast
+        assert ctrl.done
+        assert ctrl.revitalizations == 2
+
+    def test_complete_before_repeat_rejected(self):
+        ctrl = RevitalizationController(broadcast_delay=6)
+        with pytest.raises(RevitalizeStateError):
+            ctrl.iteration_complete()
+
+    def test_underflow_rejected(self):
+        ctrl = RevitalizationController(broadcast_delay=6)
+        ctrl.repeat(1)
+        ctrl.iteration_complete()
+        with pytest.raises(RevitalizeStateError):
+            ctrl.iteration_complete()
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            RevitalizationController(broadcast_delay=6).repeat(0)
+
+
+class TestOperandRevitalization:
+    def test_without_preserve_constants_reread_each_window(self):
+        ctrl = RevitalizationController(broadcast_delay=6,
+                                        preserve_operands=False)
+        ctrl.repeat(2)
+        assert not ctrl.needs_constant_delivery  # first mapping delivered
+        ctrl.iteration_complete()
+        assert ctrl.needs_constant_delivery  # status bits were reset
+
+    def test_with_preserve_constants_survive(self):
+        ctrl = RevitalizationController(broadcast_delay=6,
+                                        preserve_operands=True)
+        ctrl.repeat(2)
+        ctrl.iteration_complete()
+        assert not ctrl.needs_constant_delivery

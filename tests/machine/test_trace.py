@@ -1,0 +1,60 @@
+"""Execution tracing and the timeline renderer."""
+
+from repro.kernels import spec
+from repro.machine import (
+    DataflowEngine,
+    MachineConfig,
+    MachineParams,
+    map_window,
+    render_timeline,
+)
+from repro.memory import MemorySystem
+
+
+def traced_run(name="convert", iterations=8):
+    params = MachineParams()
+    window = map_window(spec(name).kernel(), MachineConfig.S_O(), params,
+                        iterations=iterations)
+    memory = MemorySystem(params.rows, params.memory_timings())
+    memory.configure_smc(True)
+    engine = DataflowEngine(window, memory, seed=1, trace=True)
+    timing = engine.run()
+    return engine, timing, params
+
+
+class TestTrace:
+    def test_trace_covers_every_instance(self):
+        engine, _, _ = traced_run()
+        assert len(engine.trace) == len(engine.window.instances)
+
+    def test_trace_disabled_by_default(self):
+        params = MachineParams()
+        window = map_window(spec("convert").kernel(), MachineConfig.S_O(),
+                            params, iterations=4)
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(True)
+        engine = DataflowEngine(window, memory)
+        engine.run()
+        assert engine.trace is None
+
+    def test_trace_cycles_nondecreasing_per_node(self):
+        engine, _, _ = traced_run()
+        last_by_node = {}
+        for cycle, node, *_ in engine.trace:
+            assert cycle > last_by_node.get(node, -1)  # single issue/cycle
+            last_by_node[node] = cycle
+
+    def test_trace_cycle_bounds_match_timing(self):
+        engine, timing, _ = traced_run()
+        assert max(c for c, *_ in engine.trace) <= timing.cycles
+
+
+class TestTimeline:
+    def test_renders_buckets(self):
+        engine, _, params = traced_run()
+        text = render_timeline(engine.trace, params)
+        assert "issue timeline" in text
+        assert "#" in text
+
+    def test_empty_trace(self):
+        assert render_timeline([], MachineParams()) == "(empty trace)"

@@ -1,0 +1,55 @@
+"""ASCII visualization helpers."""
+
+from repro.kernels import spec
+from repro.machine import (
+    MachineConfig,
+    MachineParams,
+    map_window,
+    place_iterations,
+    render_array,
+    render_placement,
+    render_window_summary,
+)
+
+
+class TestRenderArray:
+    def test_mentions_grid_and_config(self):
+        text = render_array(MachineParams(), MachineConfig.S_O_D())
+        assert "8x8 grid" in text
+        assert "S-O-D" in text
+        assert "SMC" in text
+
+    def test_mimd_tags_nodes_with_pc_and_data_store(self):
+        text = render_array(MachineParams(), MachineConfig.M_D())
+        assert "APD" in text
+        assert "local program counter" in text
+
+    def test_unconfigured_array_renders(self):
+        text = render_array(MachineParams(rows=2, cols=2))
+        assert text.count("[") == 4
+
+
+class TestRenderPlacement:
+    def test_grid_shaped_output(self):
+        params = MachineParams()
+        placement = place_iterations(spec("fft").kernel(), params, 8)
+        text = render_placement(placement, params)
+        assert "8 iteration(s)" in text
+        assert str(placement.max_slot_usage()) in text
+        assert len(text.splitlines()) == params.rows + 2
+
+
+class TestRenderWindowSummary:
+    def test_counts_by_kind(self):
+        params = MachineParams()
+        window = map_window(spec("convert").kernel(), MachineConfig.S(),
+                            params, iterations=4)
+        text = render_window_summary(window)
+        assert "lmw" in text
+        assert "register reads" in text  # S re-reads constants
+
+    def test_revitalized_window_notes_no_register_traffic(self):
+        params = MachineParams()
+        window = map_window(spec("convert").kernel(), MachineConfig.S_O(),
+                            params, iterations=4)
+        assert "revitalized" in render_window_summary(window)

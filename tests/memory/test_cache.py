@@ -1,0 +1,93 @@
+"""Set-associative cache: functional tag behaviour + banked timing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import BankedL1, SetAssocCache
+
+
+class TestSetAssocCache:
+    def test_capacity_geometry(self):
+        c = SetAssocCache(capacity_kb=8, line_words=8, assoc=2)
+        assert c.n_sets * c.assoc * c.line_words * 8 == 8 * 1024
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(capacity_kb=1, line_words=8, assoc=3)
+
+    def test_cold_miss_then_hit(self):
+        c = SetAssocCache(8)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(7)  # same line
+        assert not c.access(8)  # next line
+
+    def test_lru_eviction_order(self):
+        c = SetAssocCache(8, line_words=8, assoc=2)
+        stride = c.n_sets * c.line_words  # same set, different tags
+        c.access(0)
+        c.access(stride)
+        c.access(0)  # touch 0: stride becomes LRU
+        c.access(2 * stride)  # evicts stride
+        assert c.access(0)
+        assert not c.access(stride)
+
+    def test_writeback_counting(self):
+        c = SetAssocCache(8, line_words=8, assoc=1)
+        stride = c.n_sets * c.line_words
+        c.access(0, write=True)
+        c.access(stride)  # evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_flush_reports_dirty_lines(self):
+        c = SetAssocCache(8)
+        c.access(0, write=True)
+        c.access(64)
+        assert c.flush() == 1
+        assert not c.contains(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=4095), max_size=300))
+    @settings(max_examples=30)
+    def test_resident_lines_bounded_by_capacity(self, addresses):
+        c = SetAssocCache(2, line_words=4, assoc=2)
+        for a in addresses:
+            c.access(a)
+        resident = sum(len(ways) for ways in c._sets)
+        assert resident <= c.n_sets * c.assoc
+        assert c.stats.hits + c.stats.misses == len(addresses)
+
+
+class TestBankedL1:
+    def test_banks_partition_address_space(self):
+        l1 = BankedL1(capacity_kb=64, banks=4, line_words=8)
+        banks = {l1.bank_of(line * 8) for line in range(8)}
+        assert banks == {0, 1, 2, 3}
+
+    def test_hit_and_miss_latency(self):
+        l1 = BankedL1(banks=1, hit_latency=3, l2_latency=12)
+        t_miss = l1.timed_access(0, cycle=0)
+        l1.reset_timing()
+        t_hit = l1.timed_access(0, cycle=0)
+        assert t_miss == 15
+        assert t_hit == 3
+
+    def test_port_contention_serializes(self):
+        l1 = BankedL1(banks=1)
+        l1.warm([0, 8, 16])
+        t = [l1.timed_access(a, cycle=0) for a in (0, 8, 16)]
+        assert t == [3, 4, 5]
+
+    def test_different_banks_run_parallel(self):
+        l1 = BankedL1(banks=4)
+        l1.warm([0, 8])
+        a = l1.timed_access(0, cycle=0)
+        b = l1.timed_access(8, cycle=0)
+        assert a == b == 3
+
+    def test_aggregate_stats(self):
+        l1 = BankedL1(banks=2)
+        l1.timed_access(0, 0)
+        l1.timed_access(8, 0)
+        assert l1.stats.accesses == 2
+        assert l1.stats.misses == 2

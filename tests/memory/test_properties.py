@@ -1,0 +1,88 @@
+"""Property-based invariants across the memory hierarchy."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    DmaDescriptor,
+    MemorySystem,
+    MemoryTimings,
+    StoreBuffer,
+)
+
+
+class TestLmwProperties:
+    @given(
+        requests=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=50),
+                      st.integers(min_value=1, max_value=8)),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_deliveries_never_precede_requests(self, requests):
+        ms = MemorySystem(rows=1)
+        ms.configure_smc(True)
+        latency = ms.timings.smc_latency
+        for cycle, words in requests:
+            deliveries = ms.lmw_deliver(0, cycle, words)
+            assert len(deliveries) == words
+            assert all(d >= cycle + latency for d in deliveries)
+            assert deliveries == sorted(deliveries)
+
+    @given(words=st.integers(min_value=1, max_value=32),
+           bw=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_channel_bandwidth_is_respected(self, words, bw):
+        ms = MemorySystem(rows=1, timings=MemoryTimings(
+            channel_words_per_cycle=bw))
+        ms.configure_smc(True)
+        deliveries = ms.lmw_deliver(0, 0, words)
+        from collections import Counter
+
+        per_cycle = Counter(deliveries)
+        assert max(per_cycle.values()) <= bw
+
+
+class TestStoreBufferProperties:
+    @given(
+        pushes=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=256),
+                      st.integers(min_value=0, max_value=100)),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_drain_time_monotone_nondecreasing(self, pushes):
+        sb = StoreBuffer()
+        last = 0.0
+        for address, cycle in sorted(pushes, key=lambda p: p[1]):
+            done = sb.push(address, cycle)
+            assert done >= last or done == last
+            last = max(last, done)
+        assert sb.drain_complete_cycle() >= 0
+
+
+class TestDmaProperties:
+    @given(
+        records=st.integers(min_value=1, max_value=16),
+        words=st.integers(min_value=1, max_value=8),
+        stride=st.integers(min_value=8, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gather_scatter_roundtrip(self, records, words, stride):
+        """DMA in then DMA out reproduces the strided source exactly."""
+        source = list(range(1, records * stride + 1))
+        ms = MemorySystem(rows=1)
+        ms.configure_smc(True)
+        ms.memory.write_block(0, source)
+        gather = DmaDescriptor(mem_base=0, smc_base=0, record_words=words,
+                               records=records, mem_stride=stride)
+        ms.dma_fill(0, gather)
+        scatter = DmaDescriptor(mem_base=10_000, smc_base=0,
+                                record_words=words, records=records,
+                                to_memory=True)
+        ms.smc_bank(0).run_dma(scatter, ms.memory)
+        for r in range(records):
+            expected = source[r * stride : r * stride + words]
+            assert ms.memory.read_block(10_000 + r * words, words) == expected

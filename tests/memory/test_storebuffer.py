@@ -1,0 +1,41 @@
+"""Store-buffer coalescing and drain-rate behaviour."""
+
+import pytest
+
+from repro.memory.storebuffer import StoreBuffer
+
+
+class TestDrainRate:
+    def test_drain_rate_paces_independent_lines(self):
+        sb = StoreBuffer(line_words=8, drain_words_per_cycle=2)
+        times = [sb.push(line * 8, cycle=0) for line in range(4)]
+        # 2 words per cycle: completions at 0.5, 1.0, 1.5, 2.0.
+        assert times == [0.5, 1.0, 1.5, 2.0]
+        assert sb.drain_complete_cycle() == 2
+
+    def test_late_arrival_restarts_drain_clock(self):
+        sb = StoreBuffer(drain_words_per_cycle=2)
+        sb.push(0, cycle=0)
+        t = sb.push(8, cycle=100)
+        assert t == pytest.approx(100.5)
+
+
+class TestCoalescing:
+    def test_same_line_coalesces(self):
+        sb = StoreBuffer(line_words=8, drain_words_per_cycle=1)
+        sb.push(0, cycle=0)
+        sb.push(1, cycle=0)  # same line, still pending
+        assert sb.stats.coalesced == 1
+
+    def test_different_lines_do_not_coalesce(self):
+        sb = StoreBuffer(line_words=8, drain_words_per_cycle=1)
+        sb.push(0, cycle=0)
+        sb.push(8, cycle=0)
+        assert sb.stats.coalesced == 0
+
+    def test_reset(self):
+        sb = StoreBuffer()
+        sb.push(0, cycle=5)
+        sb.reset()
+        assert sb.drain_complete_cycle() == 0
+        assert sb.stats.stores == 0

@@ -1,0 +1,115 @@
+"""Partitioned pipelines: node subsets, balancing, rate matching."""
+
+import pytest
+
+from repro.kernels import spec
+from repro.machine import MachineConfig, MachineParams, MimdEngine
+from repro.memory import MemorySystem
+from repro.pipeline import PipelinedArray, Stage
+
+
+def graphics_stages():
+    return [
+        Stage(spec("vertex-simple").kernel()),
+        Stage(spec("fragment-simple").kernel(), amplification=4.0),
+    ]
+
+
+def graphics_workloads(n=128):
+    return [
+        spec("vertex-simple").workload(n),
+        spec("fragment-simple").workload(n),
+    ]
+
+
+class TestNodeSubsets:
+    def test_mimd_engine_accepts_partition(self):
+        params = MachineParams()
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(True)
+        engine = MimdEngine(spec("fft").kernel(), MachineConfig.M(), params,
+                            memory, nodes=[0, 1, 2, 3])
+        result = engine.run(spec("fft").workload(32))
+        assert result.cycles > 0
+
+    def test_fewer_nodes_slower(self):
+        params = MachineParams()
+        s = spec("fft")
+        records = s.workload(64)
+
+        def run_on(node_ids):
+            memory = MemorySystem(params.rows, params.memory_timings())
+            memory.configure_smc(True)
+            return MimdEngine(s.kernel(), MachineConfig.M(), params, memory,
+                              nodes=node_ids).run(records).cycles
+
+        assert run_on(list(range(4))) > run_on(list(range(32)))
+
+    def test_empty_partition_rejected(self):
+        params = MachineParams()
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(True)
+        with pytest.raises(ValueError, match="at least one node"):
+            MimdEngine(spec("fft").kernel(), MachineConfig.M(), params,
+                       memory, nodes=[])
+
+    def test_out_of_range_nodes_rejected(self):
+        params = MachineParams()
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(True)
+        with pytest.raises(ValueError, match="out of range"):
+            MimdEngine(spec("fft").kernel(), MachineConfig.M(), params,
+                       memory, nodes=[99])
+
+
+class TestPartitionPolicies:
+    def test_equal_partition_covers_array(self):
+        stages = graphics_stages()
+        partition = PipelinedArray.equal_partition(stages, 64)
+        assert sum(partition) == 64
+        assert all(p >= 1 for p in partition)
+
+    def test_balanced_partition_favours_the_heavy_stage(self):
+        array = PipelinedArray()
+        stages = graphics_stages()  # fragments amplified 4x
+        partition = array.balance_partition(stages, graphics_workloads())
+        assert sum(partition) == array.params.nodes
+        assert partition[1] > partition[0]  # fragment stage gets more nodes
+
+    def test_partition_length_checked(self):
+        array = PipelinedArray()
+        with pytest.raises(ValueError, match="mismatch"):
+            array.run(graphics_stages(), graphics_workloads(), partition=[64])
+
+    def test_oversubscription_rejected(self):
+        array = PipelinedArray()
+        with pytest.raises(ValueError, match="exceeds"):
+            array.run(graphics_stages(), graphics_workloads(),
+                      partition=[40, 40])
+
+
+class TestRateMatching:
+    def test_bottleneck_identified(self):
+        array = PipelinedArray()
+        result = array.run(graphics_stages(), graphics_workloads(),
+                           partition=[32, 32])
+        # With equal nodes and 4x fragment amplification the fragment
+        # stage must pace the pipeline.
+        assert result.bottleneck == "fragment-simple"
+
+    def test_balanced_beats_equal_partition(self):
+        array = PipelinedArray()
+        stages = graphics_stages()
+        workloads = graphics_workloads()
+        equal = array.run(stages, workloads,
+                          partition=array.equal_partition(stages, 64))
+        balanced = array.run(stages, workloads)
+        assert balanced.cycles_per_input < equal.cycles_per_input
+
+    def test_result_accounting(self):
+        array = PipelinedArray()
+        result = array.run(graphics_stages(), graphics_workloads())
+        assert len(result.stages) == 2
+        assert result.cycles_per_input > 0
+        assert result.inputs_per_kilocycle > 0
+        assert sum(result.partition) == 64

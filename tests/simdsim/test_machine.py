@@ -1,0 +1,84 @@
+"""Lock-step SIMD array: Section 3's limitations, measured."""
+
+import pytest
+
+from repro.kernels import spec
+from repro.simdsim import SimdArray, SimdParams
+from repro.vectorsim import VectorMachine
+
+
+@pytest.fixture(scope="module")
+def array():
+    return SimdArray()
+
+
+class TestBasics:
+    def test_empty_stream_rejected(self, array):
+        with pytest.raises(ValueError):
+            array.run(spec("fft").kernel(), [])
+
+    def test_waves_scale_linearly(self, array):
+        s = spec("convert")
+        short = array.run(s.kernel(), s.workload(64))
+        long = array.run(s.kernel(), s.workload(256))
+        assert long.cycles == 4 * short.cycles
+
+    def test_lockstep_throughput_bounded_by_broadcast(self, array):
+        """One instruction broadcast per cycle caps useful throughput at
+        pes ops per broadcast step."""
+        s = spec("convert")
+        result = array.run(s.kernel(), s.workload(128))
+        assert result.ops_per_cycle <= array.params.pes
+
+
+class TestSection3Limitations:
+    def test_gathers_serialize_across_the_array(self, array):
+        """'A more severe limitation for the early SIMD machines was the
+        lack of efficient support for irregular indexed memory accesses.'"""
+        blowfish = array.run(spec("blowfish").kernel(),
+                             spec("blowfish").workload(128))
+        md5 = array.run(spec("md5").kernel(), spec("md5").workload(128))
+        # blowfish (64 lookups) collapses far below md5 (none) despite
+        # having fewer instructions.
+        assert blowfish.cycles > md5.cycles
+        assert blowfish.ops_per_cycle < 0.2 * md5.ops_per_cycle
+
+    def test_masked_variable_loops_pay_worst_case(self, array):
+        s = spec("vertex-skinning")
+        records = s.workload(128)
+        result = array.run(s.kernel(), records)
+        # Issue cost is the full unrolled kernel regardless of live work.
+        assert result.useful_ops < s.kernel().useful_ops() * len(records)
+
+    def test_vrf_streaming_beats_private_memory_staging(self):
+        """Section 3: SIMD arrays 'lack vector register files and
+        efficient transposition support in the memory system' — when
+        front-end staging bandwidth is scarce, the vector machine's VRF
+        streaming wins the regular kernels."""
+        vector = VectorMachine()
+        starved = SimdArray(SimdParams(stage_bandwidth=2))
+        for name in ("convert", "highpassfilter"):
+            s = spec(name)
+            records = s.workload(128)
+            vec = vector.run(s.kernel(), records)
+            simd = starved.run(s.kernel(), records)
+            assert vec.cycles <= simd.cycles, name
+
+    def test_more_pes_do_not_help_gather_bound_kernels(self):
+        """Gather serialization scales with the array: growing the
+        machine does NOT help lookup-bound kernels (the Section 3
+        pathology the L0 data store removes on the grid)."""
+        s = spec("blowfish")
+        records = s.workload(256)
+        small = SimdArray(SimdParams(pes=64))
+        large = SimdArray(SimdParams(pes=256))
+        small_r = small.run(s.kernel(), records)
+        large_r = large.run(s.kernel(), records)
+        assert large_r.cycles >= small_r.cycles * 0.9
+        # ...whereas a gather-free kernel still gains from more PEs
+        # (until the fixed front-end staging bandwidth binds instead).
+        s2 = spec("convert")
+        records2 = s2.workload(256)
+        small_c = small.run(s2.kernel(), records2)
+        large_c = large.run(s2.kernel(), records2)
+        assert large_c.cycles < 0.75 * small_c.cycles

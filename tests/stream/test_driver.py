@@ -1,0 +1,66 @@
+"""Stream driver: DMA staging, double buffering, functional correctness."""
+
+import pytest
+
+from repro.kernels import spec
+from repro.machine import MachineConfig, MachineParams
+from repro.stream import StreamDriver
+
+
+@pytest.fixture(scope="module")
+def driver():
+    return StreamDriver()
+
+
+class TestValidation:
+    def test_non_streaming_config_rejected(self, driver):
+        s = spec("fft")
+        with pytest.raises(ValueError, match="streamed memory"):
+            driver.run(s.kernel(), s.workload(8), MachineConfig.baseline())
+
+    def test_empty_stream_rejected(self, driver):
+        with pytest.raises(ValueError, match="empty"):
+            driver.run(spec("fft").kernel(), [], MachineConfig.S())
+
+
+class TestTiming:
+    def test_total_covers_compute_and_exposes_first_fill(self, driver):
+        s = spec("fft")
+        result = driver.run(s.kernel(), s.workload(512), MachineConfig.S())
+        assert result.cycles >= result.compute_cycles
+        assert result.dma_cycles > 0
+        assert result.batches >= 1
+
+    def test_compute_bound_kernel_hides_dma(self, driver):
+        """dct does ~1900 ops per 128 words: DMA disappears under compute."""
+        s = spec("dct")
+        result = driver.run(s.kernel(), s.workload(64), MachineConfig.S_O())
+        assert result.dma_hidden
+        assert result.overhead_fraction < 0.35
+
+    def test_record_hungry_kernel_becomes_dma_bound(self):
+        """highpass reads 9 words per 17 ops: throttled DMA dominates."""
+        # One row (one DMA engine) at 1 word/cycle against 8 ALUs.
+        params = MachineParams(rows=1, cols=8, smc_dma_words_per_cycle=1)
+        driver = StreamDriver(params)
+        s = spec("highpassfilter")
+        result = driver.run(s.kernel(), s.workload(512), MachineConfig.S_O())
+        assert not result.dma_hidden
+        assert result.cycles > result.compute_cycles
+
+    def test_batching_respects_smc_capacity(self, driver):
+        s = spec("dct")  # 128 words/record
+        result = driver.run(s.kernel(), s.workload(64), MachineConfig.S())
+        bank_words = driver.params.l2_bank_kb * 1024 // 8
+        capacity_records = (bank_words // 2 * driver.params.rows) // 128
+        assert result.detail["batch_records"] <= capacity_records
+
+
+class TestFunctional:
+    def test_streamed_outputs_match_reference(self, driver):
+        s = spec("convert")
+        records = s.workload(32)
+        result = driver.run(s.kernel(), records, MachineConfig.S_O(),
+                            functional=True)
+        for record, out in zip(records, result.outputs):
+            assert out == pytest.approx(s.reference(record))

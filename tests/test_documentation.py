@@ -1,0 +1,42 @@
+"""Documentation guarantees: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    """Every public top-level class and function has a docstring.
+
+    (Method-level documentation is enforced by review, not by this test:
+    one-line arithmetic wrappers like the shader algebra's ``mul`` are
+    self-describing and uniform method docstrings there would be noise.)
+    """
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exports are documented at their definition
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, f"{module_name}: {undocumented}"

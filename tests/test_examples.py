@@ -1,0 +1,45 @@
+"""Smoke tests: the bundled examples run and say what they promise.
+
+Only the fast examples run here (the full packet/FFT scenarios take tens
+of seconds and are exercised by their own subsystem tests); each is
+executed in a subprocess exactly as a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "functional check" in out
+    assert "S-O" in out and "baseline" in out
+
+
+def test_architecture_tour():
+    out = run_example("architecture_tour.py")
+    assert "grid processor" in out
+    assert "placement" in out
+    assert "register reads" in out
+
+
+def test_examples_directory_is_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert names >= {
+        "quickstart.py", "packet_encryption.py", "graphics_pipeline.py",
+        "scientific_fft.py", "architecture_tour.py",
+        "universal_mechanisms.py",
+    }

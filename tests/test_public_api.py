@@ -1,0 +1,29 @@
+"""Top-level package API."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_public_names_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickrun_returns_results(capsys):
+    results = repro.quickrun("fft", records=64)
+    out = capsys.readouterr().out
+    assert "baseline" in out and "S-O" in out
+    assert set(results) >= {"baseline", "S", "S-O", "S-O-D", "M", "M-D"}
+    assert all(r.cycles > 0 for r in results.values())
+
+
+def test_run_kernel_convenience():
+    s = repro.spec("convert")
+    result = repro.run_kernel(
+        s.kernel(), s.workload(32), repro.MachineConfig.S_O()
+    )
+    assert result.kernel == "convert"
+    assert result.ops_per_cycle > 0
