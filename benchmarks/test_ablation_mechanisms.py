@@ -8,11 +8,14 @@ implies: adding a mechanism a kernel needs never hurts, and the best
 lattice point for each kernel is (one of) its Table 5 preferences.
 """
 
+import os
+
 import pytest
 
 from repro.harness.experiments import ExperimentContext
 from repro.kernels import spec
 from repro.machine import GridProcessor, MachineConfig, all_configs
+from repro.perf import SweepPoint, run_points
 
 REPRESENTATIVES = {
     "fft": ("S", "S-O"),
@@ -21,31 +24,40 @@ REPRESENTATIVES = {
     "vertex-skinning": ("M-D",),
 }
 
+#: Worker processes for the lattice sweep (serial by default; results
+#: are identical either way).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
-def run_lattice():
+
+def run_lattice(jobs=JOBS):
     processor = GridProcessor()
     table5 = {
         c.name: c for c in
         (MachineConfig.S(), MachineConfig.S_O(), MachineConfig.S_O_D(),
          MachineConfig.M(), MachineConfig.M_D())
     }
-    results = {}
+    # Enough records for SIMD mapping setup to amortize (the regime the
+    # paper measures).  Every supported (kernel, config) lattice point is
+    # an independent SweepPoint, fanned out by run_points.
+    requests = []
     for name in REPRESENTATIVES:
-        s = spec(name)
-        kernel = s.kernel()
-        # Enough records for SIMD mapping setup to amortize (the regime
-        # the paper measures).
-        records = s.workload(512)
-        per_config = {}
+        kernel = spec(name).kernel()
         for config in all_configs():
-            if not processor.supports(kernel, config):
-                continue
-            per_config[config.name] = processor.run(kernel, records, config)
+            if processor.supports(kernel, config):
+                requests.append((name, config.name, config))
         # Also run the named points for cross-reference.
         for label, config in table5.items():
             if processor.supports(kernel, config):
-                per_config[label] = processor.run(kernel, records, config)
-        results[name] = per_config
+                requests.append((name, label, config))
+    points = [
+        SweepPoint(kernel=name, config=config, params=processor.params,
+                   records=512)
+        for name, _, config in requests
+    ]
+    results = {}
+    for (name, label, _), result in zip(requests, run_points(points,
+                                                             jobs=jobs)):
+        results.setdefault(name, {})[label] = result
     return results
 
 

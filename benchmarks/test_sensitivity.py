@@ -7,19 +7,23 @@ broadcast cost and streaming-channel bandwidth.  Each sweep asserts the
 physically-sensible monotonic trend.
 """
 
-from repro.kernels import spec
-from repro.machine import GridProcessor, MachineConfig, MachineParams
+import os
+
+from repro.machine import MachineConfig, MachineParams
+from repro.perf import SweepPoint, run_points
+
+#: Worker processes for the sweeps (serial by default; results are
+#: identical either way).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def sweep(kernel_name, config, param_values, records=256):
-    s = spec(kernel_name)
-    kernel = s.kernel()
-    stream = s.workload(records)
-    cycles = []
-    for params in param_values:
-        processor = GridProcessor(params)
-        cycles.append(processor.run(kernel, stream, config).cycles)
-    return cycles
+    points = [
+        SweepPoint(kernel=kernel_name, config=config, params=params,
+                   records=records)
+        for params in param_values
+    ]
+    return [result.cycles for result in run_points(points, jobs=JOBS)]
 
 
 def test_grid_size_scaling(one_shot):

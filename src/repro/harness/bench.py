@@ -1,0 +1,197 @@
+"""Performance-layer benchmark: phase timings and ``BENCH_perf.json``.
+
+Measures the experiment pipeline end to end and emits a machine-readable
+report:
+
+* **cold_serial** — a fresh :class:`~repro.harness.experiments.ExperimentContext`
+  regenerating Figure 5, Table 4 and Table 6 with every simulation point
+  run serially (the pre-optimization workflow);
+* **warm_memory** — the same experiment set repeated on the now-warm
+  context, so every point is an in-memory cache hit;
+* **cold_parallel** — a fresh context with ``jobs > 1`` fanning the
+  sweep over a process pool (skipped when ``jobs <= 1``);
+* **disk_replay** — a fresh context replaying every point from the
+  on-disk cache tier (skipped without ``--cache-dir``).
+
+The report also carries the cache hit/miss accounting and the wall
+seconds of every individual simulation point, so regressions can be
+attributed to a specific (kernel, configuration) pair.  For a true cold
+measurement pass a fresh (or absent) cache directory — a pre-populated
+one turns the "cold" phase into a disk replay.
+
+Run as ``python -m repro.harness.bench`` (or the ``repro-bench``
+console script); the default output file is ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..perf.cache import RunCache
+from . import experiments
+
+#: Report format version (bump on incompatible layout changes).
+BENCH_SCHEMA = 1
+
+
+class PhaseTimer:
+    """Names wall-clock phases and records their durations in order."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    def measure(self, name: str, fn) -> float:
+        """Run ``fn()`` and record its wall duration under ``name``."""
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        self.seconds[name] = elapsed
+        return elapsed
+
+
+def _run_all(ctx: experiments.ExperimentContext) -> None:
+    """Regenerate the full simulated experiment set on one context."""
+    experiments.figure5(ctx)
+    experiments.table4(ctx)
+    experiments.table6(ctx)
+
+
+def bench_experiments(
+    records: int = 512,
+    large_kernel_records: int = 128,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> dict:
+    """Time the experiment pipeline across cache/parallel phases.
+
+    Returns the ``BENCH_perf.json`` document (see the module docstring
+    for the phase definitions).
+    """
+    timer = PhaseTimer()
+
+    serial_ctx = experiments.ExperimentContext(
+        records=records,
+        large_kernel_records=large_kernel_records,
+        jobs=1,
+        cache=RunCache(cache_dir),
+    )
+    timer.measure("cold_serial", lambda: _run_all(serial_ctx))
+    cold_stats = serial_ctx.cache.stats.as_dict()
+    timer.measure("warm_memory", lambda: _run_all(serial_ctx))
+
+    if jobs > 1:
+        parallel_ctx = experiments.ExperimentContext(
+            records=records,
+            large_kernel_records=large_kernel_records,
+            jobs=jobs,
+        )
+        timer.measure("cold_parallel", lambda: _run_all(parallel_ctx))
+
+    if cache_dir is not None:
+        replay_ctx = experiments.ExperimentContext(
+            records=records,
+            large_kernel_records=large_kernel_records,
+            jobs=1,
+            cache=RunCache(cache_dir),
+        )
+        timer.measure("disk_replay", lambda: _run_all(replay_ctx))
+
+    point_seconds = {
+        f"{name}|{config}": seconds
+        for (name, config), seconds in sorted(
+            serial_ctx.point_seconds.items(),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+    }
+    cold = timer.seconds["cold_serial"]
+    warm = timer.seconds["warm_memory"]
+    return {
+        "schema": BENCH_SCHEMA,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "records": records,
+        "large_kernel_records": large_kernel_records,
+        "jobs": jobs,
+        "cache_dir": cache_dir,
+        "phases_seconds": timer.seconds,
+        "warm_vs_cold_speedup": cold / warm if warm > 0 else float("inf"),
+        "simulated_points": len(point_seconds),
+        "cache_after_cold": cold_stats,
+        "cache_after_warm": serial_ctx.cache.stats.as_dict(),
+        "point_seconds": point_seconds,
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a :func:`bench_experiments` report."""
+    lines = [
+        f"simulated points : {report['simulated_points']}"
+        f" ({report['records']} records,"
+        f" {report['large_kernel_records']} for large kernels)",
+    ]
+    for name, seconds in report["phases_seconds"].items():
+        lines.append(f"{name:<17}: {seconds:8.3f}s")
+    lines.append(
+        f"warm/cold speedup: {report['warm_vs_cold_speedup']:8.1f}x"
+    )
+    lines.append(
+        "cache hit rate   : "
+        f"{report['cache_after_warm']['hit_rate']:8.1%}"
+    )
+    slowest = list(report["point_seconds"].items())[:5]
+    if slowest:
+        lines.append("slowest points   :")
+        for point, seconds in slowest:
+            lines.append(f"  {point:<28} {seconds:7.3f}s")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; writes the report and returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the simulator's experiment pipeline and "
+                    "write a machine-readable BENCH_perf.json report.",
+    )
+    parser.add_argument(
+        "--records", type=int, default=512,
+        help="records per kernel run (default 512; large kernels use 1/4)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="also time a parallel cold run with N worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="also time a disk-cache replay through DIR",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_perf.json", metavar="FILE",
+        help="report path (default BENCH_perf.json; '-' for stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    report = bench_experiments(
+        records=args.records,
+        large_kernel_records=max(16, args.records // 4),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    if args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    print(render_report(report))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

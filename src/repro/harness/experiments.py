@@ -5,12 +5,21 @@ the structured data (consumed by the test and benchmark suites) and a
 ``render()`` method printing rows in the paper's format.  A shared
 :class:`ExperimentContext` caches simulation runs, since Figure 5,
 Table 4 and Table 6 reuse the same (kernel, configuration) sweeps.
+
+Caching is content-addressed (:mod:`repro.perf`): every run is keyed by
+a fingerprint of the kernel structure, configuration, parameters and
+record stream, with an in-memory tier plus an optional on-disk tier
+(``cache_dir``) that makes repeated experiment runs nearly free.
+Independent sweep points fan out over a process pool when the context
+is constructed with ``jobs > 1``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.characterize import KernelAttributes, characterize
 from ..analysis.control import ControlProfile, control_profile
@@ -23,6 +32,9 @@ from ..machine.config import TABLE5_CONFIGS, MachineConfig
 from ..machine.params import MachineParams
 from ..machine.processor import GridProcessor
 from ..machine.stats import RunResult, harmonic_mean
+from ..perf.cache import RunCache
+from ..perf.fingerprint import run_fingerprint
+from ..perf.parallel import SweepPoint, run_points
 from .reporting import fmt_float, fmt_speedup, render_table
 
 #: Paper Table 4 (baseline ops/cycle) for side-by-side reporting.
@@ -46,7 +58,14 @@ PAPER_PREFERRED = {
 
 
 class ExperimentContext:
-    """Shared simulator + run cache for the performance experiments."""
+    """Shared simulator + content-addressed run cache for the experiments.
+
+    ``jobs > 1`` fans independent simulation points out over a process
+    pool in :meth:`run_many`; ``cache_dir`` adds an on-disk JSON tier
+    (conventionally ``.repro_cache/``) so repeated runs across processes
+    hit the cache instead of the simulator.  A pre-built
+    :class:`~repro.perf.cache.RunCache` can be shared via ``cache``.
+    """
 
     def __init__(
         self,
@@ -54,36 +73,101 @@ class ExperimentContext:
         records: int = 512,
         large_kernel_records: int = 128,
         seed: int = 0,
+        jobs: int = 1,
+        cache: Optional[RunCache] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
     ):
         self.params = params or MachineParams()
         self.processor = GridProcessor(self.params)
         self.records = records
         self.large_kernel_records = large_kernel_records
         self.seed = seed
-        self._runs: Dict[Tuple[str, str], RunResult] = {}
+        self.jobs = jobs
+        self.cache = cache if cache is not None else RunCache(cache_dir)
         self._workloads: Dict[str, list] = {}
+        self._keys: Dict[Tuple[str, str], str] = {}
+        #: wall seconds spent simulating each point (bench reporting)
+        self.point_seconds: Dict[Tuple[str, str], float] = {}
+
+    def record_count(self, name: str) -> int:
+        """Records simulated for a kernel (large kernels use fewer)."""
+        kernel = spec(name).kernel()
+        return (
+            self.large_kernel_records if len(kernel) >= 600 else self.records
+        )
 
     def workload(self, name: str) -> list:
+        """The (cached) seeded record stream for a benchmark."""
         if name not in self._workloads:
-            s = spec(name)
-            kernel = s.kernel()
-            count = (
-                self.large_kernel_records if len(kernel) >= 600
-                else self.records
+            self._workloads[name] = spec(name).workload(
+                self.record_count(name), 100 + self.seed
             )
-            self._workloads[name] = s.workload(count, 100 + self.seed)
         return self._workloads[name]
 
-    def run(self, name: str, config: MachineConfig) -> RunResult:
+    def fingerprint(self, name: str, config: MachineConfig) -> str:
+        """Content address of the (kernel, config) point on this context."""
         key = (name, config.name)
-        if key not in self._runs:
-            kernel = spec(name).kernel()
-            self._runs[key] = self.processor.run(
-                kernel, self.workload(name), config
+        if key not in self._keys:
+            self._keys[key] = run_fingerprint(
+                spec(name).kernel(), config, self.params, self.workload(name)
             )
-        return self._runs[key]
+        return self._keys[key]
+
+    def _point(self, name: str, config: MachineConfig) -> SweepPoint:
+        return SweepPoint(
+            kernel=name,
+            config=config,
+            params=self.params,
+            records=self.record_count(name),
+            workload_seed=100 + self.seed,
+        )
+
+    def run(self, name: str, config: MachineConfig) -> RunResult:
+        """Simulate one (kernel, config) point, via the cache."""
+        fp = self.fingerprint(name, config)
+        result = self.cache.get(fp)
+        if result is None:
+            kernel = spec(name).kernel()
+            started = time.perf_counter()
+            result = self.processor.run(kernel, self.workload(name), config)
+            self.point_seconds[(name, config.name)] = (
+                time.perf_counter() - started
+            )
+            self.cache.put(fp, result)
+        return result
+
+    def run_many(
+        self, pairs: Sequence[Tuple[str, MachineConfig]]
+    ) -> Dict[Tuple[str, str], RunResult]:
+        """Simulate many points at once, fanning misses over ``jobs``.
+
+        Cache hits are never re-simulated; misses run in parallel when
+        ``jobs > 1`` (deterministic serial order otherwise) and are
+        inserted into the cache, so later :meth:`run` calls return the
+        same objects.
+        """
+        results: Dict[Tuple[str, str], RunResult] = {}
+        missing: List[Tuple[str, MachineConfig, str]] = []
+        seen_fps = set()
+        for name, config in pairs:
+            fp = self.fingerprint(name, config)
+            cached = self.cache.get(fp)
+            if cached is not None:
+                results[(name, config.name)] = cached
+            elif fp not in seen_fps:
+                seen_fps.add(fp)
+                missing.append((name, config, fp))
+        if missing:
+            points = [self._point(name, config) for name, config, _ in missing]
+            timed = run_points(points, jobs=self.jobs, timed=True)
+            for (name, config, fp), (result, seconds) in zip(missing, timed):
+                self.cache.put(fp, result)
+                self.point_seconds[(name, config.name)] = seconds
+                results[(name, config.name)] = result
+        return results
 
     def supports(self, name: str, config: MachineConfig) -> bool:
+        """Whether the kernel fits the configuration's storage structures."""
         return self.processor.supports(spec(name).kernel(), config)
 
 
@@ -288,8 +372,10 @@ def table4(ctx: Optional[ExperimentContext] = None) -> Table4:
     """Regenerate Table 4 (baseline TRIPS ops/cycle)."""
     ctx = ctx or ExperimentContext()
     baseline = MachineConfig.baseline()
+    specs = all_specs(performance_only=True)
+    ctx.run_many([(s.name, baseline) for s in specs])
     rows = []
-    for s in all_specs(performance_only=True):
+    for s in specs:
         result = ctx.run(s.name, baseline)
         rows.append((s.name, result.ops_per_cycle, PAPER_TABLE4[s.name]))
     return Table4(rows)
@@ -378,6 +464,14 @@ def figure5(ctx: Optional[ExperimentContext] = None) -> Figure5:
     """Regenerate Figure 5 (speedups + the Flexible aggregate)."""
     ctx = ctx or ExperimentContext()
     baseline_cfg = MachineConfig.baseline()
+    pairs: List[Tuple[str, MachineConfig]] = []
+    for s in all_specs(performance_only=True):
+        pairs.append((s.name, baseline_cfg))
+        pairs.extend(
+            (s.name, config) for config in TABLE5_CONFIGS
+            if ctx.supports(s.name, config)
+        )
+    ctx.run_many(pairs)
     speedups: Dict[str, Dict[str, float]] = {}
     runs: Dict[str, Dict[str, RunResult]] = {}
     baselines: Dict[str, RunResult] = {}
@@ -441,6 +535,12 @@ class Table6:
 def table6(ctx: Optional[ExperimentContext] = None) -> Table6:
     """Regenerate Table 6 (TRIPS vs specialized hardware)."""
     ctx = ctx or ExperimentContext()
+    ctx.run_many([
+        (row.benchmark, config)
+        for row in TABLE6
+        for config in TABLE5_CONFIGS
+        if ctx.supports(row.benchmark, config)
+    ])
     results = []
     for row in TABLE6:
         candidates: Dict[str, RunResult] = {}

@@ -51,6 +51,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--rows", type=int, default=8, help="grid rows (default 8)")
     parser.add_argument(
         "--cols", type=int, default=8, help="grid columns (default 8)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the simulation sweep (default 1: "
+             "deterministic serial loop; results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk run cache directory (e.g. .repro_cache); repeated "
+             "invocations replay cached simulation points",
+    )
     args = parser.parse_args(argv)
 
     params = MachineParams(rows=args.rows, cols=args.cols)
@@ -58,6 +68,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         params=params,
         records=args.records,
         large_kernel_records=max(16, args.records // 4),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     registry = _registry(ctx)
     names = args.experiments or list(registry)

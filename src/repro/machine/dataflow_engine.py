@@ -18,6 +18,7 @@ need to be re-examined for the current cycle.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -97,6 +98,247 @@ class DataflowEngine:
     # ---- main loop -----------------------------------------------------------
 
     def run(self) -> WindowTiming:
+        """Time the window (optimized loop).
+
+        Produces *identical* :class:`WindowTiming` (and stats, and trace)
+        to :meth:`run_reference`; the fuzzer-corpus equivalence suite in
+        ``tests/machine/test_engine_equivalence.py`` guards that.  The
+        optimizations are mechanical: instance dataclass fields are
+        flattened into parallel lists, attribute lookups are hoisted into
+        locals, node-pair route delays are memoized, and the per-node
+        ready heaps hold precomputed static priority ranks (the issue
+        order (depth, uid) is a fixed total order) instead of tuples.
+        """
+        window = self.window
+        params = self.params
+        memory = self.memory
+        instances = window.instances
+        n = len(instances)
+
+        kinds = [inst.kind for inst in instances]
+        nodes_of = [inst.node for inst in instances]
+        latencies = [inst.latency for inst in instances]
+        consumers_of = [inst.consumers for inst in instances]
+        remaining = [inst.operands for inst in instances]
+        trace = self.trace
+
+        # Static issue priorities: (depth, uid) never changes, so rank
+        # each instance once and let the per-node heaps carry plain ints.
+        # The zip-sort compares tuples at C speed (no key lambda).
+        order = [uid for _, uid in
+                 sorted(zip((inst.depth for inst in instances), range(n)))]
+        rank_of = [0] * n
+        for rank, uid in enumerate(order):
+            rank_of[uid] = rank
+
+        # Node-pair routing is static; memoize (hops, delay) per pair as
+        # pairs are first used (an 8x8 array revisits few hundred pairs
+        # across thousands of instances).
+        node_distance = params.node_distance
+        route_delay = params.route_delay
+        nnodes = params.nodes
+        pair_cache: Dict[int, tuple] = {}
+        pair_cache_get = pair_cache.get
+        edge_of = [params.route_to_row_edge(node)
+                   for node in range(params.nodes)]
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        ready_heaps: List[List[int]] = [[] for _ in range(params.nodes)]
+        active_nodes = set()
+        arrivals: Dict[int, List[int]] = {}
+        arrival_cycles: List[int] = []
+        arrivals_pop = arrivals.pop
+
+        def schedule_arrival(uid: int, at: int) -> None:
+            at = int(at)
+            bucket = arrivals.get(at)
+            if bucket is None:
+                arrivals[at] = [uid]
+                heappush(arrival_cycles, at)
+            else:
+                bucket.append(uid)
+
+        # Register-file reads deliver scalar constants (cold prologue —
+        # shared with the reference path).
+        self._deliver_const_reads(schedule_arrival)
+
+        for uid in range(n):
+            if remaining[uid] == 0:
+                node = nodes_of[uid]
+                heappush(ready_heaps[node], rank_of[uid])
+                active_nodes.add(node)
+
+        cycle = 0
+        issued = 0
+        total = n
+        last_completion = 0
+        store_drain = 0
+        issued_delta = 0
+        hops_delta = 0
+        l1_delta = 0
+        l0_lut = window.config.l0_data
+        l1_access = memory.l1_access
+        smc_store = memory.smc_store
+        ceil = math.ceil
+        stats = self.stats
+
+        def sync_stats() -> None:
+            stats.issued += issued_delta
+            stats.network_hops += hops_delta
+            stats.l1_accesses += l1_delta
+
+        while issued < total:
+            # Deliver operands that arrive this cycle.
+            while arrival_cycles and arrival_cycles[0] <= cycle:
+                at = heappop(arrival_cycles)
+                for uid in arrivals_pop(at, ()):
+                    left = remaining[uid] - 1
+                    remaining[uid] = left
+                    if left == 0:
+                        node = nodes_of[uid]
+                        heappush(ready_heaps[node], rank_of[uid])
+                        active_nodes.add(node)
+
+            # Each node issues at most one ready instruction this cycle.
+            for node in list(active_nodes):
+                heap = ready_heaps[node]
+                if not heap:
+                    active_nodes.discard(node)
+                    continue
+                uid = order[heappop(heap)]
+                if not heap:
+                    active_nodes.discard(node)
+                issued += 1
+                issued_delta += 1
+                kind = kinds[uid]
+                if trace is not None:
+                    inst = instances[uid]
+                    trace.append(
+                        (cycle, node, kind, inst.iteration, inst.kernel_iid)
+                    )
+                if kind == COMPUTE or (kind == LUT and l0_lut):
+                    completion = cycle + latencies[uid]
+                    for cuid in consumers_of[uid]:
+                        pair = node * nnodes + nodes_of[cuid]
+                        hit = pair_cache_get(pair)
+                        if hit is None:
+                            hops = node_distance(node, nodes_of[cuid])
+                            hit = (hops, route_delay(hops))
+                            pair_cache[pair] = hit
+                        hops_delta += hit[0]
+                        schedule_arrival(cuid, completion + hit[1])
+                elif kind == STORE:
+                    inst = instances[uid]
+                    done = smc_store(
+                        inst.row, inst.address, cycle + edge_of[node]
+                    )
+                    completion = ceil(done)
+                    if completion > store_drain:
+                        store_drain = completion
+                elif kind == LMW:
+                    inst = instances[uid]
+                    stats.lmw_requests += 1
+                    word_cycles = memory.lmw_deliver(
+                        inst.row, cycle + 1, inst.words
+                    )
+                    completion = cycle + 1
+                    for word_cycle, word_cons in zip(
+                        word_cycles, inst.word_consumers
+                    ):
+                        for cuid in word_cons:
+                            pair = node * nnodes + nodes_of[cuid]
+                            hit = pair_cache_get(pair)
+                            if hit is None:
+                                hops = node_distance(node, nodes_of[cuid])
+                                hit = (hops, route_delay(hops))
+                                pair_cache[pair] = hit
+                            hops_delta += hit[0]
+                            at = word_cycle + hit[1]
+                            schedule_arrival(cuid, at)
+                            if at > completion:
+                                completion = at
+                else:  # LUT (L1 path), LDI, LOAD
+                    inst = instances[uid]
+                    if kind == LUT:
+                        address = self._lut_address(inst)
+                    elif kind == LDI:
+                        address = self._ldi_address(inst)
+                    else:
+                        address = inst.address
+                    edge = edge_of[node]
+                    back = l1_access(address, cycle + edge) + edge
+                    l1_delta += 1
+                    for cuid in consumers_of[uid]:
+                        pair = node * nnodes + nodes_of[cuid]
+                        hit = pair_cache_get(pair)
+                        if hit is None:
+                            hops = node_distance(node, nodes_of[cuid])
+                            hit = (hops, route_delay(hops))
+                            pair_cache[pair] = hit
+                        hops_delta += hit[0]
+                        schedule_arrival(cuid, back + hit[1])
+                    completion = back
+                if completion > last_completion:
+                    last_completion = completion
+
+            if issued >= total:
+                break
+            if active_nodes:
+                cycle += 1
+            elif arrival_cycles:
+                cycle = arrival_cycles[0]
+            else:
+                sync_stats()
+                raise DeadlockError(
+                    f"issued {issued}/{total} instances in window of "
+                    f"{window.kernel.name}; remaining operand counts are "
+                    "unsatisfiable"
+                )
+
+        sync_stats()
+        fetch_cycles = -(-window.machine_instructions // params.fetch_bandwidth)
+        cycles = max(last_completion, store_drain, 1)
+        return WindowTiming(
+            iterations=window.iterations,
+            machine_instructions=window.machine_instructions,
+            cycles=int(cycles),
+            issue_done_cycle=int(last_completion),
+            store_drain_cycle=int(store_drain),
+            fetch_cycles=fetch_cycles,
+            detail={
+                "network_hops": float(stats.network_hops),
+                "l1_accesses": float(stats.l1_accesses),
+                "regfile_reads": float(stats.regfile_reads),
+                "lmw_requests": float(stats.lmw_requests),
+            },
+        )
+
+    def _deliver_const_reads(self, schedule_arrival) -> None:
+        """Reserve register-file ports and schedule constant deliveries."""
+        params = self.params
+        instances = self.window.instances
+        regfile = PortQueue(params.regfile_read_ports, name="regfile")
+        for read in self.window.const_reads:
+            grant = regfile.reserve(0)
+            self.stats.regfile_reads += 1
+            for cuid in read.consumers:
+                node = instances[cuid].node
+                schedule_arrival(
+                    cuid,
+                    grant + params.regfile_latency
+                    + params.route_from_regfile(node),
+                )
+
+    # ---- reference loop (equivalence guard) --------------------------------
+
+    def run_reference(self) -> WindowTiming:
+        """The straightforward (pre-optimization) timing loop.
+
+        Kept as the executable specification of the engine semantics:
+        the optimized :meth:`run` must produce byte-identical timings,
+        stats and traces on the random-kernel fuzzer corpus.
+        """
         window = self.window
         params = self.params
         instances = window.instances
@@ -262,6 +504,6 @@ class DataflowEngine:
             # hierarchy otherwise) — they never consume L1 read ports.
             edge = params.route_to_row_edge(inst.node)
             done = memory.smc_store(inst.row, inst.address, cycle + edge)
-            return int(-(-done // 1))
+            return math.ceil(done)
 
         raise ValueError(f"unknown instance kind {inst.kind!r}")

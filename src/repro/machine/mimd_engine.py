@@ -135,6 +135,54 @@ class MimdEngine:
             sid: (1 << 22) + (1 << 18) * i
             for i, sid in enumerate(sorted(kernel.spaces))
         }
+        # Hot-loop metadata, computed once per engine: a flat
+        # (iid, kind, operand specs, latency, base, len) tuple per
+        # instruction replaces per-record isinstance dispatch and table
+        # lookups, and live sets / useful-op counts are memoized per
+        # trip count (they depend on nothing else).
+        meta = []
+        for inst in kernel.body:
+            srcs = tuple(
+                (0, s.producer) if isinstance(s, InstResult)
+                else (1, s.index) if isinstance(s, RecordInput)
+                else (2, 0)
+                for s in inst.srcs
+            )
+            if inst.op.name == "LUT":
+                meta.append((inst.iid, 1, srcs, 0,
+                             self._table_base[inst.table],
+                             len(kernel.tables[inst.table])))
+            elif inst.op.name == "LDI":
+                meta.append((inst.iid, 2, srcs, 0,
+                             self._space_base[inst.space],
+                             len(kernel.spaces[inst.space])))
+            else:
+                meta.append((inst.iid, 0, srcs,
+                             params.latencies[inst.op.opclass], 0, 0))
+        self._meta = meta
+        self._chunks = [
+            range(c * params.lmw_words,
+                  min((c + 1) * params.lmw_words, kernel.record_in))
+            for c in range(math.ceil(kernel.record_in / params.lmw_words))
+        ]
+        self._live_cache: Dict[int, set] = {}
+        self._useful_cache: Dict[int, int] = {}
+
+    def _live_set(self, trips: int) -> set:
+        """Memoized set of live instruction ids for one trip count."""
+        live = self._live_cache.get(trips)
+        if live is None:
+            live = {i.iid for i in self.kernel.live_instructions(trips)}
+            self._live_cache[trips] = live
+        return live
+
+    def _useful_live(self, trips: int) -> int:
+        """Memoized useful-op count for one trip count."""
+        useful = self._useful_cache.get(trips)
+        if useful is None:
+            useful = self.kernel.useful_ops_live(trips)
+            self._useful_cache[trips] = useful
+        return useful
 
     # ---- per-record execution on one node ------------------------------------
 
@@ -144,8 +192,127 @@ class MimdEngine:
         """Execute one record on ``node`` starting at cycle ``start``.
 
         Returns ``(next_free_cycle, outputs)`` where outputs is None in
-        timing-only mode.
+        timing-only mode.  Functional runs take the straightforward
+        reference loop (which also computes values); timing-only runs
+        take an optimized loop over the precomputed instruction
+        metadata.  Both produce identical cycle times and stats.
         """
+        if self.functional:
+            return self._run_record_reference(node, start, record,
+                                              record_index)
+
+        params = self.params
+        memory = self.memory
+        stats = self.stats
+        row = node // params.cols
+        edge = params.route_to_row_edge(node)
+        kernel = self.kernel
+
+        trips = kernel.trip_count(record)
+        live = self._live_set(trips)
+
+        pc_time = start
+        word_ready: List[int] = [0] * kernel.record_in
+        smc_stream = self.config.smc_stream
+        l1_access = memory.l1_access
+        load_stalls = 0
+        for words in self._chunks:
+            request = pc_time + edge
+            if smc_stream:
+                deliveries = memory.lmw_deliver(
+                    row, request, len(words), scattered=True
+                )
+            else:
+                base = (1 << 24) + record_index * kernel.record_in
+                deliveries = [l1_access(base + w, request) for w in words]
+            chunk_ready = pc_time + 1
+            for w, ready in zip(words, deliveries):
+                back = ready + edge
+                word_ready[w] = back
+                if back > chunk_ready:
+                    chunk_ready = back
+            load_stalls += chunk_ready - (pc_time + 1)
+            pc_time = chunk_ready
+
+        ready_at: Dict[int, int] = {}
+        ready_at_get = ready_at.get
+        l0_data = self.config.l0_data
+        l0_latency = params.l0_data_latency
+        executed = 0
+        skipped = 0
+        lut_trips = 0
+
+        for iid, kind, srcs, latency, mem_base, mem_len in self._meta:
+            if iid not in live:
+                skipped += 1
+                continue
+
+            # Anything at or before pc_time cannot delay issue, so the
+            # reference's ``max(..., default=start)`` reduces to the max
+            # operand readiness (constants and absent operands are 0).
+            operands_ready = 0
+            for code, payload in srcs:
+                if code == 0:
+                    t = ready_at_get(payload, start)
+                elif code == 1:
+                    t = word_ready[payload]
+                else:
+                    continue
+                if t > operands_ready:
+                    operands_ready = t
+            issue = pc_time if pc_time >= operands_ready else operands_ready
+            load_stalls += issue - pc_time
+            executed += 1
+            pc_time = issue + 1
+
+            if kind == 0:
+                done = issue + latency
+            elif kind == 1 and l0_data:
+                done = issue + l0_latency
+            else:
+                lut_trips += kind == 1
+                if kind == 1:
+                    address = mem_base + (
+                        (record_index * 31 + iid) % mem_len
+                    )
+                else:
+                    address = mem_base + (
+                        (record_index * 97 + iid * 13) % mem_len
+                    )
+                done = l1_access(address, issue + edge) + edge
+                if done > pc_time:
+                    load_stalls += done - pc_time
+                    pc_time = done
+            ready_at[iid] = done
+
+        smc_store = memory.smc_store
+        for producer, slot in kernel.outputs:
+            if producer in live:
+                issue = ready_at_get(producer, start)
+                if pc_time > issue:
+                    issue = pc_time
+            else:
+                issue = pc_time
+            pc_time = issue + 1
+            address = (1 << 26) + record_index * kernel.record_out + slot
+            smc_store(row, address, issue + edge)
+
+        if kernel.loop.variable or (kernel.loop.static_trips or 1) > 1:
+            pc_time += trips if kernel.loop.variable else (
+                kernel.loop.static_trips or 1
+            )
+        stats.load_stall_cycles += load_stalls
+        stats.instructions_executed += executed
+        stats.instructions_skipped += skipped
+        stats.lut_l1_trips += lut_trips
+        return pc_time, None
+
+    def _run_record_reference(
+        self, node: int, start: int, record: Sequence[Number], record_index: int
+    ) -> tuple:
+        """Reference per-record loop: the executable spec for
+        :meth:`_run_record`, and the path that computes output values in
+        functional mode."""
         kernel = self.kernel
         params = self.params
         memory = self.memory
@@ -305,7 +472,7 @@ class MimdEngine:
             )
             node_time[node] = finish
             outputs.append(out)
-            useful += kernel.useful_ops_live(kernel.trip_count(record))
+            useful += self._useful_live(kernel.trip_count(record))
 
         drains = [
             self.memory.row_store_drain_cycle(r) for r in range(params.rows)

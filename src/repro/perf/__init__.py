@@ -1,0 +1,44 @@
+"""Performance layer: content-addressed run caching and parallel sweeps.
+
+Deterministic simulation points are perfectly memoizable — the same
+(kernel structure, machine configuration, machine parameters, record
+stream, seed) always produces the same :class:`~repro.machine.stats.RunResult`
+— and embarrassingly parallel.  This package exploits both properties:
+
+* :mod:`repro.perf.fingerprint` computes stable content hashes over
+  every simulation input, so results can be addressed by *what was
+  simulated* rather than by transient object identity;
+* :mod:`repro.perf.cache` stores results under those fingerprints, with
+  an in-memory tier plus an optional on-disk JSON tier (``.repro_cache/``)
+  that survives across processes;
+* :mod:`repro.perf.parallel` fans independent (kernel, config) points
+  out over a process pool, with a deterministic-order serial fallback.
+
+The experiment harness (:mod:`repro.harness.experiments`) threads all
+three through Figure 5, Table 4, Table 6 and the sweep benchmarks.
+"""
+
+from .cache import CacheStats, RunCache, run_result_from_dict, run_result_to_dict
+from .fingerprint import (
+    fingerprint_config,
+    fingerprint_kernel,
+    fingerprint_params,
+    fingerprint_records,
+    run_fingerprint,
+)
+from .parallel import SweepPoint, run_points, simulate_point
+
+__all__ = [
+    "CacheStats",
+    "RunCache",
+    "SweepPoint",
+    "fingerprint_config",
+    "fingerprint_kernel",
+    "fingerprint_params",
+    "fingerprint_records",
+    "run_fingerprint",
+    "run_points",
+    "run_result_from_dict",
+    "run_result_to_dict",
+    "simulate_point",
+]

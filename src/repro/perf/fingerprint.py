@@ -1,0 +1,128 @@
+"""Stable content fingerprints over simulation inputs.
+
+A simulation point is fully determined by five inputs: the kernel's
+dataflow structure, the :class:`~repro.machine.config.MachineConfig`,
+the :class:`~repro.machine.params.MachineParams`, the record stream and
+the engine seed.  Each gets a canonical JSON encoding hashed with
+SHA-256, and :func:`run_fingerprint` combines them into the single
+content address used by :class:`~repro.perf.cache.RunCache`.
+
+Canonicalization rules:
+
+* dataclass instances are encoded field by field in declaration order;
+* dict keys are sorted (``json.dumps(sort_keys=True)``);
+* enum-keyed dicts (``MachineParams.latencies``) use the enum *name*;
+* floats rely on ``repr``-exact JSON encoding, so bit-identical inputs
+  hash identically and any numeric drift changes the address;
+* the kernel's ``trips_fn`` callable cannot be hashed — the kernel
+  *name* and the unrolled predicated body stand in for it, and the
+  record stream (which drives the trip counts) is hashed separately.
+
+``SCHEMA_VERSION`` is folded into every run fingerprint; bump it
+whenever the timing semantics of the engines change so stale on-disk
+cache entries can never be replayed against a newer simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from typing import Sequence
+
+from ..isa.instruction import Const, Immediate, InstResult, RecordInput
+from ..isa.kernel import Kernel
+from ..machine.config import MachineConfig
+from ..machine.params import MachineParams
+
+#: Bump when engine timing semantics change (invalidates disk caches).
+SCHEMA_VERSION = 1
+
+
+def _digest(obj) -> str:
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _encode_operand(src) -> list:
+    if isinstance(src, InstResult):
+        return ["r", src.producer]
+    if isinstance(src, RecordInput):
+        return ["in", src.index]
+    if isinstance(src, Const):
+        return ["c", src.slot, src.value]
+    if isinstance(src, Immediate):
+        return ["imm", src.value]
+    raise TypeError(f"unknown operand kind {src!r}")
+
+
+def fingerprint_kernel(kernel: Kernel) -> str:
+    """Content hash of a kernel's complete dataflow structure."""
+    body = [
+        [
+            inst.iid,
+            inst.op.name,
+            [_encode_operand(s) for s in inst.srcs],
+            inst.table,
+            inst.space,
+            inst.loop_iter,
+        ]
+        for inst in kernel.body
+    ]
+    doc = {
+        "name": kernel.name,
+        "body": body,
+        "record_in": kernel.record_in,
+        "record_out": kernel.record_out,
+        "outputs": [list(pair) for pair in kernel.outputs],
+        "tables": {str(tid): values for tid, values in kernel.tables.items()},
+        "spaces": {str(sid): values for sid, values in kernel.spaces.items()},
+        "loop": [
+            kernel.loop.static_trips,
+            kernel.loop.variable,
+            kernel.loop.max_trips,
+        ],
+    }
+    return _digest(doc)
+
+
+def fingerprint_config(config: MachineConfig) -> str:
+    """Content hash of a machine configuration (mechanism selection)."""
+    doc = {f.name: getattr(config, f.name) for f in fields(config)}
+    return _digest(doc)
+
+
+def fingerprint_params(params: MachineParams) -> str:
+    """Content hash of the substrate parameters (every knob)."""
+    doc = {}
+    for f in fields(params):
+        value = getattr(params, f.name)
+        if f.name == "latencies":
+            value = {opclass.name: lat for opclass, lat in value.items()}
+        doc[f.name] = value
+    return _digest(doc)
+
+
+def fingerprint_records(records: Sequence[Sequence]) -> str:
+    """Content hash of a record stream (count and every word)."""
+    doc = [len(records), [list(record) for record in records]]
+    return _digest(doc)
+
+
+def run_fingerprint(
+    kernel: Kernel,
+    config: MachineConfig,
+    params: MachineParams,
+    records: Sequence[Sequence],
+    seed: int = 0,
+) -> str:
+    """The content address of one deterministic simulation point."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kernel": fingerprint_kernel(kernel),
+        "config": fingerprint_config(config),
+        "params": fingerprint_params(params),
+        "records": fingerprint_records(records),
+        "seed": seed,
+    }
+    return _digest(doc)

@@ -1,0 +1,90 @@
+"""Parallel fan-out of independent simulation points.
+
+Every (kernel, config, params, workload) simulation point is
+deterministic and shares no state with any other point — the
+:class:`~repro.machine.processor.GridProcessor` builds a fresh
+:class:`~repro.memory.system.MemorySystem` per run — so a sweep is
+embarrassingly parallel.  :func:`run_points` fans a list of
+:class:`SweepPoint` descriptors out over a ``ProcessPoolExecutor`` and
+returns results in input order; with ``jobs <= 1`` (or when a process
+pool cannot be created, e.g. in a sandbox) it degrades to an identical
+deterministic serial loop.
+
+A :class:`SweepPoint` carries only picklable, *reconstructible* inputs —
+the kernel's registry name rather than the kernel object (whose
+``trips_fn`` closures do not pickle), and the workload's size and seed
+rather than the records — so workers rebuild the exact same simulation
+the parent would have run.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..machine.config import MachineConfig
+from ..machine.params import MachineParams
+from ..machine.stats import RunResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a sweep, by value.
+
+    ``workload_seed=None`` uses the benchmark module's default seed
+    (what the sweep benchmarks pass); the experiment harness always
+    pins an explicit seed.
+    """
+
+    kernel: str                 # registry name (rebuilt in the worker)
+    config: MachineConfig
+    params: MachineParams
+    records: int                # workload record count
+    workload_seed: Optional[int] = None
+
+
+def simulate_point(point: SweepPoint) -> RunResult:
+    """Run one sweep point from scratch (also the process-pool worker)."""
+    from ..kernels.registry import spec
+    from ..machine.processor import GridProcessor
+
+    s = spec(point.kernel)
+    if point.workload_seed is None:
+        records = s.workload(point.records)
+    else:
+        records = s.workload(point.records, point.workload_seed)
+    processor = GridProcessor(point.params)
+    return processor.run(s.kernel(), records, point.config)
+
+
+def simulate_point_timed(point: SweepPoint) -> Tuple[RunResult, float]:
+    """Like :func:`simulate_point`, returning (result, wall seconds)."""
+    started = time.perf_counter()
+    result = simulate_point(point)
+    return result, time.perf_counter() - started
+
+
+def run_points(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    timed: bool = False,
+) -> List:
+    """Simulate every point, fanning out over ``jobs`` worker processes.
+
+    Returns one entry per point, in input order: the
+    :class:`~repro.machine.stats.RunResult`, or ``(result, seconds)``
+    pairs when ``timed=True``.  ``jobs <= 1`` runs a deterministic
+    serial loop; so does any environment where a process pool cannot be
+    spawned.
+    """
+    worker = simulate_point_timed if timed else simulate_point
+    points = list(points)
+    if jobs > 1 and len(points) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+                return list(pool.map(worker, points))
+        except (OSError, PermissionError, NotImplementedError):
+            pass  # fall through to the serial path
+    return [worker(point) for point in points]

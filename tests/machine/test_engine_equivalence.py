@@ -1,0 +1,163 @@
+"""Optimized engine hot loops vs their reference implementations.
+
+The performance layer rewrote the inner loops of
+:class:`~repro.machine.dataflow_engine.DataflowEngine` and
+:class:`~repro.machine.mimd_engine.MimdEngine`; the original loops are
+kept as executable specifications (``run_reference`` and
+``_run_record_reference``).  These tests pin the cycle-count-equivalence
+guard: over a random-kernel fuzzer corpus both paths must produce
+identical timings, stats and traces — any divergence is a correctness
+bug in the optimization, never an acceptable approximation.
+"""
+
+import pytest
+
+from repro.isa.random_kernels import RandomKernelConfig, random_kernel
+from repro.kernels import spec
+from repro.machine import DataflowEngine, MachineConfig, MachineParams, \
+    MimdEngine, map_window
+from repro.machine.dataflow_engine import STORE as STORE_KIND
+from repro.machine.dataflow_engine import DeadlockError
+from repro.memory import MemorySystem
+
+CONFIGS = [MachineConfig.baseline(), MachineConfig.S(),
+           MachineConfig.S_O(), MachineConfig.S_O_D()]
+
+
+def corpus_case(seed):
+    """One deterministic fuzzer point (kernel, records, config, window)."""
+    cfg = RandomKernelConfig(
+        size=10 + seed % 30,
+        record_in=2 + seed % 5,
+        record_out=1 + seed % 3,
+        integer=seed % 2 == 0,
+        n_constants=seed % 4,
+        table_size=16 if seed % 3 == 0 else 0,
+        space_size=32 if seed % 5 == 0 else 0,
+        variable_loop_trips=4 if seed % 7 == 0 else 0,
+    )
+    kernel = random_kernel(seed, cfg)
+    config = CONFIGS[seed % 4]
+    iterations = min(8, 1 + seed % 8)
+    return kernel, config, iterations
+
+
+def dataflow_pair(kernel, config, iterations, trace=False):
+    """Two identical engines for one corpus point."""
+    params = MachineParams()
+    engines = []
+    for _ in range(2):
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(config.smc_stream)
+        window = map_window(kernel, config, params, iterations=iterations)
+        engines.append(DataflowEngine(window, memory, seed=1, trace=trace))
+    return engines
+
+
+class TestDataflowEquivalence:
+    @pytest.mark.parametrize("seed", range(16))
+    def test_fuzz_corpus_identical_timing_and_stats(self, seed):
+        kernel, config, iterations = corpus_case(seed)
+        fast, reference = dataflow_pair(kernel, config, iterations)
+        t_fast = fast.run()
+        t_ref = reference.run_reference()
+        assert t_fast == t_ref
+        assert fast.stats == reference.stats
+
+    def test_traces_identical(self):
+        kernel, config, iterations = corpus_case(3)
+        fast, reference = dataflow_pair(kernel, config, iterations,
+                                        trace=True)
+        fast.run()
+        reference.run_reference()
+        assert fast.trace == reference.trace
+
+    def test_paper_kernel_identical(self):
+        params = MachineParams()
+        for name, config in [("convert", MachineConfig.S_O()),
+                             ("md5", MachineConfig.baseline())]:
+            kernel = spec(name).kernel()
+            fast, reference = dataflow_pair(kernel, config, 4)
+            assert fast.run() == reference.run_reference()
+
+    def test_deadlock_raised_by_both_paths(self):
+        kernel, config, iterations = corpus_case(1)
+        fast, reference = dataflow_pair(kernel, config, iterations)
+        fast.window.instances[-1].operands += 1
+        reference.window.instances[-1].operands += 1
+        with pytest.raises(DeadlockError):
+            fast.run()
+        with pytest.raises(DeadlockError):
+            reference.run_reference()
+        # The guard syncs stats before raising, so both paths agree on
+        # how far execution got.
+        assert fast.stats == reference.stats
+
+
+def mimd_engine(name, config, functional=False):
+    params = MachineParams()
+    memory = MemorySystem(params.rows, params.memory_timings())
+    memory.configure_smc(True)
+    return MimdEngine(spec(name).kernel(), config, params, memory,
+                      functional=functional)
+
+
+MIMD_POINTS = [("fft", "M"), ("md5", "M"), ("blowfish", "M-D"),
+               ("rijndael", "M"), ("vertex-skinning", "M-D"),
+               ("anisotropic-filter", "M-D")]
+
+
+class TestMimdEquivalence:
+    @pytest.mark.parametrize("name,cfg", MIMD_POINTS)
+    def test_fast_path_matches_reference(self, name, cfg):
+        config = MachineConfig.M() if cfg == "M" else MachineConfig.M_D()
+        records = spec(name).workload(24, 5)
+        fast = mimd_engine(name, config)
+        reference = mimd_engine(name, config)
+        reference._run_record = reference._run_record_reference
+        r_fast = fast.run(records)
+        r_ref = reference.run(records)
+        assert r_fast == r_ref
+        assert fast.stats == reference.stats
+
+    def test_functional_mode_uses_reference_loop(self):
+        """Functional runs still compute outputs (reference loop)."""
+        s = spec("blowfish")
+        records = s.workload(4, 5)
+        engine = mimd_engine("blowfish", MachineConfig.M_D(),
+                             functional=True)
+        result = engine.run(records)
+        for record, out in zip(records, result.outputs):
+            assert out == s.reference(record)
+
+
+class TestStoreDrainCeiling:
+    @pytest.mark.parametrize("done,expected", [(5.5, 6), (5.0, 5),
+                                               (7.25, 8)])
+    def test_fractional_store_drain_rounds_up(self, done, expected):
+        """A store completing at a fractional cycle occupies the next
+        whole cycle — the ceiling, not a truncation (the STORE path once
+        used the ``int(-(-done // 1))`` idiom; it now uses math.ceil)."""
+
+        class FractionalMemory:
+            """Stub memory whose store buffer drains mid-cycle."""
+
+            def __init__(self, done_at):
+                self.done_at = done_at
+
+            def smc_store(self, row, address, cycle):
+                return self.done_at
+
+        params = MachineParams()
+        kernel = spec("convert").kernel()
+        config = MachineConfig.S_O()
+        window = map_window(kernel, config, params, iterations=1)
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(True)
+        engine = DataflowEngine(window, memory, seed=1)
+        engine.memory = FractionalMemory(done)
+        store = next(i for i in window.instances
+                     if i.kind == STORE_KIND)
+        completion = engine._issue(store, 0, lambda uid, at: None)
+        assert completion == expected
+        assert isinstance(completion, int)

@@ -1,0 +1,81 @@
+"""Run fingerprints: stable across rebuilds, sensitive to every input."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernels import spec
+from repro.machine import MachineConfig, MachineParams
+from repro.perf import (
+    fingerprint_config,
+    fingerprint_kernel,
+    fingerprint_params,
+    fingerprint_records,
+    run_fingerprint,
+)
+
+
+def point_fingerprint(name="fft", config=None, params=None, records=None,
+                      seed=0):
+    s = spec(name)
+    return run_fingerprint(
+        s.kernel(),
+        config or MachineConfig.S(),
+        params or MachineParams(),
+        records if records is not None else s.workload(8, 7),
+        seed=seed,
+    )
+
+
+class TestStability:
+    def test_same_point_same_fingerprint(self):
+        """Two independently rebuilt identical points hash identically."""
+        assert point_fingerprint() == point_fingerprint()
+
+    @pytest.mark.parametrize("name", ["fft", "md5", "vertex-skinning"])
+    def test_kernel_fingerprint_stable_across_rebuilds(self, name):
+        a = fingerprint_kernel(spec(name).kernel())
+        b = fingerprint_kernel(spec(name).kernel())
+        assert a == b
+
+    def test_config_and_params_fingerprints_stable(self):
+        assert fingerprint_config(MachineConfig.S_O()) == \
+            fingerprint_config(MachineConfig.S_O())
+        assert fingerprint_params(MachineParams()) == \
+            fingerprint_params(MachineParams())
+
+    def test_workload_fingerprint_tracks_seed(self):
+        s = spec("fft")
+        assert fingerprint_records(s.workload(8, 7)) == \
+            fingerprint_records(s.workload(8, 7))
+        assert fingerprint_records(s.workload(8, 7)) != \
+            fingerprint_records(s.workload(8, 8))
+
+
+class TestSensitivity:
+    def test_kernel_changes_fingerprint(self):
+        assert point_fingerprint("fft") != point_fingerprint("lu")
+
+    def test_config_changes_fingerprint(self):
+        assert point_fingerprint(config=MachineConfig.S()) != \
+            point_fingerprint(config=MachineConfig.S_O())
+
+    def test_any_param_field_changes_fingerprint(self):
+        base = point_fingerprint()
+        assert point_fingerprint(params=MachineParams(hop_cycles=2.0)) != base
+        assert point_fingerprint(params=MachineParams(rows=4, cols=4)) != base
+
+    def test_record_stream_changes_fingerprint(self):
+        s = spec("fft")
+        assert point_fingerprint(records=s.workload(8, 7)) != \
+            point_fingerprint(records=s.workload(16, 7))
+
+    def test_seed_changes_fingerprint(self):
+        assert point_fingerprint(seed=0) != point_fingerprint(seed=1)
+
+    def test_distinct_configs_distinct_hashes(self):
+        configs = [MachineConfig.baseline(), MachineConfig.S(),
+                   MachineConfig.S_O(), MachineConfig.S_O_D(),
+                   MachineConfig.M(), MachineConfig.M_D()]
+        hashes = {fingerprint_config(c) for c in configs}
+        assert len(hashes) == len(configs)

@@ -1,0 +1,62 @@
+"""Parallel sweep fan-out: serial/parallel identity, worker fidelity."""
+
+from repro.kernels import spec
+from repro.machine import GridProcessor, MachineConfig, MachineParams
+from repro.perf import SweepPoint, run_points, simulate_point
+
+
+def sample_points():
+    params = MachineParams()
+    return [
+        SweepPoint(kernel="fft", config=MachineConfig.S(), params=params,
+                   records=8, workload_seed=7),
+        SweepPoint(kernel="lu", config=MachineConfig.S_O(), params=params,
+                   records=8, workload_seed=7),
+        SweepPoint(kernel="convert", config=MachineConfig.baseline(),
+                   params=params, records=4, workload_seed=9),
+    ]
+
+
+class TestWorkerFidelity:
+    def test_simulate_point_matches_direct_run(self):
+        point = sample_points()[0]
+        s = spec(point.kernel)
+        direct = GridProcessor(point.params).run(
+            s.kernel(), s.workload(point.records, point.workload_seed),
+            point.config,
+        )
+        assert simulate_point(point) == direct
+
+    def test_default_workload_seed(self):
+        """``workload_seed=None`` reproduces the benchmark default."""
+        point = SweepPoint(kernel="fft", config=MachineConfig.S(),
+                           params=MachineParams(), records=8)
+        s = spec("fft")
+        direct = GridProcessor(point.params).run(
+            s.kernel(), s.workload(8), point.config
+        )
+        assert simulate_point(point) == direct
+
+
+class TestFanOut:
+    def test_serial_results_in_input_order(self):
+        points = sample_points()
+        results = run_points(points, jobs=1)
+        assert [r.kernel for r in results] == ["fft", "lu", "convert"]
+
+    def test_parallel_matches_serial(self):
+        """Fan-out changes wall time only, never results.
+
+        When the environment cannot spawn a process pool, run_points
+        falls back to the serial loop — the assertion holds either way.
+        """
+        points = sample_points()
+        serial = run_points(points, jobs=1)
+        parallel = run_points(points, jobs=2)
+        assert parallel == serial
+
+    def test_timed_wraps_results(self):
+        results = run_points(sample_points()[:1], jobs=1, timed=True)
+        (result, seconds), = results
+        assert result.kernel == "fft"
+        assert seconds >= 0.0
