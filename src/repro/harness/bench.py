@@ -34,7 +34,9 @@ import time
 from typing import Dict, List, Optional
 
 from ..perf.cache import RunCache
+from ..perf.phases import measuring
 from . import experiments
+from .profiling import add_profile_arguments, profiled
 
 #: Report format version (bump on incompatible layout changes).
 BENCH_SCHEMA = 1
@@ -81,7 +83,9 @@ def bench_experiments(
         jobs=1,
         cache=RunCache(cache_dir),
     )
-    timer.measure("cold_serial", lambda: _run_all(serial_ctx))
+    with measuring() as phase_acc:
+        timer.measure("cold_serial", lambda: _run_all(serial_ctx))
+    phase_breakdown = phase_acc.snapshot()
     cold_stats = serial_ctx.cache.stats.as_dict()
     timer.measure("warm_memory", lambda: _run_all(serial_ctx))
 
@@ -121,6 +125,12 @@ def bench_experiments(
         "jobs": jobs,
         "cache_dir": cache_dir,
         "phases_seconds": timer.seconds,
+        # Where cold_serial's wall time went inside the pipeline: window
+        # mapping (placement + expansion or cache rebase), block-style
+        # vs MIMD engine simulation, and the MIMD memory interface.
+        # The remainder up to cold_serial is harness overhead (workload
+        # generation, fingerprinting, cache serialization).
+        "phase_breakdown_seconds": phase_breakdown,
         "warm_vs_cold_speedup": cold / warm if warm > 0 else float("inf"),
         "simulated_points": len(point_seconds),
         "cache_after_cold": cold_stats,
@@ -138,6 +148,17 @@ def render_report(report: dict) -> str:
     ]
     for name, seconds in report["phases_seconds"].items():
         lines.append(f"{name:<17}: {seconds:8.3f}s")
+    breakdown = report.get("phase_breakdown_seconds") or {}
+    if breakdown:
+        cold = report["phases_seconds"].get("cold_serial", 0.0)
+        accounted = sum(breakdown.values())
+        lines.append("cold_serial breakdown:")
+        for name, seconds in sorted(
+            breakdown.items(), key=lambda item: item[1], reverse=True
+        ):
+            lines.append(f"  {name:<15}: {seconds:8.3f}s")
+        if cold > accounted:
+            lines.append(f"  {'harness/other':<15}: {cold - accounted:8.3f}s")
     lines.append(
         f"warm/cold speedup: {report['warm_vs_cold_speedup']:8.1f}x"
     )
@@ -176,14 +197,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default="BENCH_perf.json", metavar="FILE",
         help="report path (default BENCH_perf.json; '-' for stdout only)",
     )
+    add_profile_arguments(parser)
     args = parser.parse_args(argv)
 
-    report = bench_experiments(
-        records=args.records,
-        large_kernel_records=max(16, args.records // 4),
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-    )
+    if args.profile:
+        with profiled(label="repro-bench", top=args.profile_top):
+            report = bench_experiments(
+                records=args.records,
+                large_kernel_records=max(16, args.records // 4),
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+            )
+    else:
+        report = bench_experiments(
+            records=args.records,
+            large_kernel_records=max(16, args.records // 4),
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
     if args.output != "-":
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)

@@ -33,8 +33,14 @@ from ..machine.params import MachineParams
 from ..machine.processor import GridProcessor
 from ..machine.stats import RunResult, harmonic_mean
 from ..perf.cache import RunCache
-from ..perf.fingerprint import run_fingerprint
-from ..perf.parallel import SweepPoint, run_points
+from ..perf.fingerprint import (
+    combine_fingerprints,
+    fingerprint_config,
+    fingerprint_kernel,
+    fingerprint_params,
+    fingerprint_records,
+)
+from ..perf.parallel import SweepPoint, effective_workers, run_points
 from .reporting import fmt_float, fmt_speedup, render_table
 
 #: Paper Table 4 (baseline ops/cycle) for side-by-side reporting.
@@ -86,6 +92,12 @@ class ExperimentContext:
         self.cache = cache if cache is not None else RunCache(cache_dir)
         self._workloads: Dict[str, list] = {}
         self._keys: Dict[Tuple[str, str], str] = {}
+        # Memoized part fingerprints: the kernel and workload hashes are
+        # invariant across the configurations of a sweep.
+        self._kernel_fps: Dict[str, str] = {}
+        self._records_fps: Dict[str, str] = {}
+        self._config_fps: Dict[str, str] = {}
+        self._params_fp: Optional[str] = None
         #: wall seconds spent simulating each point (bench reporting)
         self.point_seconds: Dict[Tuple[str, str], float] = {}
 
@@ -105,21 +117,45 @@ class ExperimentContext:
         return self._workloads[name]
 
     def fingerprint(self, name: str, config: MachineConfig) -> str:
-        """Content address of the (kernel, config) point on this context."""
+        """Content address of the (kernel, config) point on this context.
+
+        Identical to ``run_fingerprint`` on the full inputs, but the
+        part hashes (kernel structure, workload, params) are memoized —
+        a sweep hashes each kernel and record stream once, not once per
+        configuration.
+        """
         key = (name, config.name)
-        if key not in self._keys:
-            self._keys[key] = run_fingerprint(
-                spec(name).kernel(), config, self.params, self.workload(name)
+        fp = self._keys.get(key)
+        if fp is None:
+            kernel_fp = self._kernel_fps.get(name)
+            if kernel_fp is None:
+                kernel_fp = fingerprint_kernel(spec(name).kernel())
+                self._kernel_fps[name] = kernel_fp
+            records_fp = self._records_fps.get(name)
+            if records_fp is None:
+                records_fp = fingerprint_records(self.workload(name))
+                self._records_fps[name] = records_fp
+            config_fp = self._config_fps.get(config.name)
+            if config_fp is None:
+                config_fp = fingerprint_config(config)
+                self._config_fps[config.name] = config_fp
+            if self._params_fp is None:
+                self._params_fp = fingerprint_params(self.params)
+            fp = combine_fingerprints(
+                kernel_fp, config_fp, self._params_fp, records_fp
             )
-        return self._keys[key]
+            self._keys[key] = fp
+        return fp
 
     def _point(self, name: str, config: MachineConfig) -> SweepPoint:
+        cache_dir = self.cache.cache_dir
         return SweepPoint(
             kernel=name,
             config=config,
             params=self.params,
             records=self.record_count(name),
             workload_seed=100 + self.seed,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
         )
 
     def run(self, name: str, config: MachineConfig) -> RunResult:
@@ -141,10 +177,12 @@ class ExperimentContext:
     ) -> Dict[Tuple[str, str], RunResult]:
         """Simulate many points at once, fanning misses over ``jobs``.
 
-        Cache hits are never re-simulated; misses run in parallel when
-        ``jobs > 1`` (deterministic serial order otherwise) and are
-        inserted into the cache, so later :meth:`run` calls return the
-        same objects.
+        Cache hits are never re-simulated; misses fan out over a pool
+        when more than one worker is effective, and otherwise run
+        through :meth:`run`'s in-context serial path — which reuses
+        this context's cached workloads and fingerprints instead of
+        rebuilding them per point.  Either way results land in the
+        cache, so later :meth:`run` calls return the same objects.
         """
         results: Dict[Tuple[str, str], RunResult] = {}
         missing: List[Tuple[str, MachineConfig, str]] = []
@@ -157,13 +195,32 @@ class ExperimentContext:
             elif fp not in seen_fps:
                 seen_fps.add(fp)
                 missing.append((name, config, fp))
-        if missing:
-            points = [self._point(name, config) for name, config, _ in missing]
-            timed = run_points(points, jobs=self.jobs, timed=True)
-            for (name, config, fp), (result, seconds) in zip(missing, timed):
+        if not missing:
+            return results
+        if effective_workers(self.jobs, len(missing)) < 2:
+            # Serial in-context fast path: bit-identical to the worker
+            # (same seed, records, params), minus its per-point rebuild
+            # of workloads and fingerprints.  The scan above already
+            # charged the cache miss, so simulate and store directly
+            # rather than re-probing through :meth:`run`.
+            for name, config, fp in missing:
+                kernel = spec(name).kernel()
+                started = time.perf_counter()
+                result = self.processor.run(
+                    kernel, self.workload(name), config
+                )
+                self.point_seconds[(name, config.name)] = (
+                    time.perf_counter() - started
+                )
                 self.cache.put(fp, result)
-                self.point_seconds[(name, config.name)] = seconds
                 results[(name, config.name)] = result
+            return results
+        points = [self._point(name, config) for name, config, _ in missing]
+        timed = run_points(points, jobs=self.jobs, timed=True)
+        for (name, config, fp), (result, seconds) in zip(missing, timed):
+            self.cache.put(fp, result)
+            self.point_seconds[(name, config.name)] = seconds
+            results[(name, config.name)] = result
         return results
 
     def supports(self, name: str, config: MachineConfig) -> bool:

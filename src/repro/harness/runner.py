@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..machine.params import MachineParams
 from . import experiments
+from .profiling import add_profile_arguments, profiled
 
 
 def _registry(ctx: experiments.ExperimentContext) -> Dict[str, Callable[[], object]]:
@@ -61,6 +62,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="on-disk run cache directory (e.g. .repro_cache); repeated "
              "invocations replay cached simulation points",
     )
+    add_profile_arguments(parser)
     args = parser.parse_args(argv)
 
     params = MachineParams(rows=args.rows, cols=args.cols)
@@ -79,7 +81,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"unknown experiment(s) {unknown}; choose from {sorted(registry)}"
         )
     for name in names:
-        print(registry[name]().render())
+        if args.profile:
+            with profiled(label=name, top=args.profile_top):
+                result = registry[name]()
+        else:
+            result = registry[name]()
+        print(result.render())
         print()
     return 0
 

@@ -8,8 +8,21 @@ mechanisms, morphable at run time through :class:`MachineConfig`.
 from .params import PAPER_BASELINE, MachineParams
 from .config import TABLE5_CONFIGS, MachineConfig, all_configs, named_config
 from .stats import RunResult, WindowTiming, harmonic_mean
-from .placement import Placement, max_unroll, place_iterations, region_width
-from .mapping import MappedWindow, map_window, overhead_per_iteration, window_iterations
+from .placement import (
+    Placement,
+    max_unroll,
+    place_iterations,
+    place_iterations_reference,
+    region_width,
+)
+from .mapping import (
+    MappedWindow,
+    map_window,
+    overhead_per_iteration,
+    rebase_window,
+    window_iterations,
+)
+from .window_cache import SHARED_WINDOW_CACHE, MappedWindowCache
 from .dataflow_engine import DataflowEngine, DeadlockError
 from .mimd_engine import MimdCapacityError, MimdEngine, rolled_instruction_count
 from .revitalize import RevitalizationController, RevitalizeStateError
@@ -30,11 +43,15 @@ __all__ = [
     "Placement",
     "max_unroll",
     "place_iterations",
+    "place_iterations_reference",
     "region_width",
     "MappedWindow",
     "map_window",
     "overhead_per_iteration",
+    "rebase_window",
     "window_iterations",
+    "SHARED_WINDOW_CACHE",
+    "MappedWindowCache",
     "DataflowEngine",
     "DeadlockError",
     "MimdCapacityError",

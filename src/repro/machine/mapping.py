@@ -41,7 +41,7 @@ LOAD = "load"
 STORE = "store"
 
 
-@dataclass
+@dataclass(slots=True)
 class Instance:
     """One machine-level instruction instance mapped to a node."""
 
@@ -68,7 +68,7 @@ class Instance:
     kernel_iid: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class ConstRead:
     """One register-file read delivering a scalar constant to consumers."""
 
@@ -95,6 +95,14 @@ class MappedWindow:
     space_bases: Dict[int, int] = field(default_factory=dict)
     record_base: int = 0
     out_base: int = 0
+    #: record offset the regular-memory addresses are currently based at
+    #: (see :func:`rebase_window`)
+    record_offset: int = 0
+    #: lazily-computed static issue order (uids sorted by (depth, uid));
+    #: a pure function of the instances, so engine runs share it
+    issue_order: Optional[List[int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def useful_per_iteration(self) -> int:
@@ -172,78 +180,97 @@ def map_window(
             heights[kinst.iid] = 1 + max(heights[c] for c, _ in cons)
     top_priority = -(max(heights, default=1) + 1)
     lat = params.latencies
+    cols = params.cols
 
-    def new_instance(**kw) -> Instance:
-        inst = Instance(uid=len(instances), **kw)
-        instances.append(inst)
-        return inst
+    # Per-kernel-instruction expansion plan, classified once instead of
+    # per iteration: instance template fields plus the operand split
+    # (producer iids, record-word indices, constant slots).  The operand
+    # count an instance starts with follows directly — immediates are
+    # encoded in the instruction and contribute nothing.
+    body_plan = []
+    for kinst in kernel.body:
+        if kinst.op.name == "LUT":
+            kind = LUT
+            latency = params.l0_data_latency if config.l0_data else 1
+            address, words = table_bases[kinst.table], 0
+        elif kinst.op.name == "LDI":
+            kind = LDI
+            latency = 1
+            address = space_bases[kinst.space]
+            words = len(kernel.spaces[kinst.space])
+        else:
+            kind = COMPUTE
+            latency = lat[kinst.op.opclass]
+            address, words = 0, 0
+        producers = [s.producer for s in kinst.srcs if isinstance(s, InstResult)]
+        rec_srcs = [s.index for s in kinst.srcs if isinstance(s, RecordInput)]
+        const_slots = [s.slot for s in kinst.srcs if isinstance(s, Const)]
+        operands = len(producers) + len(rec_srcs)
+        if not config.operand_revitalize:
+            operands += len(const_slots)
+        body_plan.append((
+            kinst.iid, kind, latency, address, words, kinst.useful,
+            -heights[kinst.iid], producers, rec_srcs, const_slots, operands,
+        ))
 
-    # uid of the compute instance for (iteration, kernel iid)
-    uid_of: Dict[Tuple[int, int], int] = {}
+    n_chunks = math.ceil(kernel.record_in / params.lmw_words)
+    chunk_words = [
+        range(c * params.lmw_words,
+              min((c + 1) * params.lmw_words, kernel.record_in))
+        for c in range(n_chunks)
+    ]
+    node_of = placement.node_of
+    append_instance = instances.append
+
+    # uid of the compute instance for each kernel iid, per iteration
+    uid_rows: List[List[int]] = []
 
     for u in range(U):
         # ---- compute instances --------------------------------------------
-        for kinst in kernel.body:
-            node = placement.node_of[(u, kinst.iid)]
-            if kinst.op.name == "LUT":
-                kind = LUT
-                latency = params.l0_data_latency if config.l0_data else 1
-            elif kinst.op.name == "LDI":
-                kind = LDI
-                latency = 1
-            else:
-                kind = COMPUTE
-                latency = lat[kinst.op.opclass]
-            inst = new_instance(
-                kind=kind, node=node, iteration=u, latency=latency,
-                useful=kinst.useful, depth=-heights[kinst.iid],
-                kernel_iid=kinst.iid, row=node // params.cols,
-            )
-            if kind == LUT:
-                inst.address = table_bases[kinst.table]
-            elif kind == LDI:
-                inst.address = space_bases[kinst.space]
-                inst.words = len(kernel.spaces[kinst.space])
-            uid_of[(u, kinst.iid)] = inst.uid
-
-        # ---- regular-memory input instances ---------------------------------
-        in_consumers: Dict[int, List[int]] = {w: [] for w in range(kernel.record_in)}
+        uid_row = [0] * len(kernel.body)
+        in_consumers: List[List[int]] = [[] for _ in range(kernel.record_in)]
         const_consumers: Dict[int, List[int]] = {}
-        for kinst in kernel.body:
-            cuid = uid_of[(u, kinst.iid)]
-            for src in kinst.srcs:
-                if isinstance(src, RecordInput):
-                    in_consumers[src.index].append(cuid)
-                elif isinstance(src, Const):
-                    const_consumers.setdefault(src.slot, []).append(cuid)
+        for (iid, kind, latency, address, words, useful, depth,
+             _producers, rec_srcs, const_slots, _operands) in body_plan:
+            node = node_of[(u, iid)]
+            uid = len(instances)
+            append_instance(Instance(
+                uid, kind, node, u, latency, [], 0, useful,
+                node // cols, words, address, [], depth, iid,
+            ))
+            uid_row[iid] = uid
+            for w in rec_srcs:
+                in_consumers[w].append(uid)
+            for slot in const_slots:
+                const_consumers.setdefault(slot, []).append(uid)
+        uid_rows.append(uid_row)
 
         home_row = placement.home_row[u]
+        # ---- regular-memory input instances ---------------------------------
         if config.smc_stream:
             # One LMW per lmw_words-wide chunk, placed at the row interface.
-            interface_node = home_row * params.cols
-            for chunk in range(math.ceil(kernel.record_in / params.lmw_words)):
-                words = list(range(
-                    chunk * params.lmw_words,
-                    min((chunk + 1) * params.lmw_words, kernel.record_in),
-                ))
-                lmw = new_instance(
-                    kind=LMW, node=interface_node, iteration=u,
-                    row=home_row, words=len(words), depth=top_priority,
+            interface_node = home_row * cols
+            for words in chunk_words:
+                lmw = Instance(
+                    len(instances), LMW, interface_node, u, 1, [], 0, False,
+                    home_row, len(words), 0, [in_consumers[w] for w in words],
+                    top_priority, -1,
                 )
-                lmw.word_consumers = [in_consumers[w] for w in words]
+                append_instance(lmw)
         else:
             # Baseline: one L1 load per record word, placed by its first
             # consumer (or the iteration's first node when unconsumed).
-            fallback = placement.node_of[(u, 0)]
+            fallback = node_of[(u, 0)]
             for w in range(kernel.record_in):
                 consumers = in_consumers[w]
                 node = (instances[consumers[0]].node if consumers else fallback)
-                load = new_instance(
-                    kind=LOAD, node=node, iteration=u,
-                    row=node // params.cols, depth=top_priority,
-                    address=record_base + u * kernel.record_in + w,
+                load = Instance(
+                    len(instances), LOAD, node, u, 1, list(consumers), 0,
+                    False, node // cols, 0,
+                    record_base + u * kernel.record_in + w, [],
+                    top_priority, -1,
                 )
-                load.consumers = list(consumers)
+                append_instance(load)
 
         # ---- scalar-constant register reads -----------------------------------
         if not config.operand_revitalize:
@@ -251,32 +278,28 @@ def map_window(
                 const_reads.append(ConstRead(slot, u, list(consumers)))
 
         # ---- store instances ----------------------------------------------------
+        store_row = home_row if config.smc_stream else -1
         for producer, out_slot in kernel.outputs:
-            puid = uid_of[(u, producer)]
+            puid = uid_row[producer]
             node = instances[puid].node
-            store = new_instance(
-                kind=STORE, node=node, iteration=u, operands=1,
-                row=home_row if config.smc_stream else node // params.cols,
-                address=out_base + u * kernel.record_out + out_slot,
-                depth=0,  # stores issue when their value arrives; lowest urgency
+            store = Instance(
+                len(instances), STORE, node, u, 1, [], 1, False,
+                store_row if store_row >= 0 else node // cols, 0,
+                out_base + u * kernel.record_out + out_slot, [],
+                0, -1,  # stores issue when their value arrives; lowest urgency
             )
+            append_instance(store)
             instances[puid].consumers.append(store.uid)
 
     # ---- dataflow edges -------------------------------------------------------
     for u in range(U):
-        for kinst in kernel.body:
-            cuid = uid_of[(u, kinst.iid)]
-            consumer = instances[cuid]
-            for src in kinst.srcs:
-                if isinstance(src, InstResult):
-                    instances[uid_of[(u, src.producer)]].consumers.append(cuid)
-                    consumer.operands += 1
-                elif isinstance(src, RecordInput):
-                    consumer.operands += 1  # delivered by LMW/LOAD
-                elif isinstance(src, Const):
-                    if not config.operand_revitalize:
-                        consumer.operands += 1  # delivered by register read
-                # Immediates are encoded in the instruction: no operand.
+        uid_row = uid_rows[u]
+        for (iid, _kind, _latency, _address, _words, _useful, _depth,
+             producers, _rec_srcs, _const_slots, operands) in body_plan:
+            cuid = uid_row[iid]
+            for producer in producers:
+                instances[uid_row[producer]].consumers.append(cuid)
+            instances[cuid].operands = operands
 
     machine_instructions = len(instances) + len(const_reads)
     return MappedWindow(
@@ -292,4 +315,38 @@ def map_window(
         space_bases=space_bases,
         record_base=record_base,
         out_base=out_base,
+        record_offset=record_offset,
     )
+
+
+def rebase_window(window: MappedWindow, record_offset: int) -> MappedWindow:
+    """Re-address a mapped window to a new position in the record stream.
+
+    The mapped *structure* (placement, instances, dataflow edges,
+    priorities) is independent of where in the stream the window sits;
+    only the regular-memory addresses move — L1 record loads by
+    ``record_in`` words per record, stores by ``record_out`` words.
+    Table and space addresses (LUT/LDI) are stream-position-independent,
+    and LMW instances address their row bank by stream offset implicitly.
+
+    Rebasing mutates ``window`` in place and returns it; the result is
+    field-for-field identical to ``map_window(..., record_offset=...)``
+    at the new offset (the equivalence suite pins this), at the cost of
+    touching only the LOAD/STORE instances instead of rebuilding and
+    re-placing the whole window.
+    """
+    delta = record_offset - window.record_offset
+    if delta == 0:
+        return window
+    delta_in = delta * window.kernel.record_in
+    delta_out = delta * window.kernel.record_out
+    for inst in window.instances:
+        kind = inst.kind
+        if kind == LOAD:
+            inst.address += delta_in
+        elif kind == STORE:
+            inst.address += delta_out
+    window.record_base += delta_in
+    window.out_base += delta_out
+    window.record_offset = record_offset
+    return window

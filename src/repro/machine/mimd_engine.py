@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..isa.instruction import Const, Immediate, InstResult, RecordInput
 from ..isa.kernel import Kernel
 from ..memory.system import MemorySystem
+from ..perf.phases import PHASES, perf_counter
 from .config import MachineConfig
 from .params import MachineParams
 from .stats import RunResult
@@ -136,28 +137,30 @@ class MimdEngine:
             for i, sid in enumerate(sorted(kernel.spaces))
         }
         # Hot-loop metadata, computed once per engine: a flat
-        # (iid, kind, operand specs, latency, base, len) tuple per
-        # instruction replaces per-record isinstance dispatch and table
-        # lookups, and live sets / useful-op counts are memoized per
-        # trip count (they depend on nothing else).
+        # (iid, kind, producer iids, record-word deps, latency, base,
+        # len) tuple per instruction replaces per-record isinstance
+        # dispatch and table lookups (constants/immediates never delay
+        # issue, so they drop out entirely), and live sets / useful-op
+        # counts are memoized per trip count (they depend on nothing
+        # else).
         meta = []
         for inst in kernel.body:
-            srcs = tuple(
-                (0, s.producer) if isinstance(s, InstResult)
-                else (1, s.index) if isinstance(s, RecordInput)
-                else (2, 0)
-                for s in inst.srcs
+            producers = tuple(
+                s.producer for s in inst.srcs if isinstance(s, InstResult)
+            )
+            word_deps = tuple(
+                s.index for s in inst.srcs if isinstance(s, RecordInput)
             )
             if inst.op.name == "LUT":
-                meta.append((inst.iid, 1, srcs, 0,
+                meta.append((inst.iid, 1, producers, word_deps, 0,
                              self._table_base[inst.table],
                              len(kernel.tables[inst.table])))
             elif inst.op.name == "LDI":
-                meta.append((inst.iid, 2, srcs, 0,
+                meta.append((inst.iid, 2, producers, word_deps, 0,
                              self._space_base[inst.space],
                              len(kernel.spaces[inst.space])))
             else:
-                meta.append((inst.iid, 0, srcs,
+                meta.append((inst.iid, 0, producers, word_deps,
                              params.latencies[inst.op.opclass], 0, 0))
         self._meta = meta
         self._chunks = [
@@ -167,6 +170,7 @@ class MimdEngine:
         ]
         self._live_cache: Dict[int, set] = {}
         self._useful_cache: Dict[int, int] = {}
+        self._live_meta_cache: Dict[int, tuple] = {}
 
     def _live_set(self, trips: int) -> set:
         """Memoized set of live instruction ids for one trip count."""
@@ -175,6 +179,27 @@ class MimdEngine:
             live = {i.iid for i in self.kernel.live_instructions(trips)}
             self._live_cache[trips] = live
         return live
+
+    def _live_meta(self, trips: int) -> tuple:
+        """Memoized per-trip-count view of the hot-loop metadata.
+
+        Filters :attr:`_meta` down to the live instructions for ``trips``
+        (so the per-record loop never tests liveness) and precomputes the
+        skipped count, the LUT L1-trip count, and the store plan — a
+        ``(slot, producer-or-minus-one)`` pair per output.
+        """
+        entry = self._live_meta_cache.get(trips)
+        if entry is None:
+            live = self._live_set(trips)
+            meta = [m for m in self._meta if m[0] in live]
+            luts = sum(1 for m in meta if m[1] == 1)
+            outs = [
+                (slot, producer if producer in live else -1)
+                for producer, slot in self.kernel.outputs
+            ]
+            entry = (meta, len(self._meta) - len(meta), luts, outs)
+            self._live_meta_cache[trips] = entry
+        return entry
 
     def _useful_live(self, trips: int) -> int:
         """Memoized useful-op count for one trip count."""
@@ -195,7 +220,10 @@ class MimdEngine:
         timing-only mode.  Functional runs take the straightforward
         reference loop (which also computes values); timing-only runs
         take an optimized loop over the precomputed instruction
-        metadata.  Both produce identical cycle times and stats.
+        metadata: a whole LMW chunk's SMC-port and channel reservations
+        issue in one batched memory call, and the record's stores flush
+        through the row store buffer in one batched push.  Both paths
+        produce identical cycle times and stats.
         """
         if self.functional:
             return self._run_record_reference(node, start, record,
@@ -209,17 +237,20 @@ class MimdEngine:
         kernel = self.kernel
 
         trips = kernel.trip_count(record)
-        live = self._live_set(trips)
+        meta, skipped, live_luts, outs = self._live_meta(trips)
 
+        phases = PHASES.enabled
+        mem_started = perf_counter() if phases else 0.0
         pc_time = start
         word_ready: List[int] = [0] * kernel.record_in
         smc_stream = self.config.smc_stream
         l1_access = memory.l1_access
+        lmw_deliver_fast = memory.lmw_deliver_fast
         load_stalls = 0
         for words in self._chunks:
             request = pc_time + edge
             if smc_stream:
-                deliveries = memory.lmw_deliver(
+                deliveries = lmw_deliver_fast(
                     row, request, len(words), scattered=True
                 )
             else:
@@ -233,36 +264,32 @@ class MimdEngine:
                     chunk_ready = back
             load_stalls += chunk_ready - (pc_time + 1)
             pc_time = chunk_ready
+        if phases:
+            PHASES.add("mimd_memory", perf_counter() - mem_started)
 
-        ready_at: Dict[int, int] = {}
-        ready_at_get = ready_at.get
+        # ``ready_at`` is a flat list indexed by kernel iid: entries of
+        # never-executed producers stay ``start``, matching the
+        # reference's ``ready_at.get(producer, start)``.
+        ready_at: List[int] = [start] * len(kernel.body)
         l0_data = self.config.l0_data
         l0_latency = params.l0_data_latency
-        executed = 0
-        skipped = 0
         lut_trips = 0
 
-        for iid, kind, srcs, latency, mem_base, mem_len in self._meta:
-            if iid not in live:
-                skipped += 1
-                continue
-
+        for iid, kind, producers, word_deps, latency, mem_base, mem_len in meta:
             # Anything at or before pc_time cannot delay issue, so the
             # reference's ``max(..., default=start)`` reduces to the max
             # operand readiness (constants and absent operands are 0).
             operands_ready = 0
-            for code, payload in srcs:
-                if code == 0:
-                    t = ready_at_get(payload, start)
-                elif code == 1:
-                    t = word_ready[payload]
-                else:
-                    continue
+            for p in producers:
+                t = ready_at[p]
+                if t > operands_ready:
+                    operands_ready = t
+            for w in word_deps:
+                t = word_ready[w]
                 if t > operands_ready:
                     operands_ready = t
             issue = pc_time if pc_time >= operands_ready else operands_ready
             load_stalls += issue - pc_time
-            executed += 1
             pc_time = issue + 1
 
             if kind == 0:
@@ -270,7 +297,6 @@ class MimdEngine:
             elif kind == 1 and l0_data:
                 done = issue + l0_latency
             else:
-                lut_trips += kind == 1
                 if kind == 1:
                     address = mem_base + (
                         (record_index * 31 + iid) % mem_len
@@ -284,25 +310,36 @@ class MimdEngine:
                     load_stalls += done - pc_time
                     pc_time = done
             ready_at[iid] = done
+        if not l0_data:
+            lut_trips = live_luts
 
-        smc_store = memory.smc_store
-        for producer, slot in kernel.outputs:
-            if producer in live:
-                issue = ready_at_get(producer, start)
+        # Stores leave through the row store buffer; the buffer pushes
+        # are order-preserving and their drain times are not consumed
+        # here, so the whole record's stores flush in one batched call.
+        out_base = (1 << 26) + record_index * kernel.record_out
+        pushes = []
+        for slot, producer in outs:
+            if producer >= 0:
+                issue = ready_at[producer]
                 if pc_time > issue:
                     issue = pc_time
             else:
                 issue = pc_time
             pc_time = issue + 1
-            address = (1 << 26) + record_index * kernel.record_out + slot
-            smc_store(row, address, issue + edge)
+            pushes.append((out_base + slot, issue + edge))
+        if pushes:
+            if phases:
+                mem_started = perf_counter()
+            memory.smc_store_many(row, pushes)
+            if phases:
+                PHASES.add("mimd_memory", perf_counter() - mem_started)
 
         if kernel.loop.variable or (kernel.loop.static_trips or 1) > 1:
             pc_time += trips if kernel.loop.variable else (
                 kernel.loop.static_trips or 1
             )
         stats.load_stall_cycles += load_stalls
-        stats.instructions_executed += executed
+        stats.instructions_executed += len(meta)
         stats.instructions_skipped += skipped
         stats.lut_l1_trips += lut_trips
         return pc_time, None

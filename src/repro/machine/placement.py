@@ -56,6 +56,77 @@ def region_width(kernel: Kernel, params: MachineParams) -> int:
     return min(params.nodes, width)
 
 
+def _place_one_iteration(
+    kernel: Kernel,
+    params: MachineParams,
+    u: int,
+    width: int,
+    slots_used: Dict[int, int],
+    node_of: Dict[Tuple[int, int], int],
+) -> Tuple[List[int], List[int]]:
+    """Greedily place iteration ``u``; mutate ``slots_used``/``node_of``.
+
+    Chain-affine greedy placement: an instruction prefers the node of
+    one of its producers (keeping dependence chains local, so results
+    forward without network hops — what the TRIPS schedulers optimize),
+    spilling to the least-loaded node of the iteration's region when the
+    producer nodes are saturated.  "Saturated" uses a per-node running
+    chain budget so a single node does not swallow a whole wide graph.
+
+    Returns ``(region, assignment)``: the final (possibly widened) region
+    — exactly the set of nodes whose ``slots_used`` the decisions read —
+    and the chosen node per instruction in body order, which together
+    form the memoization record of :func:`place_iterations`.
+    """
+    nodes = params.nodes
+    capacity = params.slots_per_node
+    start = (u * width) % nodes
+    region = [(start + k) % nodes for k in range(width)]
+    # Per-iteration load balance target: no node should hold much more
+    # than its fair share of this iteration's instructions.
+    fair_share = max(2, 2 * -(-len(kernel.body) // max(1, width)))
+    iter_load: Dict[int, int] = {}
+    assignment: List[int] = []
+
+    for inst in kernel.body:  # body is topologically ordered
+        chosen = -1
+        best_load = None
+        for p in inst.dataflow_sources():
+            candidate = node_of[(u, p)]
+            load = iter_load.get(candidate, 0)
+            if slots_used[candidate] < capacity and load < fair_share:
+                if best_load is None or load < best_load:
+                    chosen = candidate
+                    best_load = load
+        if chosen < 0:
+            # Least-loaded non-full node in the region; widen the
+            # region (without re-adding nodes) when all are full.
+            while True:
+                candidates = [
+                    n for n in region if slots_used[n] < capacity
+                ]
+                if candidates:
+                    chosen = min(
+                        candidates,
+                        key=lambda n: (iter_load.get(n, 0), slots_used[n]),
+                    )
+                    break
+                if len(region) >= nodes:
+                    raise ValueError(
+                        f"placement overflow: {kernel.name} x "
+                        f"(iteration {u}) exceeds reservation capacity"
+                    )
+                nxt = (region[-1] + 1) % nodes
+                while nxt in region:
+                    nxt = (nxt + 1) % nodes
+                region.append(nxt)
+        node_of[(u, inst.iid)] = chosen
+        slots_used[chosen] += 1
+        iter_load[chosen] = iter_load.get(chosen, 0) + 1
+        assignment.append(chosen)
+    return region, assignment
+
+
 def place_iterations(
     kernel: Kernel, params: MachineParams, iterations: int
 ) -> Placement:
@@ -63,6 +134,16 @@ def place_iterations(
 
     Raises ``ValueError`` when the request exceeds total reservation-station
     capacity; callers pick ``iterations`` with :func:`max_unroll`.
+
+    Placement of one iteration is a deterministic function of the kernel
+    and the slot state of the nodes its greedy pass reads (the final
+    region of :func:`_place_one_iteration`), so repeated iterations are
+    memoized by *region signature* — ``(start node, slots_used over that
+    region at entry)``.  Signatures recur every time the unroll wraps the
+    array, turning the greedy pass from O(iterations) to O(distinct
+    signatures).  :func:`place_iterations_reference` is the un-memoized
+    executable specification; the equivalence suite pins the two to
+    identical placements.
     """
     width = region_width(kernel, params)
     nodes = params.nodes
@@ -77,57 +158,75 @@ def place_iterations(
     slots_used: Dict[int, int] = {n: 0 for n in range(nodes)}
     node_of: Dict[Tuple[int, int], int] = {}
     home_row: List[int] = []
+    body = kernel.body
+    #: start node -> [(entry slot signature, region, assignment)]
+    memo: Dict[int, List[Tuple[Tuple[int, ...], List[int], List[int]]]] = {}
 
-    # Chain-affine greedy placement: an instruction prefers the node of
-    # one of its producers (keeping dependence chains local, so results
-    # forward without network hops — what the TRIPS schedulers optimize),
-    # spilling to the least-loaded node of the iteration's region when the
-    # producer nodes are saturated.  "Saturated" uses a per-node running
-    # chain budget so a single node does not swallow a whole wide graph.
     for u in range(iterations):
         start = (u * width) % nodes
         home_row.append((start // params.cols) % params.rows)
-        region = [(start + k) % nodes for k in range(width)]
-        # Per-iteration load balance target: no node should hold much more
-        # than its fair share of this iteration's instructions.
-        fair_share = max(2, 2 * -(-len(kernel.body) // max(1, width)))
-        iter_load: Dict[int, int] = {}
+        replay = None
+        for signature, region, assignment in memo.get(start, ()):
+            if all(slots_used[n] == s for n, s in zip(region, signature)):
+                replay = assignment
+                break
+        if replay is not None:
+            for inst, node in zip(body, replay):
+                node_of[(u, inst.iid)] = node
+                slots_used[node] += 1
+            continue
+        entry_slots = dict(slots_used)
+        try:
+            region, assignment = _place_one_iteration(
+                kernel, params, u, width, slots_used, node_of
+            )
+        except ValueError:
+            raise ValueError(
+                f"placement overflow: {kernel.name} x "
+                f"{iterations} exceeds reservation capacity"
+            ) from None
+        memo.setdefault(start, []).append(
+            (tuple(entry_slots[n] for n in region), region, assignment)
+        )
+    return Placement(
+        iterations=iterations,
+        node_of=node_of,
+        home_row=home_row,
+        slots_used=slots_used,
+    )
 
-        for inst in kernel.body:  # body is topologically ordered
-            chosen = -1
-            best_load = None
-            for p in inst.dataflow_sources():
-                candidate = node_of[(u, p)]
-                load = iter_load.get(candidate, 0)
-                if slots_used[candidate] < capacity and load < fair_share:
-                    if best_load is None or load < best_load:
-                        chosen = candidate
-                        best_load = load
-            if chosen < 0:
-                # Least-loaded non-full node in the region; widen the
-                # region (without re-adding nodes) when all are full.
-                while True:
-                    candidates = [
-                        n for n in region if slots_used[n] < capacity
-                    ]
-                    if candidates:
-                        chosen = min(
-                            candidates,
-                            key=lambda n: (iter_load.get(n, 0), slots_used[n]),
-                        )
-                        break
-                    if len(region) >= nodes:
-                        raise ValueError(
-                            f"placement overflow: {kernel.name} x "
-                            f"{iterations} exceeds reservation capacity"
-                        )
-                    nxt = (region[-1] + 1) % nodes
-                    while nxt in region:
-                        nxt = (nxt + 1) % nodes
-                    region.append(nxt)
-            node_of[(u, inst.iid)] = chosen
-            slots_used[chosen] += 1
-            iter_load[chosen] = iter_load.get(chosen, 0) + 1
+
+def place_iterations_reference(
+    kernel: Kernel, params: MachineParams, iterations: int
+) -> Placement:
+    """Un-memoized placement loop: the executable specification that
+    :func:`place_iterations` must reproduce bit-for-bit."""
+    width = region_width(kernel, params)
+    nodes = params.nodes
+    capacity = params.slots_per_node
+    total_needed = iterations * len(kernel.body)
+    if total_needed > nodes * capacity:
+        raise ValueError(
+            f"cannot place {iterations} x {len(kernel.body)} instructions: "
+            f"capacity is {nodes * capacity} slots"
+        )
+
+    slots_used: Dict[int, int] = {n: 0 for n in range(nodes)}
+    node_of: Dict[Tuple[int, int], int] = {}
+    home_row: List[int] = []
+
+    for u in range(iterations):
+        start = (u * width) % nodes
+        home_row.append((start // params.cols) % params.rows)
+        try:
+            _place_one_iteration(
+                kernel, params, u, width, slots_used, node_of
+            )
+        except ValueError:
+            raise ValueError(
+                f"placement overflow: {kernel.name} x "
+                f"{iterations} exceeds reservation capacity"
+            ) from None
     return Placement(
         iterations=iterations,
         node_of=node_of,

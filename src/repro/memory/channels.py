@@ -34,5 +34,32 @@ class StreamChannel:
             cycles.append(grant)
         return cycles
 
+    def deliver_burst(self, ready_cycle: int, words: int) -> List[int]:
+        """Batched twin of :meth:`deliver`: one slot-queue pass per burst.
+
+        Bit-identical grants, meter and queue state; :meth:`deliver`
+        stays as the executable reference specification.
+        """
+        cycles = self.slots.reserve_batch(ready_cycle, words)
+        self.meter.record_many(cycles)
+        return cycles
+
+    def deliver_batch(self, ready_cycles: List[int]) -> List[int]:
+        """Deliver one word per entry of ``ready_cycles``, in order.
+
+        Equivalent to ``[self.deliver(r, 1)[0] for r in ready_cycles]``
+        (the scattered MIMD request shape) with the per-word Python call
+        overhead hoisted out.
+        """
+        reserve = self.slots.reserve
+        record = self.meter.record
+        cycles = []
+        append = cycles.append
+        for ready in ready_cycles:
+            grant = reserve(ready)
+            record(grant)
+            append(grant)
+        return cycles
+
     def reset(self) -> None:
         self.slots.reset()

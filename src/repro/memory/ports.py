@@ -59,6 +59,40 @@ class PortQueue:
             last = self.reserve(last)
         return last
 
+    def reserve_batch(self, earliest: int, count: int) -> list:
+        """Grant ``count`` same-arrival requests in one pass.
+
+        Equivalent — in granted cycles, stats and internal state — to
+        ``count`` sequential :meth:`reserve` calls that all pass the same
+        ``earliest`` (the shape of a whole LMW chunk's reservations
+        arriving together).  One dict probe per *cycle* instead of one
+        per *request* keeps the batched hot paths cheap.
+        """
+        if count <= 0:
+            return []
+        earliest = int(earliest)
+        used = self._used
+        ports = self.ports
+        cycle = earliest if earliest > self._frontier else self._frontier
+        grants: list = []
+        remaining = count
+        while remaining:
+            have = used.get(cycle, 0)
+            free = ports - have
+            if free > 0:
+                take = free if free < remaining else remaining
+                used[cycle] = have + take
+                grants.extend([cycle] * take)
+                remaining -= take
+            cycle += 1
+        # Same lazy GC fixpoint the sequential path maintains.
+        while used.get(self._frontier, 0) >= ports:
+            used.pop(self._frontier, None)
+            self._frontier += 1
+        self.total_requests += count
+        self.total_wait += sum(grants) - count * earliest
+        return grants
+
     @property
     def average_wait(self) -> float:
         """Mean queuing delay (cycles) across all granted requests."""
@@ -91,6 +125,18 @@ class ThroughputMeter:
         if self.first_cycle is None or cycle < self.first_cycle:
             self.first_cycle = cycle
         self.last_cycle = max(self.last_cycle, cycle)
+
+    def record_many(self, cycles) -> None:
+        """Record one word at each cycle (batch twin of :meth:`record`)."""
+        if not cycles:
+            return
+        self.words += len(cycles)
+        lo = min(cycles)
+        if self.first_cycle is None or lo < self.first_cycle:
+            self.first_cycle = lo
+        hi = max(cycles)
+        if hi > self.last_cycle:
+            self.last_cycle = hi
 
     @property
     def words_per_cycle(self) -> float:

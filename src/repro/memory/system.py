@@ -117,9 +117,38 @@ class MemorySystem:
         ready = grant + self.timings.smc_latency
         return self.channels[row].deliver(ready, words)
 
+    def lmw_deliver_fast(
+        self, row: int, request_cycle: int, words: int, scattered: bool = False
+    ) -> List[int]:
+        """Batched twin of :meth:`lmw_deliver` for the engine hot loops.
+
+        One SMC-port batch reservation and one channel pass time a whole
+        LMW chunk per call; :meth:`lmw_deliver` stays as the executable
+        reference specification, and the equivalence suite pins the two
+        to identical per-word delivery cycles, port stats and channel
+        meter state.  (The port and channel are independent queues, so
+        granting all port slots before all channel slots preserves each
+        queue's request order.)
+        """
+        bank = self.smc_bank(row)
+        latency = self.timings.smc_latency
+        if scattered:
+            grants = bank.port.reserve_batch(request_cycle, words)
+            return self.channels[row].deliver_batch(
+                [grant + latency for grant in grants]
+            )
+        grant = bank.port.reserve(request_cycle)
+        return self.channels[row].deliver_burst(grant + latency, words)
+
     def smc_store(self, row: int, address: int, cycle: int) -> float:
         """Time one word store through the row's store buffer."""
         return self.store_buffers[row].push(address, cycle)
+
+    def smc_store_many(self, row: int, pushes) -> float:
+        """Time a batch of ``(address, cycle)`` stores through one row's
+        store buffer (same state and stats as sequential
+        :meth:`smc_store` calls)."""
+        return self.store_buffers[row].push_many(pushes)
 
     def l1_access(self, address: int, cycle: int, write: bool = False) -> int:
         """Time one access through the hardware-cached L1 path."""

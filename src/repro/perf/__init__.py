@@ -12,7 +12,10 @@ stream, seed) always produces the same :class:`~repro.machine.stats.RunResult`
   an in-memory tier plus an optional on-disk JSON tier (``.repro_cache/``)
   that survives across processes;
 * :mod:`repro.perf.parallel` fans independent (kernel, config) points
-  out over a process pool, with a deterministic-order serial fallback.
+  out over a process pool — workers clamped to the host's CPUs, points
+  scheduled longest-first — with a deterministic-order serial fallback;
+* :mod:`repro.perf.phases` attributes wall time to pipeline phases
+  (mapping vs engine vs memory interface) when explicitly enabled.
 
 The experiment harness (:mod:`repro.harness.experiments`) threads all
 three through Figure 5, Table 4, Table 6 and the sweep benchmarks.
@@ -20,22 +23,29 @@ three through Figure 5, Table 4, Table 6 and the sweep benchmarks.
 
 from .cache import CacheStats, RunCache, run_result_from_dict, run_result_to_dict
 from .fingerprint import (
+    combine_fingerprints,
     fingerprint_config,
     fingerprint_kernel,
     fingerprint_params,
     fingerprint_records,
     run_fingerprint,
 )
-from .parallel import SweepPoint, run_points, simulate_point
+from .parallel import SweepPoint, effective_workers, run_points, simulate_point
+from .phases import PHASES, PhaseAccumulator, measuring
 
 __all__ = [
     "CacheStats",
+    "PHASES",
+    "PhaseAccumulator",
     "RunCache",
     "SweepPoint",
+    "combine_fingerprints",
+    "effective_workers",
     "fingerprint_config",
     "fingerprint_kernel",
     "fingerprint_params",
     "fingerprint_records",
+    "measuring",
     "run_fingerprint",
     "run_points",
     "run_result_from_dict",

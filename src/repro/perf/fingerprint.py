@@ -109,6 +109,30 @@ def fingerprint_records(records: Sequence[Sequence]) -> str:
     return _digest(doc)
 
 
+def combine_fingerprints(
+    kernel_fp: str,
+    config_fp: str,
+    params_fp: str,
+    records_fp: str,
+    seed: int = 0,
+) -> str:
+    """Combine precomputed part fingerprints into a run's content address.
+
+    Callers that sweep one kernel/workload over many configurations can
+    hash the invariant parts once and combine per point — the digest is
+    identical to :func:`run_fingerprint` on the full inputs.
+    """
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kernel": kernel_fp,
+        "config": config_fp,
+        "params": params_fp,
+        "records": records_fp,
+        "seed": seed,
+    }
+    return _digest(doc)
+
+
 def run_fingerprint(
     kernel: Kernel,
     config: MachineConfig,
@@ -117,12 +141,10 @@ def run_fingerprint(
     seed: int = 0,
 ) -> str:
     """The content address of one deterministic simulation point."""
-    doc = {
-        "schema": SCHEMA_VERSION,
-        "kernel": fingerprint_kernel(kernel),
-        "config": fingerprint_config(config),
-        "params": fingerprint_params(params),
-        "records": fingerprint_records(records),
-        "seed": seed,
-    }
-    return _digest(doc)
+    return combine_fingerprints(
+        fingerprint_kernel(kernel),
+        fingerprint_config(config),
+        fingerprint_params(params),
+        fingerprint_records(records),
+        seed,
+    )

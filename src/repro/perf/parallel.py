@@ -6,19 +6,33 @@ deterministic and shares no state with any other point — the
 :class:`~repro.memory.system.MemorySystem` per run — so a sweep is
 embarrassingly parallel.  :func:`run_points` fans a list of
 :class:`SweepPoint` descriptors out over a ``ProcessPoolExecutor`` and
-returns results in input order; with ``jobs <= 1`` (or when a process
-pool cannot be created, e.g. in a sandbox) it degrades to an identical
+returns results in input order; with one effective worker (``jobs <= 1``,
+a single-CPU host, or a single point) it degrades to an identical
 deterministic serial loop.
+
+Dispatch is adaptive rather than naive:
+
+* the worker count is clamped to ``min(jobs, os.cpu_count(), points)``
+  so oversubscribing a small host never *slows down* a sweep;
+* points are scheduled longest-first (by an instruction-count × records
+  cost estimate) so a stray heavyweight kernel cannot serialize the
+  tail of the pool, then results are restored to input order;
+* ``pool.map`` gets a computed chunksize so per-task dispatch overhead
+  amortizes over batches instead of dominating small points.
 
 A :class:`SweepPoint` carries only picklable, *reconstructible* inputs —
 the kernel's registry name rather than the kernel object (whose
 ``trips_fn`` closures do not pickle), and the workload's size and seed
 rather than the records — so workers rebuild the exact same simulation
-the parent would have run.
+the parent would have run.  When ``cache_dir`` is set, workers share
+the parent's on-disk :class:`~repro.perf.cache.RunCache`, so points
+already simulated by any process are replayed from disk instead of
+re-simulated.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -35,7 +49,9 @@ class SweepPoint:
 
     ``workload_seed=None`` uses the benchmark module's default seed
     (what the sweep benchmarks pass); the experiment harness always
-    pins an explicit seed.
+    pins an explicit seed.  ``cache_dir`` (a path string, kept
+    picklable) lets workers consult and populate the shared on-disk
+    run cache.
     """
 
     kernel: str                 # registry name (rebuilt in the worker)
@@ -43,10 +59,16 @@ class SweepPoint:
     params: MachineParams
     records: int                # workload record count
     workload_seed: Optional[int] = None
+    cache_dir: Optional[str] = None
 
 
 def simulate_point(point: SweepPoint) -> RunResult:
-    """Run one sweep point from scratch (also the process-pool worker)."""
+    """Run one sweep point from scratch (also the process-pool worker).
+
+    With ``point.cache_dir`` set the on-disk run cache is consulted
+    first and populated after a miss, so concurrent workers (and later
+    runs) share results through the filesystem.
+    """
     from ..kernels.registry import spec
     from ..machine.processor import GridProcessor
 
@@ -55,8 +77,23 @@ def simulate_point(point: SweepPoint) -> RunResult:
         records = s.workload(point.records)
     else:
         records = s.workload(point.records, point.workload_seed)
+    kernel = s.kernel()
+    cache = None
+    fp = None
+    if point.cache_dir is not None:
+        from .cache import RunCache
+        from .fingerprint import run_fingerprint
+
+        cache = RunCache(point.cache_dir)
+        fp = run_fingerprint(kernel, point.config, point.params, records)
+        cached = cache.get(fp)
+        if cached is not None:
+            return cached
     processor = GridProcessor(point.params)
-    return processor.run(s.kernel(), records, point.config)
+    result = processor.run(kernel, records, point.config)
+    if cache is not None:
+        cache.put(fp, result)
+    return result
 
 
 def simulate_point_timed(point: SweepPoint) -> Tuple[RunResult, float]:
@@ -64,6 +101,27 @@ def simulate_point_timed(point: SweepPoint) -> Tuple[RunResult, float]:
     started = time.perf_counter()
     result = simulate_point(point)
     return result, time.perf_counter() - started
+
+
+def _estimated_cost(point: SweepPoint) -> int:
+    """Relative cost estimate for longest-first scheduling.
+
+    Simulation time scales with instructions × records; the registry's
+    paper-reported instruction count is a good enough proxy.  Unknown
+    kernels fall back to record count alone (any deterministic
+    tie-break keeps results reproducible — order is restored anyway).
+    """
+    try:
+        from ..kernels.registry import spec
+
+        return spec(point.kernel).paper.instructions * point.records
+    except Exception:
+        return point.records
+
+
+def effective_workers(jobs: int, n_points: int) -> int:
+    """Workers a sweep will actually use: jobs clamped to CPUs and points."""
+    return max(1, min(jobs, os.cpu_count() or 1, n_points))
 
 
 def run_points(
@@ -75,16 +133,33 @@ def run_points(
 
     Returns one entry per point, in input order: the
     :class:`~repro.machine.stats.RunResult`, or ``(result, seconds)``
-    pairs when ``timed=True``.  ``jobs <= 1`` runs a deterministic
-    serial loop; so does any environment where a process pool cannot be
-    spawned.
+    pairs when ``timed=True``.  Dispatch degrades to a deterministic
+    serial loop whenever a pool cannot help (``jobs <= 1``, one CPU,
+    a single point) or cannot be spawned (sandboxed environments).
     """
     worker = simulate_point_timed if timed else simulate_point
     points = list(points)
-    if jobs > 1 and len(points) > 1:
+    workers = effective_workers(jobs, len(points))
+    if workers > 1:
+        # Longest-first keeps a heavyweight straggler from serializing
+        # the tail; the index tie-break keeps scheduling deterministic.
+        order = sorted(
+            range(len(points)),
+            key=lambda i: (-_estimated_cost(points[i]), i),
+        )
+        chunksize = max(1, len(points) // (workers * 4))
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
-                return list(pool.map(worker, points))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                shuffled = list(pool.map(
+                    worker,
+                    [points[i] for i in order],
+                    chunksize=chunksize,
+                ))
         except (OSError, PermissionError, NotImplementedError):
             pass  # fall through to the serial path
+        else:
+            results: List = [None] * len(points)
+            for i, result in zip(order, shuffled):
+                results[i] = result
+            return results
     return [worker(point) for point in points]

@@ -1,0 +1,72 @@
+"""Wall-clock phase accounting for the simulation pipeline.
+
+``repro-bench`` wants to attribute a sweep's wall time to the pipeline's
+phases — window **mapping** (placement + instance expansion, or a cache
+rebase), cycle-level **engine** simulation (block-style vs MIMD), and
+the MIMD **memory** interface traffic (record fetch + store drain, the
+part the batch APIs target) — so a hot-path regression can be localized
+without re-profiling.
+
+The accumulator is a process-global, explicitly enabled instrument:
+when ``PHASES.enabled`` is False (the default) the instrumented code
+paths pay a single attribute test and no clock reads, so normal runs
+are unaffected.  Workers in a process pool accumulate into their own
+copy; phase breakdowns are therefore meaningful for serial runs (which
+is what the benchmark measures them on).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict
+
+
+class PhaseAccumulator:
+    """Accumulates seconds per named phase while enabled."""
+
+    __slots__ = ("enabled", "seconds")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.seconds: Dict[str, float] = {}
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Credit ``elapsed`` wall seconds to ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def reset(self) -> None:
+        self.seconds = {}
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy of the accumulated seconds."""
+        return dict(self.seconds)
+
+
+#: The process-wide accumulator the engines report into.
+PHASES = PhaseAccumulator()
+
+
+class measuring:
+    """Context manager enabling PHASES around a block and restoring after.
+
+    >>> with measuring() as acc:
+    ...     run_experiments()
+    >>> acc.snapshot()
+    """
+
+    def __init__(self, reset: bool = True):
+        self._reset = reset
+        self._was_enabled = False
+
+    def __enter__(self) -> PhaseAccumulator:
+        self._was_enabled = PHASES.enabled
+        if self._reset:
+            PHASES.reset()
+        PHASES.enabled = True
+        return PHASES
+
+    def __exit__(self, *exc) -> None:
+        PHASES.enabled = self._was_enabled
+
+
+__all__ = ["PHASES", "PhaseAccumulator", "measuring", "perf_counter"]

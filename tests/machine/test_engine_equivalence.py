@@ -14,10 +14,14 @@ import pytest
 
 from repro.isa.random_kernels import RandomKernelConfig, random_kernel
 from repro.kernels import spec
-from repro.machine import DataflowEngine, MachineConfig, MachineParams, \
-    MimdEngine, map_window
+from repro.kernels.registry import all_specs
+from repro.machine import DataflowEngine, GridProcessor, MachineConfig, \
+    MachineParams, MimdEngine, map_window, rebase_window
 from repro.machine.dataflow_engine import STORE as STORE_KIND
 from repro.machine.dataflow_engine import DeadlockError
+from repro.machine.placement import max_unroll, place_iterations, \
+    place_iterations_reference
+from repro.machine.window_cache import MappedWindowCache
 from repro.memory import MemorySystem
 
 CONFIGS = [MachineConfig.baseline(), MachineConfig.S(),
@@ -94,6 +98,96 @@ class TestDataflowEquivalence:
         assert fast.stats == reference.stats
 
 
+class TestPlacementMemoEquivalence:
+    """Memoized ``place_iterations`` vs its un-memoized specification."""
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_fuzz_corpus_identical_placement(self, seed):
+        kernel, _config, iterations = corpus_case(seed)
+        params = MachineParams()
+        memoized = place_iterations(kernel, params, iterations)
+        reference = place_iterations_reference(kernel, params, iterations)
+        assert memoized == reference
+
+    @pytest.mark.parametrize("name", [s.name for s in all_specs()])
+    def test_paper_kernels_at_full_unroll(self, name):
+        """Full S-morph unroll wraps the array many times — exactly the
+        regime where region signatures recur and replays kick in."""
+        kernel = spec(name).kernel()
+        params = MachineParams()
+        U = max_unroll(kernel, params)
+        memoized = place_iterations(kernel, params, U)
+        reference = place_iterations_reference(kernel, params, U)
+        assert memoized == reference
+        assert memoized.max_slot_usage() <= params.slots_per_node
+
+    def test_overflow_raised_by_both_paths(self):
+        kernel = spec("md5").kernel()
+        params = MachineParams()
+        too_many = params.nodes * params.slots_per_node
+        with pytest.raises(ValueError):
+            place_iterations(kernel, params, too_many)
+        with pytest.raises(ValueError):
+            place_iterations_reference(kernel, params, too_many)
+
+
+class TestRebasedWindowEquivalence:
+    """``rebase_window`` on a warm window vs a fresh offset map."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 5, 8, 12, 15])
+    def test_rebase_matches_fresh_map(self, seed):
+        kernel, config, iterations = corpus_case(seed)
+        params = MachineParams()
+        rebased = map_window(kernel, config, params, iterations=iterations)
+        rebase_window(rebased, iterations)
+        fresh = map_window(kernel, config, params, iterations=iterations,
+                           record_offset=iterations)
+        assert rebased.record_base == fresh.record_base
+        assert rebased.out_base == fresh.out_base
+        assert rebased.record_offset == fresh.record_offset
+        assert rebased.instances == fresh.instances
+        assert rebased.const_reads == fresh.const_reads
+        assert rebased.placement == fresh.placement
+
+    @pytest.mark.parametrize("seed", [2, 6, 9, 13])
+    def test_warm_window_timing_matches_reference(self, seed):
+        """The engine fast path on a rebased window must reproduce the
+        reference path on an independently mapped warm window."""
+        kernel, config, iterations = corpus_case(seed)
+        params = MachineParams()
+
+        def engine(window, trace):
+            memory = MemorySystem(params.rows, params.memory_timings())
+            memory.configure_smc(config.smc_stream)
+            return DataflowEngine(window, memory, seed=2, trace=trace)
+
+        rebased = map_window(kernel, config, params, iterations=iterations)
+        rebase_window(rebased, iterations)
+        fresh = map_window(kernel, config, params, iterations=iterations,
+                           record_offset=iterations)
+        fast = engine(rebased, trace=True)
+        reference = engine(fresh, trace=True)
+        assert fast.run() == reference.run_reference()
+        assert fast.stats == reference.stats
+        assert fast.trace == reference.trace
+
+    def test_processor_cache_hit_is_bit_identical(self):
+        """A GridProcessor replaying a mapped window from the in-process
+        cache (hit + rebase) must match a cold mapping run."""
+        s = spec("fft")
+        kernel, records = s.kernel(), s.workload(16, 3)
+        config = MachineConfig.S_O()
+        cold = GridProcessor(window_cache=MappedWindowCache()).run(
+            kernel, records, config
+        )
+        warm_proc = GridProcessor(window_cache=MappedWindowCache())
+        first = warm_proc.run(kernel, records, config)
+        second = warm_proc.run(kernel, records, config)  # cache hit
+        assert warm_proc.window_cache.hits > 0
+        assert first == cold
+        assert second == cold
+
+
 def mimd_engine(name, config, functional=False):
     params = MachineParams()
     memory = MemorySystem(params.rows, params.memory_timings())
@@ -129,6 +223,32 @@ class TestMimdEquivalence:
         result = engine.run(records)
         for record, out in zip(records, result.outputs):
             assert out == s.reference(record)
+
+
+def _mimd_capable_points():
+    """Every (kernel, MIMD config) pair that fits the machine."""
+    processor = GridProcessor()
+    points = []
+    for s in all_specs():
+        kernel = s.kernel()
+        for config in (MachineConfig.M(), MachineConfig.M_D()):
+            if processor.supports(kernel, config):
+                points.append((s.name, config.name))
+    return points
+
+
+class TestMimdAllKernelsEquivalence:
+    """The flattened record loop, swept over every capable benchmark."""
+
+    @pytest.mark.parametrize("name,cfg", _mimd_capable_points())
+    def test_batch_loop_matches_reference(self, name, cfg):
+        config = MachineConfig.M() if cfg == "M" else MachineConfig.M_D()
+        records = spec(name).workload(12, 11)
+        fast = mimd_engine(name, config)
+        reference = mimd_engine(name, config)
+        reference._run_record = reference._run_record_reference
+        assert fast.run(records) == reference.run(records)
+        assert fast.stats == reference.stats
 
 
 class TestStoreDrainCeiling:

@@ -1,8 +1,21 @@
-"""Parallel sweep fan-out: serial/parallel identity, worker fidelity."""
+"""Parallel sweep fan-out: serial/parallel identity, worker fidelity,
+adaptive dispatch (worker clamping, longest-first order, chunk sizing)
+and the worker-shared on-disk run cache."""
+
+import copy
 
 from repro.kernels import spec
 from repro.machine import GridProcessor, MachineConfig, MachineParams
-from repro.perf import SweepPoint, run_points, simulate_point
+from repro.perf import (
+    RunCache,
+    SweepPoint,
+    effective_workers,
+    run_fingerprint,
+    run_points,
+    simulate_point,
+)
+from repro.perf import parallel as parallel_mod
+from repro.perf.parallel import _estimated_cost
 
 
 def sample_points():
@@ -60,3 +73,118 @@ class TestFanOut:
         (result, seconds), = results
         assert result.kernel == "fft"
         assert seconds >= 0.0
+
+
+class TestAdaptiveDispatch:
+    def test_workers_clamped_to_cpus(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        assert effective_workers(8, 10) == 4
+
+    def test_workers_clamped_to_points(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 16)
+        assert effective_workers(8, 2) == 2
+
+    def test_workers_never_below_one(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: None)
+        assert effective_workers(0, 5) == 1
+        assert effective_workers(4, 0) == 1
+
+    def test_cost_estimate_orders_by_weight(self):
+        points = sample_points()
+        costs = {p.kernel: _estimated_cost(p) for p in points}
+        for point in points:
+            s = spec(point.kernel)
+            assert costs[point.kernel] == \
+                s.paper.instructions * point.records
+
+    def test_unknown_kernel_falls_back_to_records(self):
+        point = SweepPoint(kernel="no-such-kernel",
+                           config=MachineConfig.S(),
+                           params=MachineParams(), records=17)
+        assert _estimated_cost(point) == 17
+
+    def test_pool_gets_longest_first_and_restores_order(self, monkeypatch):
+        """The pool sees points sorted by descending cost estimate with a
+        computed chunksize; the caller still sees input order."""
+        calls = []
+
+        class FakePool:
+            def __init__(self, max_workers):
+                self.max_workers = max_workers
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                items = list(items)
+                calls.append((self.max_workers, chunksize, items))
+                return [fn(item) for item in items]
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", FakePool)
+        points = sample_points()
+        results = run_points(points, jobs=3)
+        assert [r.kernel for r in results] == ["fft", "lu", "convert"]
+        (max_workers, chunksize, submitted), = calls
+        assert max_workers == 3
+        assert chunksize == max(1, len(points) // (3 * 4))
+        costs = [_estimated_cost(p) for p in submitted]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        class BrokenPool:
+            def __init__(self, max_workers):
+                raise OSError("no process spawning here")
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", BrokenPool)
+        results = run_points(sample_points(), jobs=3)
+        assert [r.kernel for r in results] == ["fft", "lu", "convert"]
+
+
+class TestWorkerDiskCache:
+    def _point(self, tmp_path):
+        return SweepPoint(kernel="convert", config=MachineConfig.baseline(),
+                          params=MachineParams(), records=4,
+                          workload_seed=9, cache_dir=str(tmp_path))
+
+    def test_worker_populates_shared_cache(self, tmp_path):
+        point = self._point(tmp_path)
+        result = simulate_point(point)
+        s = spec("convert")
+        fp = run_fingerprint(s.kernel(), point.config, point.params,
+                             s.workload(4, 9))
+        assert RunCache(str(tmp_path)).get(fp) == result
+
+    def test_worker_replays_from_shared_cache(self, tmp_path):
+        """A doctored on-disk entry comes back verbatim — proof the
+        worker consulted the cache instead of re-simulating."""
+        point = self._point(tmp_path)
+        original = simulate_point(point)
+        s = spec("convert")
+        fp = run_fingerprint(s.kernel(), point.config, point.params,
+                             s.workload(4, 9))
+        tampered = copy.deepcopy(original)
+        tampered.cycles = original.cycles + 1234
+        RunCache(str(tmp_path)).put(fp, tampered)
+        assert simulate_point(point) == tampered
+
+    def test_no_cache_dir_means_no_disk_io(self, tmp_path):
+        point = SweepPoint(kernel="convert", config=MachineConfig.baseline(),
+                           params=MachineParams(), records=4,
+                           workload_seed=9)
+        simulate_point(point)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_experiment_points_carry_cache_dir(self, tmp_path):
+        from repro.harness import experiments
+
+        ctx = experiments.ExperimentContext(records=4,
+                                            cache_dir=str(tmp_path))
+        point = ctx._point("fft", MachineConfig.S())
+        assert point.cache_dir == str(ctx.cache.cache_dir)
+        no_disk = experiments.ExperimentContext(records=4)
+        assert no_disk._point("fft", MachineConfig.S()).cache_dir is None
