@@ -33,6 +33,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from ..perf import parallel
 from ..perf.cache import RunCache
 from ..perf.phases import measuring
 from . import experiments
@@ -89,6 +90,7 @@ def bench_experiments(
     cold_stats = serial_ctx.cache.stats.as_dict()
     timer.measure("warm_memory", lambda: _run_all(serial_ctx))
 
+    dispatch_stats = None
     if jobs > 1:
         parallel_ctx = experiments.ExperimentContext(
             records=records,
@@ -96,6 +98,8 @@ def bench_experiments(
             jobs=jobs,
         )
         timer.measure("cold_parallel", lambda: _run_all(parallel_ctx))
+        if parallel.LAST_DISPATCH is not None:
+            dispatch_stats = parallel.LAST_DISPATCH.as_dict()
 
     if cache_dir is not None:
         replay_ctx = experiments.ExperimentContext(
@@ -135,6 +139,10 @@ def bench_experiments(
         "simulated_points": len(point_seconds),
         "cache_after_cold": cold_stats,
         "cache_after_warm": serial_ctx.cache.stats.as_dict(),
+        # How cold_parallel dispatched: pool/pool-fallback from
+        # run_points, or "in-context" when one worker was effective
+        # (1-CPU hosts).  None when jobs <= 1 skipped the phase.
+        "dispatch_stats": dispatch_stats,
         "point_seconds": point_seconds,
     }
 
@@ -166,6 +174,16 @@ def render_report(report: dict) -> str:
         "cache hit rate   : "
         f"{report['cache_after_warm']['hit_rate']:8.1%}"
     )
+    dispatch = report.get("dispatch_stats")
+    if dispatch:
+        line = (
+            f"pool dispatch    : {dispatch['mode']},"
+            f" {dispatch['workers']} worker(s),"
+            f" {dispatch['points']} point(s)"
+        )
+        if dispatch.get("utilization") is not None:
+            line += f", {dispatch['utilization']:.0%} utilization"
+        lines.append(line)
     slowest = list(report["point_seconds"].items())[:5]
     if slowest:
         lines.append("slowest points   :")

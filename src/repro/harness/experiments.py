@@ -40,6 +40,7 @@ from ..perf.fingerprint import (
     fingerprint_params,
     fingerprint_records,
 )
+from ..perf import parallel as parallel_mod
 from ..perf.parallel import SweepPoint, effective_workers, run_points
 from .reporting import fmt_float, fmt_speedup, render_table
 
@@ -203,6 +204,7 @@ class ExperimentContext:
             # of workloads and fingerprints.  The scan above already
             # charged the cache miss, so simulate and store directly
             # rather than re-probing through :meth:`run`.
+            sweep_started = time.perf_counter()
             for name, config, fp in missing:
                 kernel = spec(name).kernel()
                 started = time.perf_counter()
@@ -214,6 +216,14 @@ class ExperimentContext:
                 )
                 self.cache.put(fp, result)
                 results[(name, config.name)] = result
+            wall = time.perf_counter() - sweep_started
+            parallel_mod.LAST_DISPATCH = parallel_mod.DispatchStats(
+                points=len(missing),
+                workers=1,
+                mode="in-context",
+                wall_seconds=wall,
+                busy_seconds=wall,
+            )
             return results
         points = [self._point(name, config) for name, config, _ in missing]
         timed = run_points(points, jobs=self.jobs, timed=True)

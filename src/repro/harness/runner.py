@@ -12,6 +12,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from ..machine.params import MachineParams
+from ..perf import parallel
 from . import experiments
 from .profiling import add_profile_arguments, profiled
 
@@ -88,7 +89,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             result = registry[name]()
         print(result.render())
         print()
+    # stderr, like --profile: stdout stays byte-identical across
+    # serial / --jobs / cache-replay runs (timings and hit rates vary).
+    print(run_summary(ctx), file=sys.stderr)
     return 0
+
+
+def run_summary(ctx: experiments.ExperimentContext) -> str:
+    """End-of-run accounting: run-cache traffic and sweep dispatch."""
+    stats = ctx.cache.stats
+    lines = [
+        "run summary",
+        f"  simulated points : {len(ctx.point_seconds)}"
+        f" ({sum(ctx.point_seconds.values()):.3f}s simulating)",
+        f"  run cache        : {stats.hits} hits / {stats.misses} misses"
+        f" ({stats.hit_rate:.1%} hit rate, {stats.stores} stores)",
+    ]
+    dispatch = parallel.LAST_DISPATCH
+    if dispatch is not None:
+        line = (
+            f"  dispatch         : {dispatch.mode},"
+            f" {dispatch.workers} worker(s),"
+            f" {dispatch.points} point(s)"
+        )
+        if dispatch.utilization is not None:
+            line += f", {dispatch.utilization:.0%} worker utilization"
+        lines.append(line)
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":  # pragma: no cover

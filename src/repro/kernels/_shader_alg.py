@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from typing import Dict, List, Sequence
 
 from ..isa import KernelBuilder
@@ -200,8 +201,13 @@ def mat33_transform(alg, rows, vector):
 
 
 def scene_rng(tag: str) -> random.Random:
-    """Deterministic RNG for scene constants, keyed by tag."""
-    return random.Random(hash(tag) % (1 << 30) ^ 0x5EED)
+    """Deterministic RNG for scene constants, keyed by tag.
+
+    Seeded from crc32, not ``hash()`` — string hashing is randomized
+    per process (PYTHONHASHSEED), which would give every process its
+    own scene constants and defeat cross-process run caching.
+    """
+    return random.Random(zlib.crc32(tag.encode("utf-8")) ^ 0x5EED)
 
 
 def make_matrix34(tag: str) -> List[List[float]]:

@@ -24,6 +24,8 @@ from typing import Dict, List
 
 from ..memory.ports import PortQueue
 from ..memory.system import MemorySystem
+from ..obs.metrics import METRICS
+from ..obs.trace import EXEC, TRACE
 from .mapping import COMPUTE, LDI, LMW, LOAD, LUT, STORE, MappedWindow
 from .stats import WindowTiming
 
@@ -123,6 +125,11 @@ class DataflowEngine:
         consumers_of = [inst.consumers for inst in instances]
         remaining = [inst.operands for inst in instances]
         trace = self.trace
+        if trace is None and TRACE.enabled:
+            # Recording needs an issue trace even when the caller did not
+            # ask for one; collect into a local so ``self.trace`` keeps
+            # its documented None-when-disabled value.
+            trace = []
 
         # Static issue priorities: (depth, uid) never changes, so rank
         # each instance once and let the per-node heaps carry plain ints.
@@ -305,6 +312,10 @@ class DataflowEngine:
                 )
 
         sync_stats()
+        if METRICS.enabled or TRACE.enabled:
+            self._publish_observability(
+                trace, int(max(last_completion, store_drain, 1))
+            )
         fetch_cycles = -(-window.machine_instructions // params.fetch_bandwidth)
         cycles = max(last_completion, store_drain, 1)
         return WindowTiming(
@@ -321,6 +332,41 @@ class DataflowEngine:
                 "lmw_requests": float(stats.lmw_requests),
             },
         )
+
+    def _publish_observability(self, trace, cycles: int) -> None:
+        """Report this run to :data:`METRICS` / :data:`TRACE` (cold path).
+
+        Called once per :meth:`run` when either instrument is enabled;
+        never touched by the hot loop.  ``alu.node_busy_cycles`` counts
+        occupied issue slots (each node issues at most one instruction
+        per cycle), so ``busy / (nodes * cycles)`` is array occupancy.
+        """
+        stats = self.stats
+        window = self.window
+        if METRICS.enabled:
+            METRICS.inc("alu.instances_issued", stats.issued)
+            METRICS.inc("alu.node_busy_cycles", stats.issued)
+            METRICS.inc("net.operand_hops", stats.network_hops)
+            METRICS.inc("regfile.reads", stats.regfile_reads)
+            METRICS.inc("lmw.requests", stats.lmw_requests)
+            if cycles:
+                METRICS.gauge_max(
+                    "alu.occupancy",
+                    stats.issued / (self.params.nodes * cycles),
+                )
+        if TRACE.enabled and trace:
+            latency_of = {
+                (inst.iteration, inst.kernel_iid): inst.latency
+                for inst in window.instances
+            }
+            complete = TRACE.complete
+            for cycle, node, kind, iteration, kernel_iid in trace:
+                complete(
+                    EXEC, f"node {node}", kind,
+                    ts=cycle,
+                    dur=max(1, latency_of.get((iteration, kernel_iid), 1)),
+                    args={"iter": iteration, "iid": kernel_iid},
+                )
 
     def _deliver_const_reads(self, schedule_arrival) -> None:
         """Reserve register-file ports and schedule constant deliveries."""

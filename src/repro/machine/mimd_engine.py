@@ -41,6 +41,8 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..isa.instruction import Const, Immediate, InstResult, RecordInput
 from ..isa.kernel import Kernel
 from ..memory.system import MemorySystem
+from ..obs.metrics import METRICS
+from ..obs.trace import CTL, EXEC, TRACE
 from ..perf.phases import PHASES, perf_counter
 from .config import MachineConfig
 from .params import MachineParams
@@ -499,15 +501,27 @@ class MimdEngine:
             entries = kernel.indexed_constant_entries()
             setup += math.ceil(entries / params.smc_dma_words_per_cycle)
 
+        tracing = TRACE.enabled
+        if tracing:
+            TRACE.complete(
+                CTL, "block sequencer", "setup broadcast", ts=0,
+                dur=max(1, setup), args={"rolled_instructions": rolled},
+            )
+
         node_time = {node: setup for node in self.nodes}
         outputs: List[Optional[List[Number]]] = []
         useful = 0
         for index, record in enumerate(records):
             node = self.nodes[index % len(self.nodes)]
-            finish, out = self._run_record(
-                node, node_time[node], record, index
-            )
+            start = node_time[node]
+            finish, out = self._run_record(node, start, record, index)
             node_time[node] = finish
+            if tracing:
+                TRACE.complete(
+                    EXEC, f"node {node}", f"record {index}",
+                    ts=start, dur=max(1, finish - start),
+                    args={"record": index},
+                )
             outputs.append(out)
             useful += self._useful_live(kernel.trip_count(record))
 
@@ -515,6 +529,21 @@ class MimdEngine:
             self.memory.row_store_drain_cycle(r) for r in range(params.rows)
         ]
         cycles = max(max(node_time.values()), max(drains, default=0), 1)
+        if METRICS.enabled:
+            stats = self.stats
+            METRICS.inc(
+                "alu.instructions_executed", stats.instructions_executed
+            )
+            METRICS.inc(
+                "alu.instructions_skipped", stats.instructions_skipped
+            )
+            METRICS.inc("alu.node_busy_cycles", stats.instructions_executed)
+            METRICS.inc("alu.load_stall_cycles", stats.load_stall_cycles)
+            METRICS.inc("lut.l1_trips", stats.lut_l1_trips)
+            METRICS.gauge_max(
+                "alu.occupancy",
+                stats.instructions_executed / (len(self.nodes) * cycles),
+            )
         return RunResult(
             kernel=kernel.name,
             config=self.config.name,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..isa.kernel import Kernel
+from ..obs.metrics import METRICS
 from .params import MachineParams
 
 
@@ -188,6 +189,11 @@ def place_iterations(
         memo.setdefault(start, []).append(
             (tuple(entry_slots[n] for n in region), region, assignment)
         )
+    if METRICS.enabled:
+        METRICS.inc("placement.windows_placed")
+        METRICS.inc("placement.instances_placed", iterations)
+        METRICS.inc("placement.memo_replays",
+                    iterations - sum(len(v) for v in memo.values()))
     return Placement(
         iterations=iterations,
         node_of=node_of,

@@ -37,6 +37,9 @@ from typing import List, Optional, Sequence, Union
 from ..isa.evaluate import evaluate_stream
 from ..isa.kernel import Kernel
 from ..memory.system import MemorySystem
+from ..obs import observability_paused
+from ..obs.metrics import METRICS
+from ..obs.trace import CTL, TRACE
 from ..perf.phases import PHASES, perf_counter
 from .config import MachineConfig
 from .dataflow_engine import DataflowEngine
@@ -133,15 +136,18 @@ class GridProcessor:
             kernel, config, self.params, memory, functional=functional
         )
         if not PHASES.enabled:
-            return engine.run(records)
-        # The engine credits its memory-interface time to "mimd_memory";
-        # subtract it here so the phases stay disjoint and sum cleanly.
-        mem_before = PHASES.seconds.get("mimd_memory", 0.0)
-        started = perf_counter()
-        result = engine.run(records)
-        elapsed = perf_counter() - started
-        mem_delta = PHASES.seconds.get("mimd_memory", 0.0) - mem_before
-        PHASES.add("mimd_engine", elapsed - mem_delta)
+            result = engine.run(records)
+        else:
+            # The engine credits its memory-interface time to
+            # "mimd_memory"; subtract it here so the phases stay disjoint
+            # and sum cleanly.
+            mem_before = PHASES.seconds.get("mimd_memory", 0.0)
+            started = perf_counter()
+            result = engine.run(records)
+            elapsed = perf_counter() - started
+            mem_delta = PHASES.seconds.get("mimd_memory", 0.0) - mem_before
+            PHASES.add("mimd_engine", elapsed - mem_delta)
+        self._publish_memory(memory, result)
         return result
 
     # ---- block-style path ---------------------------------------------------------
@@ -174,11 +180,19 @@ class GridProcessor:
             dma_rate = params.smc_dma_words_per_cycle * params.rows
             dma_floor = math.ceil(words / dma_rate)
             interval = max(window.cycles, dma_floor)
+            tracing = TRACE.enabled
             total = map_cycles
-            for _ in range(n_windows):
+            for index in range(n_windows):
                 total += interval
-                total += controller.iteration_complete()
+                delay = controller.iteration_complete()
+                if tracing and delay:
+                    TRACE.instant(
+                        CTL, "block sequencer", "revitalize broadcast",
+                        ts=total, args={"window": index, "delay": delay},
+                    )
+                total += delay
             setup = map_cycles
+            broadcasts = controller.revitalizations
         else:
             # Baseline: hyperblocks pipeline continuously — the in-flight
             # window slides rather than flushing.  When the in-flight
@@ -201,9 +215,10 @@ class GridProcessor:
             fill = window.cycles  # pipeline fill of the first window
             total = fill + (n_windows - 1) * interval if n_windows > 1 else fill
             setup = 0
+            broadcasts = 0
 
         useful = self._useful_ops(kernel, records)
-        return RunResult(
+        result = RunResult(
             kernel=kernel.name,
             config=config.name,
             records=n_records,
@@ -213,6 +228,9 @@ class GridProcessor:
             setup_cycles=setup,
             detail=dict(window.detail),
         )
+        result.detail["revitalize.broadcasts"] = float(broadcasts)
+        self._publish_memory(memory, result)
+        return result
 
     def _steady_window(
         self,
@@ -239,7 +257,10 @@ class GridProcessor:
         if phases:
             PHASES.add("map", perf_counter() - started)
             started = perf_counter()
-        DataflowEngine(window, memory, seed=1).run()
+        # The cold pass only warms caches/tables; suppress metrics and
+        # trace events so observers see the steady-state window once.
+        with observability_paused():
+            DataflowEngine(window, memory, seed=1).run()
         if phases:
             PHASES.add("block_engine", perf_counter() - started)
             started = perf_counter()
@@ -254,6 +275,19 @@ class GridProcessor:
         return timing
 
     # ---- shared helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _publish_memory(memory: MemorySystem, result: RunResult) -> None:
+        """Fold the hierarchy's traffic summary into the run's detail.
+
+        Always recorded in ``RunResult.detail`` (one cheap snapshot per
+        run); merged into the process-wide registry only when metrics
+        collection is on.
+        """
+        snapshot = memory.metrics_snapshot()
+        result.detail.update(snapshot)
+        if METRICS.enabled:
+            METRICS.merge(snapshot)
 
     def _fresh_memory(self, config: MachineConfig) -> MemorySystem:
         memory = MemorySystem(self.params.rows, self.params.memory_timings())

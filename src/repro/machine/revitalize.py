@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from ..obs.metrics import METRICS
+
 
 class RevitalizeStateError(RuntimeError):
     """The controller was driven out of protocol order."""
@@ -71,6 +73,8 @@ class RevitalizationController:
             return 0
         self.revitalizations += 1
         self.constants_resident = self.preserve_operands
+        if METRICS.enabled:
+            METRICS.inc("revitalize.broadcasts")
         return self.broadcast_delay
 
     @property

@@ -31,6 +31,7 @@ from collections import OrderedDict
 from typing import Tuple
 
 from ..isa.kernel import Kernel
+from ..obs.metrics import METRICS
 from .config import MachineConfig
 from .mapping import MappedWindow, map_window, rebase_window
 from .params import MachineParams
@@ -87,9 +88,13 @@ class MappedWindowCache:
         window = self._windows.get(key)
         if window is not None:
             self.hits += 1
+            if METRICS.enabled:
+                METRICS.inc("windowcache.hits")
             self._windows.move_to_end(key)
             return rebase_window(window, record_offset)
         self.misses += 1
+        if METRICS.enabled:
+            METRICS.inc("windowcache.misses")
         window = map_window(
             kernel, config, params,
             iterations=iterations, record_offset=record_offset,

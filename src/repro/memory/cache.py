@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import MEM, TRACE
 from .mainmem import WORD_BYTES, MainMemory
 from .ports import PortQueue
 
@@ -134,6 +135,11 @@ class BankedL1:
         grant = self.ports[bank].reserve(cycle)
         hit = self.banks[bank].access(address, write=write)
         latency = self.hit_latency + (0 if hit else self.l2_latency)
+        if TRACE.enabled:
+            TRACE.complete(
+                MEM, f"l1 bank {bank}", "hit" if hit else "miss",
+                ts=grant, dur=latency,
+            )
         return grant + latency
 
     def warm(self, addresses) -> None:

@@ -43,6 +43,8 @@ class StoreBuffer:
         self.capacity_lines = capacity_lines
         self.name = name
         self.stats = StoreBufferStats()
+        #: most lines ever simultaneously pending (``storebuffer.peak_depth``)
+        self.peak_lines = 0
         self._pending_lines: Set[int] = set()
         self._drain_free_at = 0.0  # next cycle the drain engine is free
         self._last_drain_complete = 0.0
@@ -56,6 +58,8 @@ class StoreBuffer:
             self.stats.coalesced += 1
             return self._last_drain_complete
         self._pending_lines.add(line)
+        if len(self._pending_lines) > self.peak_lines:
+            self.peak_lines = len(self._pending_lines)
         start = max(float(cycle), self._drain_free_at)
         self._drain_free_at = start + 1.0 / self.rate
         self._last_drain_complete = self._drain_free_at
@@ -80,6 +84,7 @@ class StoreBuffer:
         drain_free_at = self._drain_free_at
         last_complete = self._last_drain_complete
         capacity = self.capacity_lines
+        peak = self.peak_lines
         for address, cycle in pushes:
             stats.stores += 1
             line = address // line_words
@@ -87,6 +92,8 @@ class StoreBuffer:
                 stats.coalesced += 1
                 continue
             pending.add(line)
+            if len(pending) > peak:
+                peak = len(pending)
             start = float(cycle) if cycle > drain_free_at else drain_free_at
             drain_free_at = start + step
             last_complete = drain_free_at
@@ -95,6 +102,7 @@ class StoreBuffer:
                 pending.pop()
         self._drain_free_at = drain_free_at
         self._last_drain_complete = last_complete
+        self.peak_lines = peak
         return last_complete
 
     def drain_complete_cycle(self) -> int:
@@ -105,4 +113,5 @@ class StoreBuffer:
         self._pending_lines.clear()
         self._drain_free_at = 0.0
         self._last_drain_complete = 0.0
+        self.peak_lines = 0
         self.stats = StoreBufferStats()

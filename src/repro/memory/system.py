@@ -11,8 +11,9 @@ test suite asks it functional questions (DMA copies, cache contents).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..obs.trace import MEM, TRACE
 from .cache import BankedL1
 from .channels import StreamChannel
 from .mainmem import MainMemory
@@ -112,10 +113,13 @@ class MemorySystem:
                 grant = bank.port.reserve(request_cycle)
                 ready = grant + self.timings.smc_latency
                 cycles.extend(self.channels[row].deliver(ready, 1))
-            return cycles
-        grant = bank.port.reserve(request_cycle)
-        ready = grant + self.timings.smc_latency
-        return self.channels[row].deliver(ready, words)
+        else:
+            grant = bank.port.reserve(request_cycle)
+            ready = grant + self.timings.smc_latency
+            cycles = self.channels[row].deliver(ready, words)
+        if TRACE.enabled and cycles:
+            self._trace_lmw(row, request_cycle, cycles, scattered)
+        return cycles
 
     def lmw_deliver_fast(
         self, row: int, request_cycle: int, words: int, scattered: bool = False
@@ -134,20 +138,54 @@ class MemorySystem:
         latency = self.timings.smc_latency
         if scattered:
             grants = bank.port.reserve_batch(request_cycle, words)
-            return self.channels[row].deliver_batch(
+            cycles = self.channels[row].deliver_batch(
                 [grant + latency for grant in grants]
             )
-        grant = bank.port.reserve(request_cycle)
-        return self.channels[row].deliver_burst(grant + latency, words)
+        else:
+            grant = bank.port.reserve(request_cycle)
+            cycles = self.channels[row].deliver_burst(grant + latency, words)
+        if TRACE.enabled and cycles:
+            self._trace_lmw(row, request_cycle, cycles, scattered)
+        return cycles
+
+    def _trace_lmw(
+        self, row: int, request_cycle: int, cycles: List[int], scattered: bool
+    ) -> None:
+        """One channel-track span per LMW burst (request to last word)."""
+        first, last = min(cycles), max(cycles)
+        TRACE.complete(
+            MEM, f"channel row {row}",
+            "record fetch" if scattered else "lmw burst",
+            ts=request_cycle, dur=max(1, last + 1 - request_cycle),
+            args={"words": len(cycles), "first_word": first,
+                  "last_word": last},
+        )
 
     def smc_store(self, row: int, address: int, cycle: int) -> float:
         """Time one word store through the row's store buffer."""
-        return self.store_buffers[row].push(address, cycle)
+        done = self.store_buffers[row].push(address, cycle)
+        if TRACE.enabled:
+            TRACE.complete(
+                MEM, f"store buffer row {row}", "store drain",
+                ts=cycle, dur=max(1.0, done - cycle),
+            )
+        return done
 
     def smc_store_many(self, row: int, pushes) -> float:
         """Time a batch of ``(address, cycle)`` stores through one row's
         store buffer (same state and stats as sequential
         :meth:`smc_store` calls)."""
+        if TRACE.enabled:
+            pushes = list(pushes)
+            done = self.store_buffers[row].push_many(pushes)
+            if pushes:
+                first = min(cycle for _, cycle in pushes)
+                TRACE.complete(
+                    MEM, f"store buffer row {row}", "store drain",
+                    ts=first, dur=max(1.0, done - first),
+                    args={"stores": len(pushes)},
+                )
+            return done
         return self.store_buffers[row].push_many(pushes)
 
     def l1_access(self, address: int, cycle: int, write: bool = False) -> int:
@@ -156,6 +194,58 @@ class MemorySystem:
 
     def row_store_drain_cycle(self, row: int) -> int:
         return self.store_buffers[row].drain_complete_cycle()
+
+    # ---- observability ---------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat metric values summarizing this hierarchy's traffic.
+
+        Aggregated across banks/rows; keys follow the ``repro.obs``
+        catalog (DESIGN.md "Observability").  Reading is cheap and
+        side-effect free — the processor takes one snapshot per run and
+        merges it into both :data:`~repro.obs.metrics.METRICS` and
+        ``RunResult.detail``.
+        """
+        l1 = self.l1.stats
+        stall_cycles = 0
+        requests = 0
+        for port in self.l1.ports:
+            stall_cycles += port.total_wait
+            requests += port.total_requests
+        for channel in self.channels:
+            stall_cycles += channel.slots.total_wait
+            requests += channel.slots.total_requests
+        for bank in self.l2_banks:
+            if bank.smc is not None:
+                stall_cycles += bank.smc.port.total_wait
+                requests += bank.smc.port.total_requests
+        return {
+            "l1.accesses": float(l1.accesses),
+            "l1.hits": float(l1.hits),
+            "l1.misses": float(l1.misses),
+            "l1.evictions": float(l1.evictions),
+            "l1.writebacks": float(l1.writebacks),
+            "port.requests": float(requests),
+            "port.stall_cycles": float(stall_cycles),
+            "channel.words_delivered": float(
+                sum(c.meter.words for c in self.channels)
+            ),
+            "storebuffer.stores": float(
+                sum(b.stats.stores for b in self.store_buffers)
+            ),
+            "storebuffer.coalesced": float(
+                sum(b.stats.coalesced for b in self.store_buffers)
+            ),
+            "storebuffer.peak_depth": float(
+                max((b.peak_lines for b in self.store_buffers), default=0)
+            ),
+            "smc.dma_words": float(
+                sum(
+                    bank.smc.meter.words for bank in self.l2_banks
+                    if bank.smc is not None
+                )
+            ),
+        }
 
     def reset_timing(self) -> None:
         """Clear all timing state (ports, buffers) but keep functional state."""

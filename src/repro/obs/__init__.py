@@ -1,0 +1,78 @@
+"""Observability for the simulation pipeline (``repro.obs``).
+
+Two coupled layers, both following the :data:`~repro.perf.phases.PHASES`
+pattern of near-zero cost when disabled:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms (``l1.hits``, ``net.operand_hops``,
+  ``revitalize.broadcasts``, ``runcache.hit_rate``, ...), instrumented
+  through the engines, the memory system and the perf layer, with
+  per-run snapshots merged into ``RunResult.detail``;
+* :mod:`repro.obs.trace` — a cycle-accurate event recorder emitting
+  Chrome trace-event JSON (one track per ALU node / memory port / stream
+  channel), plus the analysis behind the ``repro-trace`` CLI
+  (:mod:`repro.obs.cli`).
+
+This package deliberately imports nothing from ``repro.machine`` or
+``repro.memory`` at module level — those layers import *it*, so the
+instrumentation can sit directly on the hot paths without cycles.
+"""
+
+from contextlib import contextmanager
+
+from .metrics import METRICS, Histogram, MetricsRegistry, collecting
+from .trace import (
+    CTL,
+    EXEC,
+    MEM,
+    TRACE,
+    TraceRecorder,
+    diff_traces,
+    load_trace,
+    occupancy_heatmap,
+    recording,
+    subsystems,
+    trace_span,
+    utilization_table,
+    validate_chrome_trace,
+)
+
+
+@contextmanager
+def observability_paused():
+    """Temporarily disable metrics and tracing around a block.
+
+    The processor uses this to suppress the cold cache-warming pass of
+    block-style runs, so recordings describe only the steady-state
+    window.  A no-op (two attribute writes) when nothing is enabled.
+    """
+    metrics_was, trace_was = METRICS.enabled, TRACE.enabled
+    METRICS.enabled = False
+    TRACE.enabled = False
+    try:
+        yield
+    finally:
+        METRICS.enabled = metrics_was
+        TRACE.enabled = trace_was
+
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "Histogram",
+    "collecting",
+    "TRACE",
+    "TraceRecorder",
+    "recording",
+    "EXEC",
+    "MEM",
+    "CTL",
+    "load_trace",
+    "validate_chrome_trace",
+    "subsystems",
+    "trace_span",
+    "occupancy_heatmap",
+    "utilization_table",
+    "diff_traces",
+    "observability_paused",
+]

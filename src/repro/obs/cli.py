@@ -1,0 +1,184 @@
+"""Command-line entry point: ``repro-trace``.
+
+Records a cycle-level Chrome trace of one (kernel, config) simulation,
+summarizes saved traces as text (ALU occupancy heatmap, per-resource
+utilization), and diffs two traces.  Subcommands:
+
+* ``record KERNEL`` — simulate and export Chrome trace-event JSON, then
+  print the text summary.  Open the JSON in ``chrome://tracing`` or
+  https://ui.perfetto.dev for the graphical timeline.
+* ``show TRACE.json`` — re-print the text summary of a saved trace.
+* ``diff A.json B.json`` — per-track event/busy-cycle deltas.
+
+Exit code is non-zero when a recorded/loaded trace fails Chrome
+trace-event validation, so CI can use ``record``/``show`` as a smoke
+check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .metrics import METRICS, collecting
+from .trace import (
+    TRACE,
+    diff_traces,
+    load_trace,
+    occupancy_heatmap,
+    recording,
+    subsystems,
+    utilization_table,
+    validate_chrome_trace,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Record, summarize and diff cycle-level traces of the grid "
+            "processor simulator (Chrome trace-event JSON)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser(
+        "record", help="simulate one (kernel, config) point and trace it"
+    )
+    rec.add_argument("kernel", help="benchmark name (Table 1), e.g. convert")
+    rec.add_argument(
+        "--config", default="S-O-D",
+        help="machine configuration (Table 5 name, default S-O-D)",
+    )
+    rec.add_argument(
+        "--records", type=int, default=256,
+        help="records in the simulated stream (default 256; streams "
+             "longer than one window exercise revitalization)",
+    )
+    rec.add_argument(
+        "--rows", type=int, default=8, help="grid rows (default 8)")
+    rec.add_argument(
+        "--cols", type=int, default=8, help="grid columns (default 8)")
+    rec.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write Chrome trace JSON here (default <kernel>-<config>.trace.json)",
+    )
+    rec.add_argument(
+        "--no-summary", action="store_true",
+        help="export JSON only; skip the text heatmap/utilization summary",
+    )
+
+    show = sub.add_parser("show", help="summarize a saved trace as text")
+    show.add_argument("trace", help="Chrome trace JSON file")
+
+    diff = sub.add_parser("diff", help="compare two saved traces")
+    diff.add_argument("trace_a", help="first Chrome trace JSON file")
+    diff.add_argument("trace_b", help="second Chrome trace JSON file")
+    return parser
+
+
+def _summarize(doc: dict) -> str:
+    lines = [occupancy_heatmap(doc), "", utilization_table(doc)]
+    return "\n".join(lines)
+
+
+def _validate_or_complain(doc: dict, label: str) -> int:
+    errors = validate_chrome_trace(doc)
+    if errors:
+        print(f"{label}: invalid Chrome trace:", file=sys.stderr)
+        for error in errors[:10]:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _record(args: argparse.Namespace) -> int:
+    # Imported here, not at module level: repro.obs must stay importable
+    # from the machine/memory layers without a cycle.
+    from ..kernels.registry import spec
+    from ..machine.config import named_config
+    from ..machine.params import MachineParams
+    from ..machine.processor import GridProcessor
+
+    try:
+        bench = spec(args.kernel)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    config = named_config(args.config)
+    params = MachineParams(rows=args.rows, cols=args.cols)
+    processor = GridProcessor(params)
+    kernel = bench.kernel()
+    if not processor.supports(kernel, config):
+        print(
+            f"{args.kernel} does not fit configuration {config.name}",
+            file=sys.stderr,
+        )
+        return 2
+    records = bench.workload(args.records)
+
+    label = f"{args.kernel}/{config.name}"
+    with collecting() as registry, recording(label) as recorder:
+        result = processor.run(kernel, records, config)
+    doc = recorder.to_chrome()
+
+    path = args.output or f"{args.kernel}-{config.name}.trace.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    status = _validate_or_complain(doc, path)
+
+    print(
+        f"{label}: {result.records} records in {result.cycles} cycles "
+        f"({result.ops_per_cycle:.2f} useful ops/cycle)"
+    )
+    print(
+        f"trace: {len(recorder.events)} events, "
+        f"subsystems {', '.join(subsystems(doc))} -> {path}"
+    )
+    if not args.no_summary:
+        print()
+        print(_summarize(doc))
+        snapshot = registry.snapshot()
+        if snapshot:
+            print()
+            print("metrics snapshot")
+            width = max(len(name) for name in snapshot)
+            for name in sorted(snapshot):
+                print(f"  {name:<{width}}  {snapshot[name]:g}")
+    return status
+
+
+def _show(args: argparse.Namespace) -> int:
+    doc = load_trace(args.trace)
+    status = _validate_or_complain(doc, args.trace)
+    print(_summarize(doc))
+    return status
+
+
+def _diff(args: argparse.Namespace) -> int:
+    a, b = load_trace(args.trace_a), load_trace(args.trace_b)
+    status = _validate_or_complain(a, args.trace_a) or _validate_or_complain(
+        b, args.trace_b
+    )
+    print(diff_traces(a, b, label_a=args.trace_a, label_b=args.trace_b))
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "record":
+            return _record(args)
+        if args.command == "show":
+            return _show(args)
+        return _diff(args)
+    except BrokenPipeError:  # e.g. `repro-trace diff ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

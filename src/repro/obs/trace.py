@@ -1,0 +1,426 @@
+"""Cycle-accurate event tracing in Chrome trace-event format.
+
+The recorder collects microarchitectural events — instruction issue on
+each ALU node, LMW bursts on the streaming channels, L1 bank accesses,
+store-buffer pushes, revitalize broadcasts — and exports them as Chrome
+trace-event JSON, loadable in Perfetto or ``chrome://tracing``.  One
+*track* (a pid/tid pair in the trace file) is allocated per resource:
+each ALU node, each memory port / stream channel / store buffer, and the
+block-control sequencer.  Timestamps are simulated **cycles** (written
+into the format's microsecond field, so one trace-viewer microsecond is
+one machine cycle).
+
+Like :data:`~repro.obs.metrics.METRICS` and
+:data:`~repro.perf.phases.PHASES`, the recorder is process-global and
+explicitly enabled; disabled it costs a single attribute test at each
+instrumentation point.  Block-style runs trace only the *steady-state*
+window (the cold cache-warming pass is suppressed by the processor), so
+ALU/memory timestamps are window-local cycles while control events use
+composed-run cycles.
+
+Beyond recording, this module carries the trace *analysis* used by the
+``repro-trace`` CLI: schema validation, a text ALU-occupancy heatmap,
+a per-resource utilization table, and a two-trace diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+#: Subsystem (process-track) names used by the instrumentation.
+EXEC = "execution"       # ALU array: one thread per node
+MEM = "memory"           # ports, channels, store buffers, L1 banks
+CTL = "control"          # revitalization / block sequencing
+
+#: Intensity ramp for the text occupancy heatmap (low -> high).
+HEAT_RAMP = " .:-=+*#%@"
+
+
+class TraceRecorder:
+    """Collects trace events into one in-memory run recording."""
+
+    __slots__ = ("enabled", "events", "label", "_pids", "_tids")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.events: List[dict] = []
+        self.label = ""
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[str, str], int] = {}
+
+    # ---- event emission (callers guard with ``if TRACE.enabled:``) ------
+
+    def _track(self, process: str, thread: str) -> Tuple[int, int]:
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = self._pids[process] = len(self._pids) + 1
+        key = (process, thread)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = self._tids[key] = len(self._tids) + 1
+        return pid, tid
+
+    def complete(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        ts: float,
+        dur: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """A span on a track: ``[ts, ts + dur)`` in cycles (``ph: X``)."""
+        pid, tid = self._track(process, thread)
+        event = {
+            "name": name, "ph": "X", "cat": process,
+            "ts": float(ts), "dur": float(dur), "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(
+        self,
+        process: str,
+        thread: str,
+        name: str,
+        ts: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """A point event on a track (``ph: i``, thread scope)."""
+        pid, tid = self._track(process, thread)
+        event = {
+            "name": name, "ph": "i", "s": "t", "cat": process,
+            "ts": float(ts), "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(
+        self, process: str, thread: str, name: str, ts: float, value: float
+    ) -> None:
+        """A sampled counter value (``ph: C``) plotted by trace viewers."""
+        pid, tid = self._track(process, thread)
+        self.events.append({
+            "name": name, "ph": "C", "cat": process,
+            "ts": float(ts), "pid": pid, "tid": tid,
+            "args": {"value": float(value)},
+        })
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def clear(self) -> None:
+        self.events = []
+        self.label = ""
+        self._pids = {}
+        self._tids = {}
+
+    def to_chrome(self) -> dict:
+        """The recording as a Chrome trace-event JSON document.
+
+        Metadata events name every process/thread track so Perfetto and
+        ``chrome://tracing`` render resource names instead of raw ids.
+        """
+        meta: List[dict] = []
+        for process, pid in self._pids.items():
+            meta.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        for (process, thread), tid in self._tids.items():
+            meta.append({
+                "name": "thread_name", "ph": "M",
+                "pid": self._pids[process], "tid": tid,
+                "args": {"name": thread},
+            })
+        return {
+            "traceEvents": meta + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"label": self.label, "timestamp_unit": "cycles"},
+        }
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh)
+            fh.write("\n")
+
+
+#: The process-wide recorder the simulators report into.
+TRACE = TraceRecorder()
+
+
+class recording:
+    """Context manager: clear the recorder, enable it, disable on exit.
+
+    The events stay readable after the block::
+
+        with recording(label="convert/S-O") as trace:
+            GridProcessor().run(kernel, records, config)
+        trace.save("trace.json")
+    """
+
+    def __init__(self, label: str = ""):
+        self._label = label
+        self._was_enabled = False
+
+    def __enter__(self) -> TraceRecorder:
+        self._was_enabled = TRACE.enabled
+        TRACE.clear()
+        TRACE.label = self._label
+        TRACE.enabled = True
+        return TRACE
+
+    def __exit__(self, *exc) -> None:
+        TRACE.enabled = self._was_enabled
+
+
+# ---- document helpers ------------------------------------------------------
+
+
+def load_trace(path) -> dict:
+    """Read a Chrome trace-event JSON document from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+_VALID_PHASES = {"X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(doc: dict) -> List[str]:
+    """Structural validation of a Chrome trace document.
+
+    Returns a list of human-readable problems (empty when the document is
+    a well-formed trace that viewers will load): the JSON-object shape,
+    the required per-event fields, known phase codes, and non-negative
+    ``ts``/``dur`` values.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace document must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace document has no 'traceEvents' list"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append(f"{where}: missing required field {key!r}")
+        ph = event.get("ph")
+        if ph is not None and ph not in _VALID_PHASES:
+            errors.append(f"{where}: unknown phase code {ph!r}")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                errors.append(f"{where}: missing/non-numeric 'ts'")
+            elif ts < 0:
+                errors.append(f"{where}: negative ts {ts}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs dur >= 0")
+    return errors
+
+
+def _track_names(doc: dict) -> Dict[Tuple[int, int], Tuple[str, str]]:
+    """``(pid, tid) -> (process name, thread name)`` from metadata events."""
+    processes: Dict[int, str] = {}
+    threads: Dict[Tuple[int, int], str] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") != "M":
+            continue
+        if event.get("name") == "process_name":
+            processes[event["pid"]] = event["args"]["name"]
+        elif event.get("name") == "thread_name":
+            threads[(event["pid"], event["tid"])] = event["args"]["name"]
+    return {
+        key: (processes.get(key[0], f"pid{key[0]}"), name)
+        for key, name in threads.items()
+    }
+
+
+def subsystems(doc: dict) -> List[str]:
+    """Process-track (subsystem) names with at least one non-meta event."""
+    names = _track_names(doc)
+    seen = []
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "M":
+            continue
+        process = names.get(
+            (event.get("pid"), event.get("tid")),
+            (f"pid{event.get('pid')}", ""),
+        )[0]
+        if process not in seen:
+            seen.append(process)
+    return seen
+
+
+def trace_span(doc: dict) -> float:
+    """Last event end time (cycles) across the whole trace."""
+    span = 0.0
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "M":
+            continue
+        end = event.get("ts", 0) + event.get("dur", 0)
+        if end > span:
+            span = end
+    return span
+
+
+# ---- analysis: heatmap / utilization / diff --------------------------------
+
+
+def _node_issue_counts(doc: dict) -> Dict[int, int]:
+    """Issue-event count per ALU node (parsed from execution tracks)."""
+    names = _track_names(doc)
+    counts: Dict[int, int] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "M":
+            continue
+        process, thread = names.get(
+            (event.get("pid"), event.get("tid")), ("", "")
+        )
+        if process != EXEC or not thread.startswith("node "):
+            continue
+        try:
+            node = int(thread.split()[1])
+        except (IndexError, ValueError):
+            continue
+        counts[node] = counts.get(node, 0) + 1
+    return counts
+
+
+def occupancy_heatmap(doc: dict, rows: int = 8, cols: int = 8) -> str:
+    """Text heatmap of per-node issue activity over the ALU array.
+
+    Each cell is one node; intensity is that node's issue count relative
+    to the busiest node (the Perfetto-screenshot equivalent the README
+    shows).  Memory interfaces sit at column 0, matching Figure 3.
+    """
+    counts = _node_issue_counts(doc)
+    if not counts:
+        return "(no execution events in trace)"
+    peak = max(counts.values())
+    lines = [
+        f"ALU issue-occupancy heatmap ({rows}x{cols} nodes, "
+        f"peak {peak} issues/node; mem interface at left edge)"
+    ]
+    top = len(HEAT_RAMP) - 1
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            n = counts.get(r * cols + c, 0)
+            cells.append(HEAT_RAMP[round(top * n / peak)] if peak else " ")
+        lines.append(f"  row {r} |" + " ".join(cells) + "|")
+    lines.append(f"  scale |{HEAT_RAMP}| 0 -> {peak} issues")
+    return "\n".join(lines)
+
+
+def utilization_table(doc: dict) -> str:
+    """Per-resource utilization: events, busy cycles, % of the trace span.
+
+    ALU nodes are aggregated into one ``execution`` row (their count is
+    the array size); memory and control tracks are listed individually.
+    """
+    names = _track_names(doc)
+    span = trace_span(doc) or 1.0
+    per_track: Dict[Tuple[str, str], List[float]] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "M":
+            continue
+        key = names.get(
+            (event.get("pid"), event.get("tid")),
+            (f"pid{event.get('pid')}", f"tid{event.get('tid')}"),
+        )
+        row = per_track.setdefault(key, [0, 0.0])
+        row[0] += 1
+        row[1] += event.get("dur", 0) or (1 if event.get("ph") != "C" else 0)
+
+    lines = [
+        f"per-resource utilization over {span:.0f} traced cycles",
+        f"  {'resource':<24}{'events':>8}{'busy cyc':>10}{'util':>8}",
+    ]
+    exec_tracks = [k for k in per_track if k[0] == EXEC]
+    if exec_tracks:
+        events = sum(per_track[k][0] for k in exec_tracks)
+        busy = sum(per_track[k][1] for k in exec_tracks)
+        util = busy / (span * len(exec_tracks))
+        lines.append(
+            f"  {EXEC + f' ({len(exec_tracks)} nodes)':<24}"
+            f"{events:>8}{busy:>10.0f}{util:>7.1%}"
+        )
+    for (process, thread), (events, busy) in sorted(per_track.items()):
+        if process == EXEC:
+            continue
+        label = f"{process}/{thread}"
+        lines.append(
+            f"  {label:<24}{events:>8}{busy:>10.0f}{busy / span:>7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def diff_traces(a: dict, b: dict, label_a: str = "A", label_b: str = "B") -> str:
+    """Track-by-track comparison of two trace recordings.
+
+    Reports the span delta and, per resource track, the event-count and
+    busy-cycle deltas — enough to localize where a configuration or code
+    change moved cycles without opening a viewer.
+    """
+    def track_stats(doc: dict) -> Dict[Tuple[str, str], Tuple[int, float]]:
+        names = _track_names(doc)
+        stats: Dict[Tuple[str, str], List[float]] = {}
+        for event in doc.get("traceEvents", ()):
+            if event.get("ph") == "M":
+                continue
+            key = names.get(
+                (event.get("pid"), event.get("tid")),
+                (f"pid{event.get('pid')}", f"tid{event.get('tid')}"),
+            )
+            row = stats.setdefault(key, [0, 0.0])
+            row[0] += 1
+            row[1] += event.get("dur", 0) or 0
+        return {k: (int(v[0]), v[1]) for k, v in stats.items()}
+
+    stats_a, stats_b = track_stats(a), track_stats(b)
+    span_a, span_b = trace_span(a), trace_span(b)
+    lines = [
+        f"trace diff: {label_a} vs {label_b}",
+        f"  span: {span_a:.0f} -> {span_b:.0f} cycles "
+        f"({span_b - span_a:+.0f})",
+        f"  {'resource':<24}{'events':>16}{'busy cyc':>18}",
+    ]
+    for key in sorted(set(stats_a) | set(stats_b)):
+        ea, ba = stats_a.get(key, (0, 0.0))
+        eb, bb = stats_b.get(key, (0, 0.0))
+        if (ea, ba) == (eb, bb):
+            continue
+        label = f"{key[0]}/{key[1]}"
+        lines.append(
+            f"  {label:<24}{ea:>7} -> {eb:<6}{ba:>8.0f} -> {bb:<8.0f}"
+        )
+    if len(lines) == 3:
+        lines.append("  (identical track statistics)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "TRACE",
+    "TraceRecorder",
+    "recording",
+    "EXEC",
+    "MEM",
+    "CTL",
+    "load_trace",
+    "validate_chrome_trace",
+    "subsystems",
+    "trace_span",
+    "occupancy_heatmap",
+    "utilization_table",
+    "diff_traces",
+]

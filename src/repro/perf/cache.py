@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..machine.stats import RunResult, WindowTiming
+from ..obs.metrics import METRICS
 from .fingerprint import SCHEMA_VERSION
 
 
@@ -102,6 +103,7 @@ class RunCache:
         result = self._memory.get(key)
         if result is not None:
             self.stats.memory_hits += 1
+            self._publish("runcache.memory_hits")
             return result
         if self.cache_dir is not None:
             try:
@@ -115,14 +117,23 @@ class RunCache:
             if result is not None:
                 self._memory[key] = result
                 self.stats.disk_hits += 1
+                self._publish("runcache.disk_hits")
                 return result
         self.stats.misses += 1
+        self._publish("runcache.misses")
         return None
+
+    def _publish(self, counter: str) -> None:
+        if METRICS.enabled:
+            METRICS.inc(counter)
+            METRICS.gauge("runcache.hit_rate", self.stats.hit_rate)
 
     def put(self, key: str, result: RunResult) -> None:
         """Store a result under its fingerprint (both tiers)."""
         self._memory[key] = result
         self.stats.stores += 1
+        if METRICS.enabled:
+            METRICS.inc("runcache.stores")
         if self.cache_dir is None:
             return
         path = self._path(key)

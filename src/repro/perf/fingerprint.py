@@ -36,7 +36,8 @@ from ..machine.config import MachineConfig
 from ..machine.params import MachineParams
 
 #: Bump when engine timing semantics change (invalidates disk caches).
-SCHEMA_VERSION = 1
+#: v2: RunResult.detail gained the memory-system metrics snapshot.
+SCHEMA_VERSION = 2
 
 
 def _digest(obj) -> str:

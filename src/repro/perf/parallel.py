@@ -32,15 +32,18 @@ re-simulated.
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..machine.config import MachineConfig
 from ..machine.params import MachineParams
 from ..machine.stats import RunResult
+from ..obs.metrics import METRICS
+from .phases import PHASES, measuring
 
 
 @dataclass(frozen=True)
@@ -103,6 +106,66 @@ def simulate_point_timed(point: SweepPoint) -> Tuple[RunResult, float]:
     return result, time.perf_counter() - started
 
 
+def _pool_worker_phased(point: SweepPoint, timed: bool):
+    """Pool worker that also returns its PHASES snapshot.
+
+    Workers are separate processes, so their phase accumulators would
+    otherwise be lost; :func:`run_points` folds the returned snapshots
+    back into the parent's ``PHASES`` when measurement is on.
+    """
+    with measuring() as acc:
+        payload = simulate_point_timed(point) if timed else simulate_point(point)
+        snapshot = acc.snapshot()
+    return payload, snapshot
+
+
+@dataclass
+class DispatchStats:
+    """How the last :func:`run_points` call actually dispatched.
+
+    ``mode`` is ``"serial"`` (one effective worker), ``"pool"`` (the
+    process pool ran), or ``"pool-fallback"`` (a pool was wanted but
+    could not be spawned — e.g. a sandbox — and the sweep degraded to
+    the serial loop).  ``busy_seconds`` is only populated for timed
+    sweeps, where per-point wall times are measured anyway.
+    """
+
+    points: int = 0
+    workers: int = 1
+    mode: str = "serial"
+    chunksize: int = 1
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    worker_phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> Optional[float]:
+        """Fraction of worker-seconds spent simulating (timed runs only)."""
+        if self.busy_seconds and self.wall_seconds:
+            return min(
+                1.0, self.busy_seconds / (self.workers * self.wall_seconds)
+            )
+        return None
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports (``BENCH_perf.json``)."""
+        return {
+            "points": self.points,
+            "workers": self.workers,
+            "mode": self.mode,
+            "chunksize": self.chunksize,
+            "wall_seconds": self.wall_seconds,
+            "busy_seconds": self.busy_seconds,
+            "utilization": self.utilization,
+            "worker_phase_seconds": dict(self.worker_phase_seconds),
+        }
+
+
+#: Dispatch accounting of the most recent :func:`run_points` call in
+#: this process (None until the first sweep runs).
+LAST_DISPATCH: Optional[DispatchStats] = None
+
+
 def _estimated_cost(point: SweepPoint) -> int:
     """Relative cost estimate for longest-first scheduling.
 
@@ -136,10 +199,21 @@ def run_points(
     pairs when ``timed=True``.  Dispatch degrades to a deterministic
     serial loop whenever a pool cannot help (``jobs <= 1``, one CPU,
     a single point) or cannot be spawned (sandboxed environments).
+
+    When ``PHASES`` measurement is on, pool workers snapshot their own
+    accumulators and the parent folds them back in, so phase breakdowns
+    stay meaningful for parallel sweeps too (credited as worker time —
+    the pool overlaps it with the parent's wall clock).  Dispatch
+    accounting for the call is left in :data:`LAST_DISPATCH`.
     """
+    global LAST_DISPATCH
     worker = simulate_point_timed if timed else simulate_point
     points = list(points)
     workers = effective_workers(jobs, len(points))
+    want_phases = PHASES.enabled
+    stats = DispatchStats(points=len(points))
+    started = time.perf_counter()
+    results: Optional[List] = None
     if workers > 1:
         # Longest-first keeps a heavyweight straggler from serializing
         # the tail; the index tie-break keeps scheduling deterministic.
@@ -150,16 +224,42 @@ def run_points(
         chunksize = max(1, len(points) // (workers * 4))
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                shuffled = list(pool.map(
-                    worker,
-                    [points[i] for i in order],
-                    chunksize=chunksize,
-                ))
+                if want_phases:
+                    shuffled = list(pool.map(
+                        _pool_worker_phased,
+                        [points[i] for i in order],
+                        itertools.repeat(timed),
+                        chunksize=chunksize,
+                    ))
+                else:
+                    shuffled = list(pool.map(
+                        worker,
+                        [points[i] for i in order],
+                        chunksize=chunksize,
+                    ))
         except (OSError, PermissionError, NotImplementedError):
-            pass  # fall through to the serial path
+            stats.mode = "pool-fallback"  # degrade to the serial loop
         else:
-            results: List = [None] * len(points)
-            for i, result in zip(order, shuffled):
-                results[i] = result
-            return results
-    return [worker(point) for point in points]
+            stats.mode = "pool"
+            stats.workers = workers
+            stats.chunksize = chunksize
+            results = [None] * len(points)
+            for i, payload in zip(order, shuffled):
+                if want_phases:
+                    payload, snapshot = payload
+                    for name, elapsed in snapshot.items():
+                        PHASES.add(name, elapsed)
+                        stats.worker_phase_seconds[name] = (
+                            stats.worker_phase_seconds.get(name, 0.0) + elapsed
+                        )
+                results[i] = payload
+    if results is None:
+        results = [worker(point) for point in points]
+    stats.wall_seconds = time.perf_counter() - started
+    if timed:
+        stats.busy_seconds = sum(seconds for _, seconds in results)
+    utilization = stats.utilization
+    if METRICS.enabled and utilization is not None:
+        METRICS.gauge("dispatch.worker_utilization", utilization)
+    LAST_DISPATCH = stats
+    return results

@@ -52,21 +52,39 @@ class measuring:
     >>> with measuring() as acc:
     ...     run_experiments()
     >>> acc.snapshot()
+
+    Nesting is safe: an inner ``measuring()`` opened while an outer one
+    is active measures its own block from zero, then folds its seconds
+    back into the outer accumulation on exit (the inner block's time is
+    part of the outer block's time).  Nested users should snapshot
+    *inside* their ``with`` block — after exit the accumulator holds the
+    merged outer view.
     """
 
     def __init__(self, reset: bool = True):
         self._reset = reset
         self._was_enabled = False
+        self._outer_seconds: Dict[str, float] = {}
 
     def __enter__(self) -> PhaseAccumulator:
         self._was_enabled = PHASES.enabled
         if self._reset:
+            # Save (don't drop) an enclosing scope's accumulation: the
+            # reset must scope this measurement, not clobber the outer.
+            if self._was_enabled:
+                self._outer_seconds = PHASES.seconds
             PHASES.reset()
         PHASES.enabled = True
         return PHASES
 
     def __exit__(self, *exc) -> None:
         PHASES.enabled = self._was_enabled
+        if self._outer_seconds:
+            inner = PHASES.seconds
+            PHASES.seconds = self._outer_seconds
+            self._outer_seconds = {}
+            for name, elapsed in inner.items():
+                PHASES.add(name, elapsed)
 
 
 __all__ = ["PHASES", "PhaseAccumulator", "measuring", "perf_counter"]

@@ -1,0 +1,75 @@
+"""The shared --profile plumbing of the harness CLIs."""
+
+import argparse
+import io
+
+import pytest
+
+from repro.harness.profiling import add_profile_arguments, profiled
+
+
+def busy_work():
+    return sum(i * i for i in range(2000))
+
+
+class TestProfiled:
+    def test_report_goes_to_given_stream(self):
+        stream = io.StringIO()
+        with profiled(label="unit", stream=stream):
+            busy_work()
+        report = stream.getvalue()
+        assert report.startswith("--- profile: unit ---")
+        assert "cumulative" in report
+        assert "busy_work" in report
+
+    def test_unlabeled_header(self):
+        stream = io.StringIO()
+        with profiled(stream=stream):
+            busy_work()
+        assert stream.getvalue().startswith("--- profile ---")
+
+    def test_defaults_to_stderr(self, capsys):
+        with profiled(label="stderr-bound"):
+            busy_work()
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "--- profile: stderr-bound ---" in captured.err
+
+    def test_yields_the_profiler(self):
+        stream = io.StringIO()
+        with profiled(stream=stream) as profiler:
+            busy_work()
+        assert profiler.getstats()  # cProfile collected samples
+
+    def test_report_printed_even_on_exception(self):
+        stream = io.StringIO()
+        with pytest.raises(RuntimeError):
+            with profiled(label="boom", stream=stream):
+                raise RuntimeError("boom")
+        assert "--- profile: boom ---" in stream.getvalue()
+
+    def test_top_limits_printed_functions(self):
+        wide, narrow = io.StringIO(), io.StringIO()
+        with profiled(top=25, stream=wide):
+            busy_work()
+        with profiled(top=1, stream=narrow):
+            busy_work()
+        assert len(narrow.getvalue().splitlines()) < \
+            len(wide.getvalue().splitlines())
+
+
+class TestArguments:
+    def parse(self, argv):
+        parser = argparse.ArgumentParser()
+        add_profile_arguments(parser)
+        return parser.parse_args(argv)
+
+    def test_defaults(self):
+        args = self.parse([])
+        assert args.profile is False
+        assert args.profile_top == 25
+
+    def test_flags(self):
+        args = self.parse(["--profile", "--profile-top", "5"])
+        assert args.profile is True
+        assert args.profile_top == 5

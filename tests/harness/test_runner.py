@@ -1,0 +1,50 @@
+"""The repro-experiments CLI: end-of-run summary and stream hygiene."""
+
+from repro.harness import experiments, runner
+from repro.machine import MachineParams
+from repro.machine.config import named_config
+from repro.perf import parallel
+
+
+def small_context(**kwargs):
+    return experiments.ExperimentContext(
+        params=MachineParams(), records=16, large_kernel_records=16, **kwargs
+    )
+
+
+class TestRunSummary:
+    def test_reports_cache_and_point_accounting(self):
+        ctx = small_context()
+        ctx.run("convert", named_config("S"))
+        ctx.run("convert", named_config("S"))  # memory hit
+        text = runner.run_summary(ctx)
+        assert "run summary" in text
+        assert "1 hits / 1 misses" in text
+        assert "simulated points : 1" in text
+
+    def test_includes_last_dispatch_when_present(self, monkeypatch):
+        stats = parallel.DispatchStats(points=4, workers=1, mode="serial")
+        monkeypatch.setattr(parallel, "LAST_DISPATCH", stats)
+        text = runner.run_summary(small_context())
+        assert "dispatch         : serial, 1 worker(s), 4 point(s)" in text
+
+    def test_in_context_sweep_records_dispatch_stats(self, monkeypatch):
+        """run_many's serial fast path (one effective worker) still
+        publishes DispatchStats, so 1-CPU hosts get a dispatch line."""
+        monkeypatch.setattr(
+            experiments, "effective_workers", lambda jobs, n: 1
+        )
+        monkeypatch.setattr(parallel, "LAST_DISPATCH", None)
+        ctx = small_context(jobs=4)
+        ctx.run_many([("convert", named_config("S"))])
+        stats = parallel.LAST_DISPATCH
+        assert stats is not None and stats.mode == "in-context"
+        assert stats.points == 1 and stats.workers == 1
+
+    def test_main_keeps_stdout_deterministic(self, capsys):
+        """The summary (timings, hit rates) goes to stderr so stdout
+        stays byte-identical across serial/parallel/replay runs."""
+        assert runner.main(["table1", "--records", "16"]) == 0
+        captured = capsys.readouterr()
+        assert "run summary" not in captured.out
+        assert "run summary" in captured.err

@@ -1,0 +1,95 @@
+"""The ``repro-trace`` CLI: record/show/diff subcommands."""
+
+import json
+
+import pytest
+
+from repro.obs import cli, load_trace, subsystems, validate_chrome_trace
+
+
+def record(tmp_path, *extra):
+    path = tmp_path / "t.trace.json"
+    status = cli.main([
+        "record", "convert", "--config", "S-O-D", "--records", "64",
+        "-o", str(path), *extra,
+    ])
+    return status, path
+
+
+class TestRecord:
+    def test_exports_valid_chrome_trace(self, tmp_path, capsys):
+        status, path = record(tmp_path)
+        assert status == 0
+        doc = load_trace(path)
+        assert validate_chrome_trace(doc) == []
+        out = capsys.readouterr().out
+        assert "convert/S-O-D" in out
+        assert "heatmap" in out
+        assert "per-resource utilization" in out
+        assert "metrics snapshot" in out
+
+    def test_no_summary_prints_header_only(self, tmp_path, capsys):
+        status, _ = record(tmp_path, "--no-summary")
+        assert status == 0
+        assert "heatmap" not in capsys.readouterr().out
+
+    def test_default_output_name(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["record", "convert", "--records", "16"]) == 0
+        assert (tmp_path / "convert-S-O-D.trace.json").exists()
+
+    def test_multi_window_trace_spans_three_subsystems(self, tmp_path):
+        path = tmp_path / "t.json"
+        assert cli.main([
+            "record", "convert", "--records", "256", "-o", str(path),
+        ]) == 0
+        assert {"execution", "memory", "control"} <= set(
+            subsystems(load_trace(path))
+        )
+
+    def test_unknown_kernel_fails(self, tmp_path, capsys):
+        assert cli.main([
+            "record", "no-such-kernel", "-o", str(tmp_path / "x.json"),
+        ]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_unsupported_config_fails(self, tmp_path, capsys, monkeypatch):
+        from repro.machine.processor import GridProcessor
+
+        monkeypatch.setattr(
+            GridProcessor, "supports", lambda self, kernel, config: False
+        )
+        assert cli.main([
+            "record", "convert", "--config", "M", "--records", "16",
+            "-o", str(tmp_path / "x.json"),
+        ]) == 2
+        assert "does not fit" in capsys.readouterr().err
+
+
+class TestShowAndDiff:
+    def test_show_summarizes_saved_trace(self, tmp_path, capsys):
+        _, path = record(tmp_path)
+        capsys.readouterr()
+        assert cli.main(["show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "heatmap" in out
+        assert "per-resource utilization" in out
+
+    def test_show_rejects_invalid_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "?"}]}))
+        assert cli.main(["show", str(path)]) == 1
+        assert "invalid Chrome trace" in capsys.readouterr().err
+
+    def test_diff_two_recordings(self, tmp_path, capsys):
+        _, path_a = record(tmp_path)
+        path_b = tmp_path / "b.trace.json"
+        assert cli.main([
+            "record", "convert", "--config", "M", "--records", "64",
+            "-o", str(path_b), "--no-summary",
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main(["diff", str(path_a), str(path_b)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+        assert "span:" in out

@@ -1,0 +1,70 @@
+"""The observability overhead contract.
+
+With METRICS and TRACE disabled (the default), instrumentation points
+pay one attribute test each — a disabled run must stay within 5% of the
+committed ``BENCH_perf.json`` baseline.  Wall-clock guards are noisy, so
+the check takes the fastest of three fresh simulations of a pinned
+benchmark point and allows an absolute slack on top of the 5%.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import spec
+from repro.machine import GridProcessor, MachineParams
+from repro.machine.config import named_config
+from repro.machine.window_cache import MappedWindowCache
+from repro.obs import METRICS, TRACE
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+
+#: The guarded point: fast enough for a test, heavy enough to measure.
+POINT = "convert|S-O-D"
+
+
+def _simulate_point_cold(records):
+    """One cold simulation of the guarded point (private window cache,
+    so mapping is paid like the bench's fresh-context run)."""
+    s = spec("convert")
+    processor = GridProcessor(
+        MachineParams(), window_cache=MappedWindowCache()
+    )
+    workload = s.workload(records, 100)  # the experiment harness seed
+    started = time.perf_counter()
+    result = processor.run(s.kernel(), workload, named_config("S-O-D"))
+    return time.perf_counter() - started, result
+
+
+class TestDisabledOverhead:
+    def test_instrumentation_defaults_off(self):
+        assert METRICS.enabled is False
+        assert TRACE.enabled is False
+
+    @pytest.mark.skipif(
+        not BENCH_PATH.exists(), reason="no committed BENCH_perf.json"
+    )
+    def test_disabled_run_within_budget_of_bench_baseline(self):
+        report = json.loads(BENCH_PATH.read_text())
+        baseline = report["point_seconds"].get(POINT)
+        if baseline is None:
+            pytest.skip(f"{POINT} not in BENCH_perf.json point_seconds")
+        records = report["records"]
+        # Fastest of three damps scheduler noise; the absolute slack
+        # covers timer granularity on sub-100ms points.
+        best = min(_simulate_point_cold(records)[0] for _ in range(3))
+        budget = baseline * 1.05 + 0.05
+        assert best <= budget, (
+            f"disabled-instrumentation run took {best:.3f}s vs "
+            f"budget {budget:.3f}s (baseline {baseline:.3f}s + 5% + 50ms);"
+            " the disabled path must stay one attribute test per hook"
+        )
+
+    def test_disabled_run_allocates_no_observability_state(self):
+        _, result = _simulate_point_cold(records=64)
+        assert METRICS.snapshot() == {}
+        assert TRACE.events == []
+        # The per-run detail snapshot is the one allowed artifact.
+        assert "channel.words_delivered" in result.detail

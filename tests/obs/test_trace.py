@@ -1,0 +1,146 @@
+"""Trace recorder: event emission, Chrome trace export/validation, and
+the text analysis (heatmap, utilization, diff)."""
+
+from repro.obs import (
+    CTL,
+    EXEC,
+    MEM,
+    TRACE,
+    TraceRecorder,
+    diff_traces,
+    load_trace,
+    occupancy_heatmap,
+    recording,
+    subsystems,
+    trace_span,
+    utilization_table,
+    validate_chrome_trace,
+)
+
+
+def small_trace() -> TraceRecorder:
+    rec = TraceRecorder()
+    rec.label = "unit"
+    rec.complete(EXEC, "node 0", "mul", ts=0, dur=3)
+    rec.complete(EXEC, "node 1", "add", ts=2, dur=1)
+    rec.complete(MEM, "channel row 0", "lmw burst", ts=1, dur=4,
+                 args={"words": 6})
+    rec.instant(CTL, "block sequencer", "revitalize broadcast", ts=9)
+    rec.counter(MEM, "store buffer row 0", "depth", ts=5, value=2.0)
+    return rec
+
+
+class TestRecorder:
+    def test_tracks_are_interned(self):
+        rec = small_trace()
+        doc = rec.to_chrome()
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        exec_events = [e for e in events if e["cat"] == EXEC]
+        assert exec_events[0]["pid"] == exec_events[1]["pid"]
+        assert exec_events[0]["tid"] != exec_events[1]["tid"]
+
+    def test_metadata_names_every_track(self):
+        doc = small_trace().to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert process_names == {EXEC, MEM, CTL}
+        assert {"node 0", "node 1", "channel row 0",
+                "block sequencer", "store buffer row 0"} <= thread_names
+
+    def test_valid_chrome_document(self):
+        doc = small_trace().to_chrome()
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["label"] == "unit"
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        small_trace().save(path)
+        doc = load_trace(path)
+        assert validate_chrome_trace(doc) == []
+        assert subsystems(doc) == [EXEC, MEM, CTL]
+
+    def test_clear_resets_events_and_tracks(self):
+        rec = small_trace()
+        rec.clear()
+        assert rec.events == []
+        assert rec.to_chrome()["traceEvents"] == []
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_event_list(self):
+        assert validate_chrome_trace({"foo": 1}) == [
+            "trace document has no 'traceEvents' list"
+        ]
+
+    def test_flags_empty_trace(self):
+        assert "'traceEvents' is empty" in validate_chrome_trace(
+            {"traceEvents": []}
+        )
+
+    def test_flags_missing_fields_and_bad_phase(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1},  # no name
+            {"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0},  # bad ph
+            {"name": "y", "ph": "X", "pid": 1, "tid": 1, "ts": -1},  # neg ts
+        ]}
+        errors = "\n".join(validate_chrome_trace(doc))
+        assert "missing required field 'name'" in errors
+        assert "unknown phase code 'Z'" in errors
+        assert "negative ts" in errors
+        assert "needs dur >= 0" in errors
+
+
+class TestAnalysis:
+    def test_trace_span_is_last_event_end(self):
+        assert trace_span(small_trace().to_chrome()) == 9.0
+
+    def test_heatmap_shape_and_peak(self):
+        text = occupancy_heatmap(small_trace().to_chrome(), rows=2, cols=2)
+        lines = text.splitlines()
+        assert "peak 1 issues/node" in lines[0]
+        assert len([l for l in lines if l.startswith("  row ")]) == 2
+
+    def test_heatmap_without_execution_events(self):
+        rec = TraceRecorder()
+        rec.instant(CTL, "block sequencer", "x", ts=0)
+        assert "no execution events" in occupancy_heatmap(rec.to_chrome())
+
+    def test_utilization_aggregates_alu_nodes(self):
+        text = utilization_table(small_trace().to_chrome())
+        assert "execution (2 nodes)" in text
+        assert "memory/channel row 0" in text
+
+    def test_diff_reports_changed_tracks_only(self):
+        a, b = small_trace(), small_trace()
+        b.complete(EXEC, "node 0", "mul", ts=10, dur=5)
+        text = diff_traces(a.to_chrome(), b.to_chrome(),
+                           label_a="a", label_b="b")
+        assert "execution/node 0" in text
+        assert "execution/node 1" not in text
+
+    def test_diff_identical_traces(self):
+        doc = small_trace().to_chrome()
+        assert "identical track statistics" in diff_traces(doc, doc)
+
+
+class TestRecordingScope:
+    def test_disabled_by_default(self):
+        assert TRACE.enabled is False
+
+    def test_scope_clears_labels_and_restores(self):
+        TRACE.complete(EXEC, "node 0", "stale", ts=0, dur=1)
+        with recording("point/S") as rec:
+            assert rec is TRACE
+            assert TRACE.enabled is True
+            assert rec.events == []
+            assert rec.label == "point/S"
+            rec.instant(CTL, "block sequencer", "x", ts=0)
+        assert TRACE.enabled is False
+        assert len(TRACE.events) == 1  # events stay readable after exit
+        TRACE.clear()

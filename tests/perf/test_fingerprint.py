@@ -51,6 +51,36 @@ class TestStability:
         assert fingerprint_records(s.workload(8, 7)) != \
             fingerprint_records(s.workload(8, 8))
 
+    @pytest.mark.parametrize(
+        "name", ["vertex-simple", "fragment-reflection", "vertex-skinning"]
+    )
+    def test_kernel_fingerprint_stable_across_processes(self, name):
+        """Kernel construction must not depend on PYTHONHASHSEED.
+
+        The graphics kernels once seeded their scene constants with
+        ``hash(tag)``; every process built different kernels, so the
+        run cache never replayed those points across processes."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1]);"
+            "from repro.kernels import spec;"
+            "from repro.perf import fingerprint_kernel;"
+            f"print(fingerprint_kernel(spec({name!r}).kernel()))"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        prints = {
+            subprocess.run(
+                [sys.executable, "-c", script, src],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+            ).stdout.strip()
+            for hashseed in ("1", "2")
+        }
+        assert len(prints) == 1
+
 
 class TestSensitivity:
     def test_kernel_changes_fingerprint(self):

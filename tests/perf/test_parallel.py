@@ -188,3 +188,135 @@ class TestWorkerDiskCache:
         assert point.cache_dir == str(ctx.cache.cache_dir)
         no_disk = experiments.ExperimentContext(records=4)
         assert no_disk._point("fft", MachineConfig.S()).cache_dir is None
+
+
+class TestDispatchStats:
+    def test_serial_dispatch_recorded(self):
+        run_points(sample_points(), jobs=1, timed=True)
+        dispatch = parallel_mod.LAST_DISPATCH
+        assert dispatch is not None
+        assert dispatch.mode == "serial"
+        assert dispatch.workers == 1
+        assert dispatch.points == 3
+        assert dispatch.busy_seconds > 0.0
+        assert dispatch.wall_seconds >= dispatch.busy_seconds
+        assert 0.0 < dispatch.utilization <= 1.0
+
+    def test_untimed_dispatch_has_no_utilization(self):
+        run_points(sample_points()[:1], jobs=1)
+        assert parallel_mod.LAST_DISPATCH.utilization is None
+
+    def test_pool_dispatch_recorded(self, monkeypatch):
+        class FakePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                return [fn(item) for item in items]
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", FakePool)
+        run_points(sample_points(), jobs=3)
+        dispatch = parallel_mod.LAST_DISPATCH
+        assert dispatch.mode == "pool"
+        assert dispatch.workers == 3
+
+    def test_pool_fallback_recorded(self, monkeypatch):
+        class BrokenPool:
+            def __init__(self, max_workers):
+                raise OSError("no process spawning here")
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", BrokenPool)
+        run_points(sample_points(), jobs=3)
+        assert parallel_mod.LAST_DISPATCH.mode == "pool-fallback"
+        assert parallel_mod.LAST_DISPATCH.workers == 1
+
+    def test_as_dict_is_json_shaped(self):
+        run_points(sample_points()[:1], jobs=1, timed=True)
+        doc = parallel_mod.LAST_DISPATCH.as_dict()
+        assert set(doc) == {
+            "points", "workers", "mode", "chunksize", "wall_seconds",
+            "busy_seconds", "utilization", "worker_phase_seconds",
+        }
+
+
+class TestWorkerPhaseAggregation:
+    def test_pool_workers_report_phases_to_parent(self, monkeypatch):
+        """With PHASES on, pool workers snapshot their accumulators and
+        the parent folds them back in (they are separate processes in
+        production, so nothing would land in the parent otherwise)."""
+        from repro.perf.phases import PHASES, measuring
+
+        class FakePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, *rest, chunksize=1):
+                if rest:  # phased worker: (points, repeat(timed))
+                    return [fn(item, timed) for item, timed
+                            in zip(items, rest[0])]
+                return [fn(item) for item in items]
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", FakePool)
+        points = sample_points()
+        with measuring() as acc:
+            results = run_points(points, jobs=3)
+            snap = acc.snapshot()
+        PHASES.reset()
+        assert [r.kernel for r in results] == ["fft", "lu", "convert"]
+        assert snap  # engine phases came back through the pool
+        assert "block_engine" in snap
+        dispatch = parallel_mod.LAST_DISPATCH
+        assert dispatch.worker_phase_seconds
+        assert set(dispatch.worker_phase_seconds) == set(snap)
+
+    def test_phased_worker_returns_result_and_snapshot(self):
+        point = sample_points()[0]
+        payload, snapshot = parallel_mod._pool_worker_phased(
+            point, timed=False
+        )
+        assert payload == simulate_point(point)
+        assert "block_engine" in snapshot
+        from repro.perf.phases import PHASES
+
+        assert PHASES.enabled is False  # worker scope restored
+
+    def test_phases_stay_off_without_measuring(self, monkeypatch):
+        """No measuring scope -> the plain workers run (no snapshots)."""
+        seen = []
+
+        class FakePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, *rest, chunksize=1):
+                seen.append(fn)
+                if rest:
+                    return [fn(item, timed) for item, timed
+                            in zip(items, rest[0])]
+                return [fn(item) for item in items]
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", FakePool)
+        run_points(sample_points(), jobs=3)
+        assert seen == [simulate_point]

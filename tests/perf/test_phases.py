@@ -1,0 +1,80 @@
+"""Phase accounting: accumulation, the measuring scope, and the nested
+reset regression."""
+
+from repro.perf.phases import PHASES, PhaseAccumulator, measuring
+
+
+class TestAccumulator:
+    def test_add_accumulates_per_name(self):
+        acc = PhaseAccumulator()
+        acc.add("map", 0.5)
+        acc.add("map", 0.25)
+        acc.add("engine", 1.0)
+        assert acc.snapshot() == {"map": 0.75, "engine": 1.0}
+
+    def test_snapshot_is_a_copy(self):
+        acc = PhaseAccumulator()
+        acc.add("map", 1.0)
+        snap = acc.snapshot()
+        snap["map"] = 99.0
+        assert acc.seconds["map"] == 1.0
+
+    def test_reset(self):
+        acc = PhaseAccumulator()
+        acc.add("map", 1.0)
+        acc.reset()
+        assert acc.snapshot() == {}
+
+
+class TestMeasuringScope:
+    def test_disabled_by_default(self):
+        assert PHASES.enabled is False
+
+    def test_scope_enables_resets_and_restores(self):
+        PHASES.add("stale", 9.0)
+        with measuring() as acc:
+            assert acc is PHASES
+            assert PHASES.enabled is True
+            assert acc.snapshot() == {}
+            PHASES.add("map", 1.0)
+        assert PHASES.enabled is False
+        assert PHASES.snapshot() == {"map": 1.0}
+        PHASES.reset()
+
+    def test_no_reset_keeps_prior_seconds(self):
+        PHASES.add("map", 1.0)
+        with measuring(reset=False):
+            PHASES.add("map", 0.5)
+        assert PHASES.snapshot() == {"map": 1.5}
+        PHASES.reset()
+
+    def test_nested_measuring_preserves_outer_accumulation(self):
+        """Regression: an inner measuring() used to reset (and lose) the
+        outer scope's seconds.  Now the inner scope measures from zero
+        and folds back into the outer on exit."""
+        with measuring() as outer:
+            PHASES.add("map", 2.0)
+            with measuring() as inner:
+                assert inner.snapshot() == {}
+                PHASES.add("map", 0.5)
+                PHASES.add("engine", 1.0)
+                inner_view = inner.snapshot()
+            assert inner_view == {"map": 0.5, "engine": 1.0}
+            assert PHASES.enabled is True
+            snap = outer.snapshot()
+            assert snap == {"map": 2.5, "engine": 1.0}
+        assert PHASES.enabled is False
+        PHASES.reset()
+
+    def test_exception_still_restores_and_merges(self):
+        with measuring():
+            PHASES.add("map", 2.0)
+            try:
+                with measuring():
+                    PHASES.add("engine", 1.0)
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert PHASES.snapshot() == {"map": 2.0, "engine": 1.0}
+        assert PHASES.enabled is False
+        PHASES.reset()
