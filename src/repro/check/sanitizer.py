@@ -1,0 +1,180 @@
+"""Opt-in runtime invariant sanitizer for the simulation pipeline.
+
+The engines, the memory system and the run cache carry invariants that
+the fixed-seed tests only sample ("every produced operand is consumed",
+"the store drain completes after the last store arrives", "a cached
+result survives its JSON round trip").  :data:`SANITIZER` turns those
+into checks wired directly into the hot paths, following the
+near-zero-cost-when-disabled contract of :data:`repro.obs.metrics.METRICS`:
+when :attr:`Sanitizer.enabled` is False (the default) every instrumented
+site pays exactly one attribute test, so normal runs are unaffected
+(``tests/check/test_overhead.py`` pins that).
+
+A failed check produces a structured :class:`InvariantViolation` —
+collected on :attr:`Sanitizer.violations` and, when the metrics registry
+is collecting, counted under ``sanitizer.violations`` and
+``sanitizer.<invariant>`` — or raises :class:`InvariantError`
+immediately in strict mode.  The differential fuzz harness
+(:mod:`repro.check.fuzz`) and the ``repro-check`` CLI run whole
+simulations inside a :class:`checking` scope.
+
+This module deliberately imports nothing from ``repro.machine``,
+``repro.memory`` or ``repro.perf`` — those layers import *it*, so the
+checks can sit on the hot paths without import cycles (the same layering
+rule as ``repro.obs``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..obs.metrics import METRICS
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed runtime invariant check.
+
+    ``invariant`` is a dotted identifier from the catalog in DESIGN.md
+    section 8 (e.g. ``dataflow.operand_conservation``); ``component``
+    names the simulated entity that violated it (a ``kernel|config``
+    pair, a store buffer, a cache key); ``context`` carries the
+    offending values as sorted ``(name, value)`` pairs so reproducers
+    stay self-describing.
+    """
+
+    invariant: str
+    component: str
+    message: str
+    context: Tuple[Tuple[str, object], ...] = ()
+
+    def render(self) -> str:
+        text = f"[{self.invariant}] {self.component}: {self.message}"
+        if self.context:
+            detail = ", ".join(f"{k}={v!r}" for k, v in self.context)
+            text += f" ({detail})"
+        return text
+
+
+class InvariantError(AssertionError):
+    """A violated invariant under strict checking."""
+
+    def __init__(self, violation: InvariantViolation):
+        super().__init__(violation.render())
+        self.violation = violation
+
+
+class Sanitizer:
+    """Process-wide invariant checker behind one enable flag.
+
+    Instrumented sites guard with ``if SANITIZER.enabled:`` and call
+    :meth:`report` (or :meth:`expect`) on failure; passing checks cost
+    nothing beyond the guarded comparison.  ``max_violations`` bounds
+    the collected list so a systematically-broken run cannot grow
+    memory without bound (the counter keeps counting).
+    """
+
+    __slots__ = ("enabled", "strict", "violations", "total", "max_violations")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.strict = False
+        self.violations: List[InvariantViolation] = []
+        self.total = 0
+        self.max_violations = 1000
+
+    def report(
+        self, invariant: str, component: str, message: str, **context
+    ) -> InvariantViolation:
+        """Record one violation (raise it instead in strict mode)."""
+        violation = InvariantViolation(
+            invariant=invariant,
+            component=component,
+            message=message,
+            context=tuple(sorted(context.items())),
+        )
+        self.total += 1
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+        if METRICS.enabled:
+            METRICS.inc("sanitizer.violations")
+            METRICS.inc(f"sanitizer.{invariant}")
+        if self.strict:
+            raise InvariantError(violation)
+        return violation
+
+    def expect(
+        self, condition: bool, invariant: str, component: str,
+        message: str, **context
+    ) -> bool:
+        """Check ``condition``; report on failure.  Returns the condition
+        so call sites can chain (``if not SANITIZER.expect(...): ...``)."""
+        if not condition:
+            self.report(invariant, component, message, **context)
+        return condition
+
+    def reset(self) -> None:
+        self.violations = []
+        self.total = 0
+
+
+#: The process-wide sanitizer the simulators check against.
+SANITIZER = Sanitizer()
+
+
+class checking:
+    """Context manager enabling the sanitizer around a block.
+
+    >>> with checking() as san:
+    ...     processor.run(kernel, records, config)
+    >>> assert not san.violations
+
+    ``strict=True`` raises :class:`InvariantError` at the first failed
+    check instead of collecting.  ``reset=True`` (the default) starts
+    the scope from an empty violation list; when the sanitizer is
+    *already* enabled by an outer scope, the outer collection is saved
+    on entry and restored — with this scope's violations appended — on
+    exit, so nesting never loses data (the same contract as
+    :class:`repro.obs.metrics.collecting`).
+    """
+
+    def __init__(self, strict: bool = False, reset: bool = True):
+        self._strict = strict
+        self._reset = reset
+        self._was_enabled = False
+        self._was_strict = False
+        self._saved: Optional[tuple] = None
+
+    def __enter__(self) -> Sanitizer:
+        self._was_enabled = SANITIZER.enabled
+        self._was_strict = SANITIZER.strict
+        if self._reset:
+            if self._was_enabled:
+                self._saved = (SANITIZER.violations, SANITIZER.total)
+            SANITIZER.reset()
+        SANITIZER.enabled = True
+        SANITIZER.strict = self._strict
+        return SANITIZER
+
+    def __exit__(self, *exc) -> None:
+        SANITIZER.enabled = self._was_enabled
+        SANITIZER.strict = self._was_strict
+        if self._saved is not None:
+            inner_violations = SANITIZER.violations
+            inner_total = SANITIZER.total
+            SANITIZER.violations, SANITIZER.total = self._saved
+            self._saved = None
+            SANITIZER.violations = (
+                SANITIZER.violations + inner_violations
+            )[: SANITIZER.max_violations]
+            SANITIZER.total += inner_total
+
+
+__all__ = [
+    "SANITIZER",
+    "Sanitizer",
+    "InvariantViolation",
+    "InvariantError",
+    "checking",
+]

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..check.sanitizer import SANITIZER
 from ..memory.ports import PortQueue
 from ..memory.system import MemorySystem
 from ..obs.metrics import METRICS
@@ -124,11 +125,13 @@ class DataflowEngine:
         latencies = [inst.latency for inst in instances]
         consumers_of = [inst.consumers for inst in instances]
         remaining = [inst.operands for inst in instances]
+        sanitize = SANITIZER.enabled
         trace = self.trace
-        if trace is None and TRACE.enabled:
-            # Recording needs an issue trace even when the caller did not
-            # ask for one; collect into a local so ``self.trace`` keeps
-            # its documented None-when-disabled value.
+        if trace is None and (TRACE.enabled or sanitize):
+            # Recording (and the sanitizer's monotone-issue check) needs
+            # an issue trace even when the caller did not ask for one;
+            # collect into a local so ``self.trace`` keeps its documented
+            # None-when-disabled value.
             trace = []
 
         # Static issue priorities: (depth, uid) never changes, so rank
@@ -189,6 +192,7 @@ class DataflowEngine:
         total = n
         last_completion = 0
         store_drain = 0
+        last_store_arrival = 0
         issued_delta = 0
         hops_delta = 0
         l1_delta = 0
@@ -245,12 +249,13 @@ class DataflowEngine:
                         schedule_arrival(cuid, completion + hit[1])
                 elif kind == STORE:
                     inst = instances[uid]
-                    done = smc_store(
-                        inst.row, inst.address, cycle + edge_of[node]
-                    )
+                    arrival = cycle + edge_of[node]
+                    done = smc_store(inst.row, inst.address, arrival)
                     completion = ceil(done)
                     if completion > store_drain:
                         store_drain = completion
+                    if sanitize and arrival > last_store_arrival:
+                        last_store_arrival = arrival
                 elif kind == LMW:
                     inst = instances[uid]
                     stats.lmw_requests += 1
@@ -312,6 +317,10 @@ class DataflowEngine:
                 )
 
         sync_stats()
+        if sanitize:
+            self._sanitize_run(
+                trace, remaining, arrivals, store_drain, last_store_arrival
+            )
         if METRICS.enabled or TRACE.enabled:
             self._publish_observability(
                 trace, int(max(last_completion, store_drain, 1))
@@ -332,6 +341,83 @@ class DataflowEngine:
                 "lmw_requests": float(stats.lmw_requests),
             },
         )
+
+    def _sanitize_run(
+        self,
+        trace,
+        remaining,
+        arrivals,
+        store_drain: int,
+        last_store_arrival: int,
+    ) -> None:
+        """Post-run invariant checks (sanitizer-enabled runs only).
+
+        Shared by :meth:`run` and :meth:`run_reference`, so a fuzz case
+        checks both loops against the same catalog (DESIGN.md section 8).
+        """
+        window = self.window
+        component = f"{window.kernel.name}|{window.config.name}"
+        san = SANITIZER
+
+        # Reservation-station occupancy: the placement must never pack
+        # more instances onto a node than it has slots.
+        usage = window.placement.max_slot_usage()
+        if usage > self.params.slots_per_node:
+            san.report(
+                "dataflow.slot_occupancy", component,
+                "placement exceeds per-node reservation-station capacity",
+                max_slot_usage=usage, slots_per_node=self.params.slots_per_node,
+            )
+
+        # Operand conservation: at loop exit every scheduled operand has
+        # been delivered and every instance consumed exactly its count.
+        in_flight = sum(len(uids) for uids in arrivals.values())
+        if in_flight:
+            san.report(
+                "dataflow.operand_conservation", component,
+                "operands still in flight after every instance issued",
+                in_flight=in_flight,
+            )
+        over = [uid for uid, left in enumerate(remaining) if left < 0]
+        if over:
+            san.report(
+                "dataflow.operand_conservation", component,
+                "instances received more operands than they consume",
+                uids=tuple(over[:8]),
+            )
+        under = [uid for uid, left in enumerate(remaining) if left > 0]
+        if under:
+            san.report(
+                "dataflow.operand_conservation", component,
+                "instances issued with operands still outstanding",
+                uids=tuple(under[:8]),
+            )
+
+        # Monotone per-node issue: one instruction per node per cycle,
+        # in non-decreasing simulated time.
+        if trace:
+            last_by_node: Dict[int, int] = {}
+            for entry in trace:
+                at, node = entry[0], entry[1]
+                prev = last_by_node.get(node)
+                if prev is not None and at <= prev:
+                    san.report(
+                        "dataflow.monotone_node_issue", component,
+                        "a node issued twice in one cycle or out of order",
+                        node=node, cycle=at, previous=prev,
+                    )
+                    break
+                last_by_node[node] = at
+
+        # Store-drain completion: the buffer cannot finish draining
+        # before its last store arrived.
+        if store_drain < last_store_arrival:
+            san.report(
+                "dataflow.store_drain_completion", component,
+                "store drain completed before the last store arrived",
+                store_drain_cycle=store_drain,
+                last_store_arrival=last_store_arrival,
+            )
 
     def _publish_observability(self, trace, cycles: int) -> None:
         """Report this run to :data:`METRICS` / :data:`TRACE` (cold path).
@@ -397,6 +483,10 @@ class DataflowEngine:
         params = self.params
         instances = window.instances
         remaining = [inst.operands for inst in instances]
+        sanitize = SANITIZER.enabled
+        trace = self.trace
+        if trace is None and sanitize:
+            trace = []  # the monotone-issue check needs an issue trace
 
         ready: Dict[int, List] = {}          # node -> heap of (depth, uid)
         active_nodes = set()
@@ -442,6 +532,7 @@ class DataflowEngine:
         total = len(instances)
         last_completion = 0
         store_drain = 0
+        last_store_arrival = 0
 
         while issued < total:
             # Deliver operands that arrive this cycle.
@@ -464,14 +555,18 @@ class DataflowEngine:
                 inst = instances[uid]
                 issued += 1
                 self.stats.issued += 1
-                if self.trace is not None:
-                    self.trace.append(
+                if trace is not None:
+                    trace.append(
                         (cycle, node, inst.kind, inst.iteration,
                          inst.kernel_iid)
                     )
                 completion = self._issue(inst, cycle, schedule_arrival)
                 if inst.kind == STORE:
                     store_drain = max(store_drain, completion)
+                    if sanitize:
+                        arrival = cycle + params.route_to_row_edge(inst.node)
+                        if arrival > last_store_arrival:
+                            last_store_arrival = arrival
                 last_completion = max(last_completion, completion)
 
             if issued >= total:
@@ -487,6 +582,10 @@ class DataflowEngine:
                     "unsatisfiable"
                 )
 
+        if sanitize:
+            self._sanitize_run(
+                trace, remaining, arrivals, store_drain, last_store_arrival
+            )
         fetch_cycles = -(-window.machine_instructions // params.fetch_bandwidth)
         cycles = max(last_completion, store_drain, 1)
         return WindowTiming(

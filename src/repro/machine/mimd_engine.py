@@ -38,6 +38,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..check.sanitizer import SANITIZER
 from ..isa.instruction import Const, Immediate, InstResult, RecordInput
 from ..isa.kernel import Kernel
 from ..memory.system import MemorySystem
@@ -508,6 +509,20 @@ class MimdEngine:
                 dur=max(1, setup), args={"rolled_instructions": rolled},
             )
 
+        sanitize = SANITIZER.enabled
+        component = f"{kernel.name}|{self.config.name}"
+        if sanitize:
+            executed_before = self.stats.instructions_executed
+            skipped_before = self.stats.instructions_skipped
+            if self.config.l0_data:
+                entries = kernel.indexed_constant_entries()
+                if entries > params.l0_data_entries:
+                    SANITIZER.report(
+                        "mimd.l0_capacity", component,
+                        "indexed-constant tables exceed the L0 data store",
+                        entries=entries, capacity=params.l0_data_entries,
+                    )
+
         node_time = {node: setup for node in self.nodes}
         outputs: List[Optional[List[Number]]] = []
         useful = 0
@@ -515,6 +530,12 @@ class MimdEngine:
             node = self.nodes[index % len(self.nodes)]
             start = node_time[node]
             finish, out = self._run_record(node, start, record, index)
+            if sanitize and finish < start:
+                SANITIZER.report(
+                    "mimd.monotone_pc_time", component,
+                    "a record finished before its node started it",
+                    record=index, start=start, finish=finish,
+                )
             node_time[node] = finish
             if tracing:
                 TRACE.complete(
@@ -529,6 +550,25 @@ class MimdEngine:
             self.memory.row_store_drain_cycle(r) for r in range(params.rows)
         ]
         cycles = max(max(node_time.values()), max(drains, default=0), 1)
+        if sanitize:
+            processed = (
+                self.stats.instructions_executed - executed_before
+                + self.stats.instructions_skipped - skipped_before
+            )
+            expected = len(records) * len(kernel.body)
+            if processed != expected:
+                SANITIZER.report(
+                    "mimd.instruction_accounting", component,
+                    "executed + skipped does not cover every body "
+                    "instruction of every record",
+                    processed=processed, expected=expected,
+                )
+            if cycles < setup:
+                SANITIZER.report(
+                    "mimd.setup_bound", component,
+                    "total cycles fell below the setup broadcast",
+                    cycles=int(cycles), setup=setup,
+                )
         if METRICS.enabled:
             stats = self.stats
             METRICS.inc(

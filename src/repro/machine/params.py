@@ -72,6 +72,7 @@ class MachineParams:
     smc_dma_words_per_cycle: int = 8
     channel_words_per_cycle: int = 4
     store_drain_words_per_cycle: int = 2
+    store_capacity_lines: int = 16
 
     # ---- functional-unit latencies ------------------------------------------
     latencies: Dict[OpClass, int] = field(
@@ -138,6 +139,7 @@ class MachineParams:
             smc_dma_words_per_cycle=self.smc_dma_words_per_cycle,
             channel_words_per_cycle=self.channel_words_per_cycle,
             store_drain_words_per_cycle=self.store_drain_words_per_cycle,
+            store_capacity_lines=self.store_capacity_lines,
         )
 
     def scaled(self, **overrides) -> "MachineParams":

@@ -34,6 +34,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Union
 
+from ..check.sanitizer import SANITIZER
 from ..isa.evaluate import evaluate_stream
 from ..isa.kernel import Kernel
 from ..memory.system import MemorySystem
@@ -193,6 +194,19 @@ class GridProcessor:
                 total += delay
             setup = map_cycles
             broadcasts = controller.revitalizations
+            if SANITIZER.enabled:
+                # CTR bounds: n windows need exactly n-1 revitalize
+                # broadcasts, after which the controller is disarmed.
+                if (broadcasts != n_windows - 1 or not controller.done
+                        or controller.ctr != 0):
+                    SANITIZER.report(
+                        "revitalize.counter_bounds",
+                        f"{kernel.name}|{config.name}",
+                        "revitalization count or CTR state inconsistent "
+                        "with the window count",
+                        broadcasts=broadcasts, windows=n_windows,
+                        ctr=controller.ctr, done=controller.done,
+                    )
         else:
             # Baseline: hyperblocks pipeline continuously — the in-flight
             # window slides rather than flushing.  When the in-flight

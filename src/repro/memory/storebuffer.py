@@ -12,13 +12,16 @@ codes "store bandwidth limited") waits on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
+
+from ..check.sanitizer import SANITIZER
 
 
 @dataclass
 class StoreBufferStats:
     stores: int = 0
-    lines_drained: int = 0
+    #: non-coalesced words retired by the drain engine (word granularity)
+    words_drained: int = 0
     coalesced: int = 0
 
 
@@ -29,6 +32,10 @@ class StoreBuffer:
     are coalesced (free); the drain engine retires ``drain_words_per_cycle``
     words per cycle in arrival order, starting no earlier than each word's
     arrival.
+
+    Pending lines are tracked in an insertion-ordered dict (line ->
+    insertion sequence number) so capacity eviction retires the *oldest*
+    line — the one the drain engine necessarily finished first.
     """
 
     def __init__(
@@ -45,28 +52,47 @@ class StoreBuffer:
         self.stats = StoreBufferStats()
         #: most lines ever simultaneously pending (``storebuffer.peak_depth``)
         self.peak_lines = 0
-        self._pending_lines: Set[int] = set()
+        self._pending_lines: Dict[int, int] = {}
+        self._insertions = 0
         self._drain_free_at = 0.0  # next cycle the drain engine is free
         self._last_drain_complete = 0.0
+
+    def _evict_line(self) -> int:
+        """Retire one pending line at capacity; returns its insertion
+        sequence number.  FIFO: the first-inserted line has necessarily
+        drained once the engine moved past it."""
+        pending = self._pending_lines
+        oldest = next(iter(pending))
+        return pending.pop(oldest)
 
     def push(self, address: int, cycle: int) -> float:
         """Accept a word store at ``cycle``; return its drain-complete time."""
         self.stats.stores += 1
         line = address // self.line_words
-        if line in self._pending_lines and cycle <= self._drain_free_at:
+        pending = self._pending_lines
+        if line in pending and cycle <= self._drain_free_at:
             # Coalesced into a line still waiting to drain: no extra slot.
             self.stats.coalesced += 1
             return self._last_drain_complete
-        self._pending_lines.add(line)
-        if len(self._pending_lines) > self.peak_lines:
-            self.peak_lines = len(self._pending_lines)
+        if line not in pending:
+            pending[line] = self._insertions
+            self._insertions += 1
+        if len(pending) > self.peak_lines:
+            self.peak_lines = len(pending)
         start = max(float(cycle), self._drain_free_at)
         self._drain_free_at = start + 1.0 / self.rate
         self._last_drain_complete = self._drain_free_at
-        self.stats.lines_drained += 1  # word-granularity drain accounting
-        if len(self._pending_lines) > self.capacity_lines:
-            # Oldest line has necessarily drained once the engine moved on.
-            self._pending_lines.pop()
+        self.stats.words_drained += 1
+        if len(pending) > self.capacity_lines:
+            evicted = self._evict_line()
+            if SANITIZER.enabled:
+                self._sanitize_eviction(evicted)
+        if SANITIZER.enabled and self._last_drain_complete <= cycle:
+            SANITIZER.report(
+                "storebuffer.drain_after_arrival", self.name,
+                "drain completed at or before the word arrived",
+                arrival=cycle, complete=self._last_drain_complete,
+            )
         return self._last_drain_complete
 
     def push_many(self, pushes) -> float:
@@ -85,25 +111,48 @@ class StoreBuffer:
         last_complete = self._last_drain_complete
         capacity = self.capacity_lines
         peak = self.peak_lines
+        sanitize = SANITIZER.enabled
         for address, cycle in pushes:
             stats.stores += 1
             line = address // line_words
             if line in pending and cycle <= drain_free_at:
                 stats.coalesced += 1
                 continue
-            pending.add(line)
+            if line not in pending:
+                pending[line] = self._insertions
+                self._insertions += 1
             if len(pending) > peak:
                 peak = len(pending)
             start = float(cycle) if cycle > drain_free_at else drain_free_at
             drain_free_at = start + step
             last_complete = drain_free_at
-            stats.lines_drained += 1
+            stats.words_drained += 1
             if len(pending) > capacity:
-                pending.pop()
+                evicted = self._evict_line()
+                if sanitize:
+                    self._sanitize_eviction(evicted)
+            if sanitize and last_complete <= cycle:
+                SANITIZER.report(
+                    "storebuffer.drain_after_arrival", self.name,
+                    "drain completed at or before the word arrived",
+                    arrival=cycle, complete=last_complete,
+                )
         self._drain_free_at = drain_free_at
         self._last_drain_complete = last_complete
         self.peak_lines = peak
         return last_complete
+
+    def _sanitize_eviction(self, evicted_index: int) -> None:
+        """FIFO invariant: the evicted line must be the oldest pending."""
+        pending = self._pending_lines
+        if pending and evicted_index > min(pending.values()):
+            SANITIZER.report(
+                "storebuffer.fifo_eviction", self.name,
+                "capacity eviction removed a line newer than one still "
+                "pending",
+                evicted_index=evicted_index,
+                oldest_pending=min(pending.values()),
+            )
 
     def drain_complete_cycle(self) -> int:
         """Cycle at which everything pushed so far has reached the SMC."""
@@ -111,6 +160,7 @@ class StoreBuffer:
 
     def reset(self) -> None:
         self._pending_lines.clear()
+        self._insertions = 0
         self._drain_free_at = 0.0
         self._last_drain_complete = 0.0
         self.peak_lines = 0

@@ -36,6 +36,7 @@ class MemoryTimings:
     smc_dma_words_per_cycle: int = 8
     channel_words_per_cycle: int = 4
     store_drain_words_per_cycle: int = 2
+    store_capacity_lines: int = 16
 
 
 class MemorySystem:
@@ -67,6 +68,7 @@ class MemorySystem:
             StoreBuffer(
                 line_words=t.l1_line_words,
                 drain_words_per_cycle=t.store_drain_words_per_cycle,
+                capacity_lines=t.store_capacity_lines,
                 name=f"stbuf{r}",
             )
             for r in range(rows)
@@ -235,6 +237,9 @@ class MemorySystem:
             ),
             "storebuffer.coalesced": float(
                 sum(b.stats.coalesced for b in self.store_buffers)
+            ),
+            "storebuffer.words_drained": float(
+                sum(b.stats.words_drained for b in self.store_buffers)
             ),
             "storebuffer.peak_depth": float(
                 max((b.peak_lines for b in self.store_buffers), default=0)

@@ -25,6 +25,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..check.sanitizer import SANITIZER
 from ..machine.stats import RunResult, WindowTiming
 from ..obs.metrics import METRICS
 from .fingerprint import SCHEMA_VERSION
@@ -109,10 +110,17 @@ class RunCache:
             try:
                 with open(self._path(key), "r", encoding="utf-8") as fh:
                     doc = json.load(fh)
-                if doc.get("schema") != SCHEMA_VERSION:
-                    raise ValueError("stale cache schema")
+                # ``isinstance`` first: a file holding a JSON array or
+                # scalar must degrade to a miss, not an AttributeError.
+                if not isinstance(doc, dict) \
+                        or doc.get("schema") != SCHEMA_VERSION:
+                    raise ValueError("stale or malformed cache entry")
                 result = run_result_from_dict(doc)
             except (OSError, ValueError, TypeError, KeyError):
+                # Unreadable, truncated, corrupt or field-mismatched
+                # entries (a build whose RunResult had different fields
+                # raises TypeError from ``RunResult(**doc)``) are
+                # misses, never errors — the module contract.
                 result = None
             if result is not None:
                 self._memory[key] = result
@@ -134,6 +142,8 @@ class RunCache:
         self.stats.stores += 1
         if METRICS.enabled:
             METRICS.inc("runcache.stores")
+        if SANITIZER.enabled:
+            self._sanitize_round_trip(key, result)
         if self.cache_dir is None:
             return
         path = self._path(key)
@@ -147,6 +157,28 @@ class RunCache:
             os.replace(tmp, path)
         except OSError:
             pass  # a read-only cache directory degrades to memory-only
+
+    def _sanitize_round_trip(self, key: str, result: RunResult) -> None:
+        """Round-trip fidelity: what the disk tier would hand back must
+        equal what was stored (``run_result_from_dict(to_dict(r)) == r``
+        through an actual JSON encode/decode)."""
+        try:
+            rebuilt = run_result_from_dict(
+                json.loads(json.dumps(run_result_to_dict(result)))
+            )
+        except (TypeError, ValueError, KeyError) as exc:
+            SANITIZER.report(
+                "cache.round_trip", key[:12],
+                "stored result does not survive JSON encoding",
+                error=repr(exc),
+            )
+            return
+        if rebuilt != result:
+            SANITIZER.report(
+                "cache.round_trip", key[:12],
+                "stored result does not survive its JSON round trip",
+                kernel=result.kernel, config=result.config,
+            )
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (disk entries stay addressable)."""

@@ -36,6 +36,7 @@ import itertools
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -178,7 +179,11 @@ def _estimated_cost(point: SweepPoint) -> int:
         from ..kernels.registry import spec
 
         return spec(point.kernel).paper.instructions * point.records
-    except Exception:
+    except (ImportError, KeyError):
+        # Only "the registry is absent" and "the kernel is not in it"
+        # degrade to the record-count fallback; a genuinely broken
+        # registry (TypeError, AttributeError, ...) must fail loudly
+        # instead of silently producing bad schedules.
         return point.records
 
 
@@ -237,7 +242,11 @@ def run_points(
                         [points[i] for i in order],
                         chunksize=chunksize,
                     ))
-        except (OSError, PermissionError, NotImplementedError):
+        except (OSError, PermissionError, NotImplementedError,
+                BrokenProcessPool):
+            # Pools that cannot spawn (sandboxes) or whose workers died
+            # mid-sweep degrade to the serial loop — never wrong
+            # results, never a crash.  KeyboardInterrupt propagates.
             stats.mode = "pool-fallback"  # degrade to the serial loop
         else:
             stats.mode = "pool"

@@ -1,0 +1,34 @@
+"""Replay of the committed fuzz corpus.
+
+Each ``corpus/*.json`` file is a shrunk reproducer of a bug the fuzzer
+once caught (captured by re-breaking the fix and fuzzing); on a healthy
+tree every one must replay clean.  A failure here means a pinned bug has
+come back.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.fuzz import load_case, replay_corpus
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+class TestPinnedCorpus:
+    def test_corpus_is_committed(self):
+        assert sorted(CORPUS.glob("*.json")), \
+            "the pinned fuzz corpus is missing"
+
+    @pytest.mark.parametrize(
+        "path", sorted(CORPUS.glob("*.json")), ids=lambda p: p.stem)
+    def test_cases_load(self, path):
+        case = load_case(path)
+        assert case.records >= 1 and case.size >= 1
+
+    def test_replays_clean(self):
+        results = replay_corpus(CORPUS)
+        assert results
+        failing = [(p.name, f.render()) for p, f in results
+                   if f is not None]
+        assert not failing, failing

@@ -1,0 +1,43 @@
+"""The sanitizer overhead contract.
+
+Like METRICS and TRACE, a disabled SANITIZER costs one attribute test
+per instrumented site — an uninstrumented run must stay within the same
+committed ``BENCH_perf.json`` budget the observability layer is held to,
+and must collect nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.check import SANITIZER
+from tests.obs.test_overhead import BENCH_PATH, POINT, _simulate_point_cold
+
+
+class TestDisabledSanitizerOverhead:
+    def test_sanitizer_defaults_off(self):
+        assert SANITIZER.enabled is False
+        assert SANITIZER.strict is False
+
+    @pytest.mark.skipif(
+        not BENCH_PATH.exists(), reason="no committed BENCH_perf.json"
+    )
+    def test_disabled_run_within_budget_of_bench_baseline(self):
+        report = json.loads(BENCH_PATH.read_text())
+        baseline = report["point_seconds"].get(POINT)
+        if baseline is None:
+            pytest.skip(f"{POINT} not in BENCH_perf.json point_seconds")
+        records = report["records"]
+        best = min(_simulate_point_cold(records)[0] for _ in range(3))
+        budget = baseline * 1.05 + 0.05
+        assert best <= budget, (
+            f"sanitizer-off run took {best:.3f}s vs budget {budget:.3f}s "
+            f"(baseline {baseline:.3f}s + 5% + 50ms); the disabled path "
+            "must stay one attribute test per hook"
+        )
+
+    def test_disabled_run_collects_nothing(self):
+        SANITIZER.reset()
+        _simulate_point_cold(records=32)
+        assert SANITIZER.violations == []
+        assert SANITIZER.total == 0

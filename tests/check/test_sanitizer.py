@@ -1,0 +1,229 @@
+"""The invariant sanitizer: core semantics, clean-run acceptance over
+every paper kernel and configuration, and doctored-state detection."""
+
+import pytest
+
+import repro.check as check_pkg
+from repro.check import InvariantError, SANITIZER, checking
+from repro.check.sanitizer import Sanitizer
+from repro.kernels.registry import all_specs, spec
+from repro.machine import DataflowEngine, GridProcessor, MachineParams, \
+    map_window
+from repro.machine.config import named_config
+from repro.memory import MemorySystem
+from repro.memory.storebuffer import StoreBuffer
+from repro.obs.metrics import METRICS, collecting
+from repro.perf.cache import RunCache
+
+ALL_CONFIGS = ["baseline", "S", "S-O", "S-O-D", "M", "M-D"]
+
+
+class TestSanitizerCore:
+    def test_defaults_off(self):
+        assert SANITIZER.enabled is False
+        assert SANITIZER.strict is False
+        assert SANITIZER.violations == []
+        assert SANITIZER.total == 0
+
+    def test_report_collects_structured_violations(self):
+        san = Sanitizer()
+        san.enabled = True
+        v = san.report("unit.test", "widget", "went sideways", got=3, want=1)
+        assert san.total == 1
+        assert san.violations == [v]
+        assert v.invariant == "unit.test"
+        assert v.context == (("got", 3), ("want", 1))
+        assert "unit.test" in v.render() and "got=3" in v.render()
+
+    def test_expect_reports_only_on_failure(self):
+        san = Sanitizer()
+        san.enabled = True
+        assert san.expect(True, "unit.test", "widget", "fine") is True
+        assert san.total == 0
+        assert san.expect(False, "unit.test", "widget", "broken") is False
+        assert san.total == 1
+
+    def test_max_violations_caps_list_not_counter(self):
+        san = Sanitizer()
+        san.enabled = True
+        san.max_violations = 3
+        for i in range(10):
+            san.report("unit.test", "widget", f"violation {i}")
+        assert len(san.violations) == 3
+        assert san.total == 10
+
+    def test_strict_mode_raises_invariant_error(self):
+        with pytest.raises(InvariantError, match="unit.test"):
+            with checking(strict=True):
+                SANITIZER.report("unit.test", "widget", "boom")
+        assert SANITIZER.enabled is False  # scope restored after the raise
+
+    def test_checking_scope_saves_and_restores(self):
+        with checking() as outer:
+            outer.report("unit.outer", "a", "outer violation")
+            with checking() as inner:
+                assert inner.violations == []  # fresh inner scope
+                inner.report("unit.inner", "b", "inner violation")
+            # Back in the outer scope: both survive, nothing lost.
+            assert [v.invariant for v in SANITIZER.violations] == \
+                ["unit.outer", "unit.inner"]
+            assert SANITIZER.total == 2
+        assert SANITIZER.enabled is False
+        # Collected violations stay readable after the scope exits (the
+        # docstring idiom asserts on them post-exit); the next checking()
+        # entry resets.
+        assert SANITIZER.total == 2
+        SANITIZER.reset()
+
+    def test_violations_counted_in_metrics_registry(self):
+        with collecting() as metrics:
+            with checking():
+                SANITIZER.report("unit.test", "widget", "boom")
+                SANITIZER.report("unit.other", "widget", "boom")
+            snapshot = metrics.snapshot()
+        assert snapshot["sanitizer.violations"] == 2
+        assert snapshot["sanitizer.unit.test"] == 1
+        assert snapshot["sanitizer.unit.other"] == 1
+        assert METRICS.enabled is False
+
+    def test_lazy_package_exports_resolve(self):
+        assert check_pkg.FuzzCase is not None
+        assert check_pkg.FaultPlan is not None
+        assert callable(check_pkg.run_fuzz)
+        assert callable(check_pkg.run_fault_suite)
+
+
+class TestCleanKernels:
+    """Acceptance: every paper kernel under every configuration runs with
+    zero invariant violations (ISSUE 4 acceptance criterion)."""
+
+    @pytest.mark.parametrize("name", [s.name for s in all_specs()])
+    def test_zero_violations_across_all_configs(self, name):
+        s = spec(name)
+        kernel = s.kernel()
+        records = s.workload(6, 7)
+        processor = GridProcessor()
+        with checking() as san:
+            for cfg in ALL_CONFIGS:
+                config = named_config(cfg)
+                if processor.supports(kernel, config):
+                    processor.run(kernel, records, config)
+            rendered = [v.render() for v in san.violations]
+            assert san.total == 0, rendered
+
+    def test_stressed_store_buffer_still_clean(self):
+        """Capacity eviction (unreachable at the default depth of 16)
+        stays invariant-clean at a stress depth of 2."""
+        s = spec("fft")
+        processor = GridProcessor(MachineParams(store_capacity_lines=2))
+        with checking() as san:
+            processor.run(s.kernel(), s.workload(12, 7), named_config("S-O"))
+            assert san.total == 0, [v.render() for v in san.violations]
+
+
+class TestViolationDetection:
+    """Doctored state must actually trip the checks (no dead sanitizer)."""
+
+    def test_fifo_eviction_clean_by_default(self):
+        sb = StoreBuffer(line_words=8, capacity_lines=2)
+        with checking() as san:
+            for i in range(5):
+                sb.push(i * 8, cycle=i)
+            assert san.total == 0
+
+    def test_lifo_eviction_reported(self, monkeypatch):
+        def lifo_evict(self):
+            pending = self._pending_lines
+            newest = next(reversed(pending))
+            return pending.pop(newest)
+
+        monkeypatch.setattr(StoreBuffer, "_evict_line", lifo_evict)
+        sb = StoreBuffer(line_words=8, capacity_lines=2)
+        with checking() as san:
+            for i in range(5):
+                sb.push(i * 8, cycle=i)
+            assert any(v.invariant == "storebuffer.fifo_eviction"
+                       for v in san.violations)
+
+    def test_lifo_eviction_reported_in_push_many(self, monkeypatch):
+        def lifo_evict(self):
+            pending = self._pending_lines
+            newest = next(reversed(pending))
+            return pending.pop(newest)
+
+        monkeypatch.setattr(StoreBuffer, "_evict_line", lifo_evict)
+        sb = StoreBuffer(line_words=8, capacity_lines=2)
+        with checking() as san:
+            sb.push_many([(i * 8, i) for i in range(5)])
+            assert any(v.invariant == "storebuffer.fifo_eviction"
+                       for v in san.violations)
+
+    def test_nan_detail_breaks_cache_round_trip(self):
+        s = spec("convert")
+        result = GridProcessor().run(s.kernel(), s.workload(4, 7),
+                                     named_config("S"))
+        result.detail["poison"] = float("nan")  # nan != nan after reload
+        with checking() as san:
+            RunCache().put("f" * 16, result)
+            assert any(v.invariant == "cache.round_trip"
+                       for v in san.violations)
+
+    def test_clean_result_survives_cache_round_trip(self):
+        s = spec("convert")
+        result = GridProcessor().run(s.kernel(), s.workload(4, 7),
+                                     named_config("S"))
+        with checking() as san:
+            RunCache().put("f" * 16, result)
+            assert san.total == 0
+
+    def test_dataflow_checks_flag_doctored_run_state(self):
+        """White-box: feed ``_sanitize_run`` inconsistent loop state and
+        expect each invariant of the catalog to fire."""
+        params = MachineParams()
+        kernel = spec("convert").kernel()
+        config = named_config("S-O")
+        window = map_window(kernel, config, params, iterations=2)
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(config.smc_stream)
+        engine = DataflowEngine(window, memory, seed=1)
+        with checking() as san:
+            engine._sanitize_run(
+                trace=[(5, 3), (5, 3)],          # node 3 issues twice at 5
+                remaining=[0, -1, 2],            # over- and under-delivery
+                arrivals={7: [1, 2]},            # operands still in flight
+                store_drain=3,
+                last_store_arrival=9,            # drain "finished" early
+            )
+            invariants = {v.invariant for v in san.violations}
+        assert invariants == {
+            "dataflow.operand_conservation",
+            "dataflow.monotone_node_issue",
+            "dataflow.store_drain_completion",
+        }
+
+    def test_dataflow_checks_pass_on_consistent_state(self):
+        params = MachineParams()
+        kernel = spec("convert").kernel()
+        config = named_config("S-O")
+        window = map_window(kernel, config, params, iterations=2)
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(config.smc_stream)
+        engine = DataflowEngine(window, memory, seed=1)
+        with checking() as san:
+            engine._sanitize_run(
+                trace=[(5, 3), (6, 3), (6, 4)],
+                remaining=[0, 0, 0],
+                arrivals={},
+                store_drain=11,
+                last_store_arrival=9,
+            )
+            assert san.total == 0
+
+
+class TestWordsDrainedMetric:
+    def test_run_detail_exports_words_drained(self):
+        s = spec("fft")
+        result = GridProcessor().run(s.kernel(), s.workload(8, 7),
+                                     named_config("S-O"))
+        assert "storebuffer.words_drained" in result.detail
+        assert result.detail["storebuffer.words_drained"] > 0

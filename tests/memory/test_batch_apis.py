@@ -97,7 +97,7 @@ class TestStreamChannelBatch:
 
 
 def storebuffer_state(buf):
-    return (buf.stats.stores, buf.stats.lines_drained, buf.stats.coalesced,
+    return (buf.stats.stores, buf.stats.words_drained, buf.stats.coalesced,
             buf._drain_free_at, buf._last_drain_complete,
             buf.drain_complete_cycle())
 
@@ -124,6 +124,22 @@ class TestStoreBufferBatch:
             reference.push(address, cycle)
         assert batched.stats.coalesced == reference.stats.coalesced > 0
         assert storebuffer_state(batched) == storebuffer_state(reference)
+
+    def test_push_many_matches_push_under_eviction_pressure(self):
+        """With a tiny capacity the batch path evicts through the same
+        FIFO policy as the sequential path — identical pending lines."""
+        rng = random.Random(11)
+        pushes = [(rng.randrange(0, 256), rng.randrange(0, 30))
+                  for _ in range(60)]
+        batched = StoreBuffer(capacity_lines=2)
+        reference = StoreBuffer(capacity_lines=2)
+        final = batched.push_many(pushes)
+        for address, cycle in pushes:
+            last = reference.push(address, cycle)
+        assert final == last
+        assert storebuffer_state(batched) == storebuffer_state(reference)
+        assert batched._pending_lines == reference._pending_lines
+        assert len(batched._pending_lines) <= 2
 
 
 def smc_memory():

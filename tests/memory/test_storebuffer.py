@@ -39,3 +39,65 @@ class TestCoalescing:
         sb.reset()
         assert sb.drain_complete_cycle() == 0
         assert sb.stats.stores == 0
+
+
+class TestWordsDrained:
+    def test_counts_non_coalesced_words(self):
+        """``words_drained`` counts words retired by the drain engine —
+        the counter the stats once mislabeled ``lines_drained``."""
+        sb = StoreBuffer(line_words=8, drain_words_per_cycle=1)
+        sb.push(0, cycle=0)
+        sb.push(1, cycle=0)   # same line, coalesced: not drained again
+        sb.push(8, cycle=0)   # new line: second drained word
+        assert sb.stats.stores == 3
+        assert sb.stats.coalesced == 1
+        assert sb.stats.words_drained == 2
+
+    def test_push_many_counts_identically(self):
+        loop = StoreBuffer(line_words=8, drain_words_per_cycle=1)
+        batch = StoreBuffer(line_words=8, drain_words_per_cycle=1)
+        pushes = [(0, 0), (1, 0), (8, 0), (9, 0), (16, 1)]
+        for address, cycle in pushes:
+            loop.push(address, cycle)
+        batch.push_many(pushes)
+        assert batch.stats.words_drained == loop.stats.words_drained
+
+
+class TestFifoEviction:
+    """Capacity eviction retires the *oldest* pending line (the buffer
+    previously popped an arbitrary set element)."""
+
+    def test_push_evicts_oldest_line(self):
+        sb = StoreBuffer(line_words=8, capacity_lines=2)
+        sb.push(0, cycle=0)    # line 0
+        sb.push(8, cycle=1)    # line 1
+        sb.push(16, cycle=2)   # line 2 -> line 0 (oldest) must go
+        assert set(sb._pending_lines) == {1, 2}
+        sb.push(24, cycle=3)   # line 3 -> line 1 must go
+        assert set(sb._pending_lines) == {2, 3}
+
+    def test_push_many_evicts_oldest_line(self):
+        sb = StoreBuffer(line_words=8, capacity_lines=2)
+        sb.push_many([(line * 8, line) for line in range(4)])
+        assert set(sb._pending_lines) == {2, 3}
+
+    def test_reinserted_line_keeps_its_original_age(self):
+        sb = StoreBuffer(line_words=8, capacity_lines=3)
+        sb.push(0, cycle=0)     # line 0 (oldest)
+        sb.push(8, cycle=1)     # line 1
+        sb.push(1, cycle=100)   # line 0 again, past the drain window:
+        #                         no refresh — line 0 stays oldest
+        sb.push(16, cycle=101)  # line 2
+        sb.push(24, cycle=102)  # line 3 -> evicts line 0, not line 1
+        assert set(sb._pending_lines) == {1, 2, 3}
+
+    def test_eviction_keeps_distinct_line_timing(self):
+        """For a stream of distinct lines, capacity eviction is pure
+        bookkeeping: drain times match an effectively unbounded buffer."""
+        bounded = StoreBuffer(line_words=8, capacity_lines=2)
+        unbounded = StoreBuffer(line_words=8, capacity_lines=10_000)
+        pushes = [(line * 8, line // 2) for line in range(12)]
+        times_bounded = [bounded.push(a, c) for a, c in pushes]
+        times_unbounded = [unbounded.push(a, c) for a, c in pushes]
+        assert times_bounded == times_unbounded
+        assert bounded.stats == unbounded.stats

@@ -86,6 +86,42 @@ class TestDiskTier:
         assert cache.stats.disk_hits == 1
         assert cache.stats.memory_hits == 1
 
+    def test_extra_field_doc_is_a_miss(self, tmp_path):
+        """A doc from a build whose RunResult had an extra field raises
+        TypeError from ``RunResult(**doc)`` — contract: a miss."""
+        key, result = simulate()
+        cache = RunCache(tmp_path)
+        cache.put(key, result)
+        doc = run_result_to_dict(result)
+        doc["field_from_the_future"] = 1
+        cache._path(key).write_text(json.dumps(doc), encoding="utf-8")
+        fresh = RunCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.misses == 1
+
+    def test_missing_field_doc_is_a_miss(self, tmp_path):
+        key, result = simulate()
+        cache = RunCache(tmp_path)
+        cache.put(key, result)
+        doc = run_result_to_dict(result)
+        del doc["cycles"]
+        cache._path(key).write_text(json.dumps(doc), encoding="utf-8")
+        fresh = RunCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.misses == 1
+
+    def test_non_dict_json_is_a_miss(self, tmp_path):
+        """A file holding a JSON array/scalar once raised AttributeError
+        on ``doc.get``; it must degrade to a miss like any corruption."""
+        key, result = simulate()
+        cache = RunCache(tmp_path)
+        cache.put(key, result)
+        for payload in ("[1, 2, 3]", "42", "null", '"text"'):
+            cache._path(key).write_text(payload, encoding="utf-8")
+            fresh = RunCache(tmp_path)
+            assert fresh.get(key) is None, payload
+            assert fresh.stats.misses == 1
+
     def test_clear_memory_keeps_disk(self, tmp_path):
         key, result = simulate()
         cache = RunCache(tmp_path)

@@ -4,6 +4,8 @@ and the worker-shared on-disk run cache."""
 
 import copy
 
+import pytest
+
 from repro.kernels import spec
 from repro.machine import GridProcessor, MachineConfig, MachineParams
 from repro.perf import (
@@ -103,6 +105,21 @@ class TestAdaptiveDispatch:
                            params=MachineParams(), records=17)
         assert _estimated_cost(point) == 17
 
+    def test_broken_registry_propagates(self, monkeypatch):
+        """Only ImportError/KeyError degrade to the record-count
+        fallback; a genuinely broken registry must fail loudly (the
+        estimator once swallowed every exception)."""
+        import importlib
+
+        registry = importlib.import_module("repro.kernels.registry")
+
+        def broken(name):
+            raise TypeError("registry broken")
+
+        monkeypatch.setattr(registry, "spec", broken)
+        with pytest.raises(TypeError, match="registry broken"):
+            _estimated_cost(sample_points()[0])
+
     def test_pool_gets_longest_first_and_restores_order(self, monkeypatch):
         """The pool sees points sorted by descending cost estimate with a
         computed chunksize; the caller still sees input order."""
@@ -143,6 +160,80 @@ class TestAdaptiveDispatch:
         monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", BrokenPool)
         results = run_points(sample_points(), jobs=3)
         assert [r.kernel for r in results] == ["fft", "lu", "convert"]
+
+    def test_dying_workers_fall_back_to_serial(self, monkeypatch):
+        """Workers dying mid-sweep (BrokenProcessPool out of pool.map)
+        degrade to the serial loop instead of crashing the sweep."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        class DyingPool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", DyingPool)
+        points = sample_points()
+        results = run_points(points, jobs=3)
+        assert parallel_mod.LAST_DISPATCH.mode == "pool-fallback"
+        assert results == run_points(points, jobs=1)
+
+
+class TestSerialParallelIdentity:
+    """Dispatch mode must be unobservable in the results: same order,
+    same fingerprints, full point accounting."""
+
+    @staticmethod
+    def _fingerprints(points):
+        fps = []
+        for point in points:
+            s = spec(point.kernel)
+            fps.append(run_fingerprint(
+                s.kernel(), point.config, point.params,
+                s.workload(point.records, point.workload_seed),
+            ))
+        return fps
+
+    def test_jobs_n_matches_serial_order_and_fingerprints(self,
+                                                          monkeypatch):
+        class FakePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                return [fn(item) for item in items]
+
+        points = sample_points()
+        serial = run_points(points, jobs=1)
+        assert parallel_mod.LAST_DISPATCH.points == len(points)
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", FakePool)
+        pooled = run_points(points, jobs=3)
+        assert parallel_mod.LAST_DISPATCH.mode == "pool"
+        assert parallel_mod.LAST_DISPATCH.points == len(points)
+        assert pooled == serial
+        assert [r.kernel for r in pooled] == [p.kernel for p in points]
+        # Identical results under identical fingerprints: the sweep's
+        # content addressing cannot tell the two dispatch modes apart.
+        assert self._fingerprints(points) == self._fingerprints(points)
+        for fp, result in zip(self._fingerprints(points), pooled):
+            cache = RunCache()
+            cache.put(fp, result)
+            assert cache.get(fp) is result
 
 
 class TestWorkerDiskCache:
