@@ -1,29 +1,31 @@
-"""Benchmark: Figure 2 with a *measured* vector comparator.
+"""Benchmark: Figure 2 with *measured* comparators via the registry.
 
-Companion to ``test_figure2_classic`` (analytic models): runs the suite
-on the simulated classic vector machine and on the grid's MIMD morph,
-verifying Section 3's application→architecture matching with scheduled
-timing rather than arithmetic — regular kernels thrive on vector,
+Companion to ``test_figure2_classic`` (analytic models): resolves the
+simulated classic vector machine and the grid's MIMD morph from the
+:mod:`repro.backends` registry and runs the suite on both, verifying
+Section 3's application→architecture matching with scheduled timing
+rather than arithmetic — regular kernels thrive on vector,
 lookup/data-dependent kernels collapse there and recover on fine-grain
 MIMD.
 """
 
-from repro.kernels import all_specs, spec
-from repro.machine import GridProcessor, MachineConfig
-from repro.vectorsim import VectorMachine
+from repro.backends import dispatch, get
+from repro.kernels import all_specs
+from repro.machine import MachineConfig
 
 
 def run_measured_comparison():
-    vector = VectorMachine()
-    grid = GridProcessor()
+    vector = get("vector")
+    grid = get("grid")
+    baseline = MachineConfig.baseline()
     rows = {}
     for s in all_specs(performance_only=True):
         kernel = s.kernel()
         records = s.workload(256 if len(kernel) < 600 else 64)
-        vec = vector.run(kernel, records)
+        vec = dispatch(vector, kernel, records, baseline)
         mimd_cfg = (MachineConfig.M_D() if kernel.tables
                     else MachineConfig.M())
-        mimd = grid.run(kernel, records, mimd_cfg)
+        mimd = dispatch(grid, kernel, records, mimd_cfg)
         rows[s.name] = (vec, mimd)
     return rows
 
@@ -47,6 +49,11 @@ def test_figure2_measured(one_shot):
     # Data-dependent control: masked vector execution loses to local PCs.
     vec, mimd = rows["vertex-skinning"]
     assert mimd.cycles < vec.cycles
+
+    # Every result is stamped with the backend that produced it.
+    for vec, mimd in rows.values():
+        assert vec.detail["backend"] == "vector"
+        assert mimd.detail["backend"] == "grid"
 
     print()
     print(f"{'benchmark':20s} {'vector ops/cyc':>15s} {'MIMD ops/cyc':>13s}")

@@ -6,7 +6,9 @@ Four subcommands, all exiting non-zero when something is wrong:
   the invariant sanitizer armed; report any violations.
 * ``fuzz`` — differential fuzzing over random kernels (evaluator vs
   both engines vs all configurations), shrinking failures to minimal
-  reproducers, optionally persisted to a corpus directory.
+  reproducers, optionally persisted to a corpus directory; with
+  ``--cross-backend`` each case instead runs across every registered
+  simulation backend (grid, simd, vector, superscalar, stream).
 * ``replay`` — re-check every corpus reproducer (regression replay).
 * ``faults`` — the fault-injection suite: corrupted cache entries,
   dying worker pools, mid-sweep interrupts.
@@ -60,23 +62,26 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from .fuzz import run_fuzz
+    from .fuzz import check_case, check_case_backends, run_fuzz
 
     def progress(done, failing):
         if args.verbose:
             print(f"  fuzz {done}/{args.budget} ({failing} failing)",
                   file=sys.stderr)
 
+    check = check_case_backends if args.cross_backend else check_case
     failures = run_fuzz(
         args.budget,
         start_seed=args.seed,
         corpus_dir=args.corpus,
         shrink=not args.no_shrink,
+        check=check,
         progress=progress,
     )
+    mode = "cross-backend " if args.cross_backend else ""
     print(
-        f"repro-check fuzz: {args.budget} cases from seed {args.seed}, "
-        f"{len(failures)} failure(s)"
+        f"repro-check fuzz: {args.budget} {mode}cases from seed "
+        f"{args.seed}, {len(failures)} failure(s)"
         + (f" (reproducers in {args.corpus})" if args.corpus and failures
            else ""),
         file=sys.stderr,
@@ -155,6 +160,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="directory to write shrunk reproducers into")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="keep failures at their original size")
+    fuzz.add_argument("--cross-backend", action="store_true",
+                      help="differential mode across every registered "
+                           "simulation backend instead of the grid "
+                           "engine pair")
     fuzz.add_argument("--verbose", action="store_true",
                       help="progress line per case")
     fuzz.set_defaults(fn=_cmd_fuzz)

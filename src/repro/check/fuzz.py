@@ -15,6 +15,13 @@ on ordinary fuzz workloads:
   fits, plus MIMD functional output vs the oracle;
 * a :class:`~repro.perf.cache.RunCache` round trip of the result.
 
+:func:`check_case_backends` is the cross-backend differential mode: the
+same case runs on every :mod:`repro.backends` registry entry (grid,
+simd, vector, superscalar, stream), checking determinism, the
+architecture-independent useful-operation count, the backend identity
+tag, functional outputs against the evaluator oracle, and the run-cache
+JSON round trip.  ``repro-check fuzz --cross-backend`` selects it.
+
 Failures are greedily shrunk (:func:`shrink_case`) to a minimal still-
 failing reproducer, and can be persisted to / replayed from a corpus
 directory of JSON files so a bug found once stays a regression test
@@ -234,6 +241,81 @@ def check_case(case: FuzzCase, params=None) -> Optional[FuzzFailure]:
         # put() under an armed sanitizer performs the JSON round-trip
         # fidelity check (``cache.round_trip``).
         RunCache().put(f"fuzz{case.seed:08x}", result)
+
+        if san.total:
+            return fail("sanitizer", f"{san.total} invariant violation(s)")
+    return None
+
+
+def check_case_backends(case: FuzzCase, params=None) -> Optional[FuzzFailure]:
+    """Run one case across every registered backend; None means clean.
+
+    The differential here is architectural, not engine-level: each
+    backend times the same (kernel, records) under a configuration it
+    supports, and must (a) be deterministic, (b) stamp its identity tag,
+    (c) agree with the architecture-independent useful-operation count
+    every simulator implements independently, (d) produce functional
+    outputs matching the evaluator oracle, and (e) survive the run-cache
+    JSON round trip (checked by ``put`` under the armed sanitizer).
+    """
+    from ..backends import backend_names, dispatch, get, useful_ops
+    from ..isa.evaluate import evaluate_stream
+    from ..machine.config import MachineConfig
+    from ..perf.cache import RunCache
+
+    if params is None:
+        params = _stress_params()
+    kernel = case.kernel()
+    records = case.record_stream(kernel)
+    # Simplest-capable-first; the SMC members keep the stream backend in
+    # play (it rejects non-streaming configurations by contract).
+    candidates = (MachineConfig.S_O_D(), MachineConfig.S(),
+                  MachineConfig.baseline())
+
+    with checking() as san:
+        def fail(stage, detail):
+            return FuzzFailure(case, stage, detail,
+                               tuple(v.render() for v in san.violations))
+
+        try:
+            oracle = evaluate_stream(kernel, records)
+        except Exception as exc:  # the oracle must accept any valid kernel
+            return FuzzFailure(case, "evaluate", repr(exc))
+        want_useful = useful_ops(kernel, records)
+
+        for name in backend_names():
+            backend = get(name)
+            config = next(
+                (c for c in candidates
+                 if backend.supports(kernel, c, params)),
+                None,
+            )
+            if config is None:
+                continue
+            stage = f"backend:{name}"
+            try:
+                first = dispatch(backend, kernel, records, config, params,
+                                 functional=True)
+                second = dispatch(backend, kernel, records, config, params,
+                                  functional=True)
+            except Exception as exc:
+                return fail(stage, f"crash: {exc!r}")
+            if first != second:
+                return fail(stage, "nondeterministic under a fixed case")
+            if first.detail.get("backend") != name:
+                return fail(stage, "result is missing its backend "
+                                   "identity tag")
+            if first.useful_ops != want_useful:
+                return fail(stage, "useful-operation accounting disagrees "
+                                   "with the architecture-independent count")
+            if first.outputs is None:
+                return fail(stage, "functional run produced no outputs")
+            if not _outputs_match(first.outputs, oracle):
+                return fail(stage, "functional outputs disagree with the "
+                                   "evaluator oracle")
+            # put() under an armed sanitizer performs the JSON round-trip
+            # fidelity check (``cache.round_trip``).
+            RunCache().put(f"fuzz-{name}-{case.seed:08x}", first)
 
         if san.total:
             return fail("sanitizer", f"{san.total} invariant violation(s)")

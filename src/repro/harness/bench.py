@@ -70,11 +70,14 @@ def bench_experiments(
     large_kernel_records: int = 128,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "grid",
 ) -> dict:
     """Time the experiment pipeline across cache/parallel phases.
 
-    Returns the ``BENCH_perf.json`` document (see the module docstring
-    for the phase definitions).
+    ``backend`` (a :mod:`repro.backends` registry name) selects the
+    machine model every phase simulates on.  Returns the
+    ``BENCH_perf.json`` document (see the module docstring for the
+    phase definitions).
     """
     timer = PhaseTimer()
 
@@ -83,6 +86,7 @@ def bench_experiments(
         large_kernel_records=large_kernel_records,
         jobs=1,
         cache=RunCache(cache_dir),
+        backend=backend,
     )
     with measuring() as phase_acc:
         timer.measure("cold_serial", lambda: _run_all(serial_ctx))
@@ -96,6 +100,7 @@ def bench_experiments(
             records=records,
             large_kernel_records=large_kernel_records,
             jobs=jobs,
+            backend=backend,
         )
         timer.measure("cold_parallel", lambda: _run_all(parallel_ctx))
         if parallel.LAST_DISPATCH is not None:
@@ -107,6 +112,7 @@ def bench_experiments(
             large_kernel_records=large_kernel_records,
             jobs=1,
             cache=RunCache(cache_dir),
+            backend=backend,
         )
         timer.measure("disk_replay", lambda: _run_all(replay_ctx))
 
@@ -128,6 +134,7 @@ def bench_experiments(
         "large_kernel_records": large_kernel_records,
         "jobs": jobs,
         "cache_dir": cache_dir,
+        "backend": backend,
         "phases_seconds": timer.seconds,
         # Where cold_serial's wall time went inside the pipeline: window
         # mapping (placement + expansion or cache rebase), block-style
@@ -208,6 +215,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also time a parallel cold run with N worker processes",
     )
     parser.add_argument(
+        "--backend", default="grid", metavar="NAME",
+        help="machine model to benchmark (a repro.backends registry "
+             "name; default grid)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="also time a disk-cache replay through DIR",
     )
@@ -225,6 +237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 large_kernel_records=max(16, args.records // 4),
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
+                backend=args.backend,
             )
     else:
         report = bench_experiments(
@@ -232,6 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             large_kernel_records=max(16, args.records // 4),
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            backend=args.backend,
         )
     if args.output != "-":
         with open(args.output, "w", encoding="utf-8") as fh:

@@ -23,6 +23,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.characterize import KernelAttributes, characterize
 from ..analysis.control import ControlProfile, control_profile
+from ..backends import Backend
+from ..backends import dispatch as backend_dispatch
+from ..backends import get as get_backend
 from ..compare.classic import ClassicMachine, classic_comparison
 from ..compare.specialized import TABLE6, SpecializedRow, Table6Result, convert_metric
 from ..core.flexible import flexible_vs_fixed
@@ -72,6 +75,12 @@ class ExperimentContext:
     (conventionally ``.repro_cache/``) so repeated runs across processes
     hit the cache instead of the simulator.  A pre-built
     :class:`~repro.perf.cache.RunCache` can be shared via ``cache``.
+
+    ``backend`` selects the default machine model (a
+    :mod:`repro.backends` registry name or instance); :meth:`run`,
+    :meth:`run_many` and :meth:`supports` also take a per-call override,
+    so one context can mix backends while sharing its cache and
+    workloads.
     """
 
     def __init__(
@@ -83,23 +92,27 @@ class ExperimentContext:
         jobs: int = 1,
         cache: Optional[RunCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        backend: Union[str, Backend] = "grid",
     ):
         self.params = params or MachineParams()
         self.processor = GridProcessor(self.params)
+        self.backend = get_backend(backend)
         self.records = records
         self.large_kernel_records = large_kernel_records
         self.seed = seed
         self.jobs = jobs
         self.cache = cache if cache is not None else RunCache(cache_dir)
         self._workloads: Dict[str, list] = {}
-        self._keys: Dict[Tuple[str, str], str] = {}
+        self._keys: Dict[Tuple[str, str, str], str] = {}
         # Memoized part fingerprints: the kernel and workload hashes are
         # invariant across the configurations of a sweep.
         self._kernel_fps: Dict[str, str] = {}
         self._records_fps: Dict[str, str] = {}
         self._config_fps: Dict[str, str] = {}
+        self._backend_fps: Dict[str, str] = {}
         self._params_fp: Optional[str] = None
-        #: wall seconds spent simulating each point (bench reporting)
+        #: wall seconds spent simulating each point (bench reporting);
+        #: non-grid points are keyed ``backend:kernel``
         self.point_seconds: Dict[Tuple[str, str], float] = {}
 
     def record_count(self, name: str) -> int:
@@ -117,15 +130,30 @@ class ExperimentContext:
             )
         return self._workloads[name]
 
-    def fingerprint(self, name: str, config: MachineConfig) -> str:
+    def _backend(self, backend: Union[str, Backend, None]) -> Backend:
+        """Resolve a per-call backend override (None -> the default)."""
+        return self.backend if backend is None else get_backend(backend)
+
+    @staticmethod
+    def _label(backend: Backend, name: str) -> str:
+        """Bench-report key for a point: grid keeps its legacy label."""
+        return name if backend.name == "grid" else f"{backend.name}:{name}"
+
+    def fingerprint(
+        self,
+        name: str,
+        config: MachineConfig,
+        backend: Union[str, Backend, None] = None,
+    ) -> str:
         """Content address of the (kernel, config) point on this context.
 
         Identical to ``run_fingerprint`` on the full inputs, but the
-        part hashes (kernel structure, workload, params) are memoized —
-        a sweep hashes each kernel and record stream once, not once per
-        configuration.
+        part hashes (kernel structure, workload, params, backend) are
+        memoized — a sweep hashes each kernel and record stream once,
+        not once per configuration.
         """
-        key = (name, config.name)
+        b = self._backend(backend)
+        key = (b.name, name, config.name)
         fp = self._keys.get(key)
         if fp is None:
             kernel_fp = self._kernel_fps.get(name)
@@ -142,13 +170,23 @@ class ExperimentContext:
                 self._config_fps[config.name] = config_fp
             if self._params_fp is None:
                 self._params_fp = fingerprint_params(self.params)
+            backend_fp = self._backend_fps.get(b.name)
+            if backend_fp is None:
+                backend_fp = b.fingerprint_part()
+                self._backend_fps[b.name] = backend_fp
             fp = combine_fingerprints(
-                kernel_fp, config_fp, self._params_fp, records_fp
+                kernel_fp, config_fp, self._params_fp, records_fp,
+                backend=backend_fp,
             )
             self._keys[key] = fp
         return fp
 
-    def _point(self, name: str, config: MachineConfig) -> SweepPoint:
+    def _point(
+        self,
+        name: str,
+        config: MachineConfig,
+        backend: Union[str, Backend, None] = None,
+    ) -> SweepPoint:
         cache_dir = self.cache.cache_dir
         return SweepPoint(
             kernel=name,
@@ -157,24 +195,35 @@ class ExperimentContext:
             records=self.record_count(name),
             workload_seed=100 + self.seed,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
+            backend=self._backend(backend).name,
         )
 
-    def run(self, name: str, config: MachineConfig) -> RunResult:
+    def run(
+        self,
+        name: str,
+        config: MachineConfig,
+        backend: Union[str, Backend, None] = None,
+    ) -> RunResult:
         """Simulate one (kernel, config) point, via the cache."""
-        fp = self.fingerprint(name, config)
+        b = self._backend(backend)
+        fp = self.fingerprint(name, config, b)
         result = self.cache.get(fp)
         if result is None:
             kernel = spec(name).kernel()
             started = time.perf_counter()
-            result = self.processor.run(kernel, self.workload(name), config)
-            self.point_seconds[(name, config.name)] = (
+            result = backend_dispatch(
+                b, kernel, self.workload(name), config, self.params
+            )
+            self.point_seconds[(self._label(b, name), config.name)] = (
                 time.perf_counter() - started
             )
             self.cache.put(fp, result)
         return result
 
     def run_many(
-        self, pairs: Sequence[Tuple[str, MachineConfig]]
+        self,
+        pairs: Sequence[Tuple[str, MachineConfig]],
+        backend: Union[str, Backend, None] = None,
     ) -> Dict[Tuple[str, str], RunResult]:
         """Simulate many points at once, fanning misses over ``jobs``.
 
@@ -185,11 +234,12 @@ class ExperimentContext:
         rebuilding them per point.  Either way results land in the
         cache, so later :meth:`run` calls return the same objects.
         """
+        b = self._backend(backend)
         results: Dict[Tuple[str, str], RunResult] = {}
         missing: List[Tuple[str, MachineConfig, str]] = []
         seen_fps = set()
         for name, config in pairs:
-            fp = self.fingerprint(name, config)
+            fp = self.fingerprint(name, config, b)
             cached = self.cache.get(fp)
             if cached is not None:
                 results[(name, config.name)] = cached
@@ -208,10 +258,10 @@ class ExperimentContext:
             for name, config, fp in missing:
                 kernel = spec(name).kernel()
                 started = time.perf_counter()
-                result = self.processor.run(
-                    kernel, self.workload(name), config
+                result = backend_dispatch(
+                    b, kernel, self.workload(name), config, self.params
                 )
-                self.point_seconds[(name, config.name)] = (
+                self.point_seconds[(self._label(b, name), config.name)] = (
                     time.perf_counter() - started
                 )
                 self.cache.put(fp, result)
@@ -225,17 +275,25 @@ class ExperimentContext:
                 busy_seconds=wall,
             )
             return results
-        points = [self._point(name, config) for name, config, _ in missing]
+        points = [
+            self._point(name, config, b) for name, config, _ in missing
+        ]
         timed = run_points(points, jobs=self.jobs, timed=True)
         for (name, config, fp), (result, seconds) in zip(missing, timed):
             self.cache.put(fp, result)
-            self.point_seconds[(name, config.name)] = seconds
+            self.point_seconds[(self._label(b, name), config.name)] = seconds
             results[(name, config.name)] = result
         return results
 
-    def supports(self, name: str, config: MachineConfig) -> bool:
-        """Whether the kernel fits the configuration's storage structures."""
-        return self.processor.supports(spec(name).kernel(), config)
+    def supports(
+        self,
+        name: str,
+        config: MachineConfig,
+        backend: Union[str, Backend, None] = None,
+    ) -> bool:
+        """Whether the kernel can run under ``config`` on the backend."""
+        b = self._backend(backend)
+        return b.supports(spec(name).kernel(), config, self.params)
 
 
 # ---- Table 1: benchmark suite -------------------------------------------------
@@ -381,6 +439,84 @@ def figure2(records: int = 256) -> Figure2:
         winner = min(models, key=models.get)
         rows.append((name, models, winner))
     return Figure2(machine, rows)
+
+
+@dataclass
+class Figure2Measured:
+    """Figure 2's trio measured on the registered simulator backends.
+
+    One row per kernel: the vector and SIMD comparators (resolved from
+    the :mod:`repro.backends` registry) against the grid's fine-grain
+    MIMD morph.  ``mimd`` is None when the kernel does not fit the MIMD
+    configuration on the context's grid geometry.
+    """
+
+    #: (kernel, vector run, simd run, mimd run or None, mimd config name)
+    rows: List[Tuple[str, RunResult, RunResult, Optional[RunResult], str]]
+
+    def winner(self, row: Tuple) -> str:
+        """The lowest cycles-per-record backend of one row."""
+        name, vec, simd, mimd, _ = row
+        candidates = {"vector": vec, "simd": simd}
+        if mimd is not None:
+            candidates["grid MIMD"] = mimd
+        return min(candidates, key=lambda k: candidates[k].cycles_per_record)
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            name, vec, simd, mimd, mimd_cfg = row
+            table_rows.append([
+                name,
+                fmt_float(vec.cycles_per_record),
+                fmt_float(simd.cycles_per_record),
+                fmt_float(mimd.cycles_per_record) if mimd else "-",
+                mimd_cfg if mimd else "-",
+                self.winner(row),
+            ])
+        return render_table(
+            ["Benchmark", "Vector cyc/rec", "SIMD cyc/rec",
+             "MIMD cyc/rec", "MIMD config", "Best measured"],
+            table_rows,
+            title=("Figure 2 (measured). Classic architectures on the "
+                   "simulated backends."),
+            align_left=(0, 4, 5),
+        )
+
+
+def figure2_measured(ctx: Optional[ExperimentContext] = None) -> Figure2Measured:
+    """Figure 2 with *measured* comparators via the backend registry.
+
+    The analytic :func:`figure2` stays the default reproduction; this
+    variant replays the same architecture matching on the simulated
+    vector and SIMD backends and the grid's MIMD morph, all resolved by
+    registry name, so every point caches and fans out like any other.
+    """
+    ctx = ctx or ExperimentContext()
+    baseline = MachineConfig.baseline()
+    specs = all_specs(performance_only=True)
+    # Comparator timing ignores the grid config; baseline keys the cache.
+    ctx.run_many([(s.name, baseline) for s in specs], backend="vector")
+    ctx.run_many([(s.name, baseline) for s in specs], backend="simd")
+    mimd_cfgs: Dict[str, Optional[MachineConfig]] = {}
+    for s in specs:
+        config = (MachineConfig.M_D() if s.kernel().tables
+                  else MachineConfig.M())
+        mimd_cfgs[s.name] = config if ctx.supports(s.name, config) else None
+    ctx.run_many([
+        (name, config) for name, config in mimd_cfgs.items()
+        if config is not None
+    ])
+    rows = []
+    for s in specs:
+        vec = ctx.run(s.name, baseline, backend="vector")
+        simd = ctx.run(s.name, baseline, backend="simd")
+        config = mimd_cfgs[s.name]
+        mimd = ctx.run(s.name, config) if config is not None else None
+        rows.append((
+            s.name, vec, simd, mimd, config.name if config else "-",
+        ))
+    return Figure2Measured(rows)
 
 
 # ---- Table 3: mechanisms ---------------------------------------------------------------

@@ -2,7 +2,9 @@
 
 Regenerates the paper's tables and figures on the simulator.  With no
 arguments, runs everything; otherwise accepts any of: table1 table2
-table3 table4 table5 table6 figure1 figure2 figure5.
+table3 table4 table5 table6 figure1 figure2 figure2_measured figure5.
+``--backend`` selects the machine model (any :mod:`repro.backends`
+registry name) the simulated experiments run on.
 """
 
 from __future__ import annotations
@@ -11,10 +13,19 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from ..backends import backend_names, get as get_backend
 from ..machine.params import MachineParams
 from ..perf import parallel
 from . import experiments
 from .profiling import add_profile_arguments, profiled
+
+#: Experiments needing a simulated sweep (figure2_measured is opt-in:
+#: it is registered but kept out of the no-argument default set so bare
+#: invocations keep their historical output).
+_DEFAULT_NAMES = (
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "figure1", "figure2", "figure3_4", "figure5",
+)
 
 
 def _registry(ctx: experiments.ExperimentContext) -> Dict[str, Callable[[], object]]:
@@ -27,6 +38,7 @@ def _registry(ctx: experiments.ExperimentContext) -> Dict[str, Callable[[], obje
         "table6": lambda: experiments.table6(ctx),
         "figure1": experiments.figure1,
         "figure2": experiments.figure2,
+        "figure2_measured": lambda: experiments.figure2_measured(ctx),
         "figure3_4": lambda: experiments.figure3_4(ctx.params),
         "figure5": lambda: experiments.figure5(ctx),
     }
@@ -50,9 +62,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="records per kernel run (default 512; large kernels use 1/4)",
     )
     parser.add_argument(
-        "--rows", type=int, default=8, help="grid rows (default 8)")
+        "--backend", default="grid", choices=backend_names(),
+        help="machine model the simulated experiments run on "
+             "(default grid)",
+    )
     parser.add_argument(
-        "--cols", type=int, default=8, help="grid columns (default 8)")
+        "--rows", type=int, default=None, metavar="N",
+        help="grid rows (default 8; grid-geometry backends only)")
+    parser.add_argument(
+        "--cols", type=int, default=None, metavar="N",
+        help="grid columns (default 8; grid-geometry backends only)")
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the simulation sweep (default 1: "
@@ -66,16 +85,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_profile_arguments(parser)
     args = parser.parse_args(argv)
 
-    params = MachineParams(rows=args.rows, cols=args.cols)
+    backend = get_backend(args.backend)
+    if not backend.uses_grid_params and (
+            args.rows is not None or args.cols is not None):
+        # Grid-only geometry on a fixed comparator: warn and ignore, so
+        # the flags can never silently alias two different sweeps.
+        print(
+            f"warning: --rows/--cols shape the grid substrate; the "
+            f"'{backend.name}' backend models a fixed machine and "
+            f"ignores them",
+            file=sys.stderr,
+        )
+    params = MachineParams(
+        rows=args.rows if args.rows is not None else 8,
+        cols=args.cols if args.cols is not None else 8,
+    )
     ctx = experiments.ExperimentContext(
         params=params,
         records=args.records,
         large_kernel_records=max(16, args.records // 4),
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        backend=backend,
     )
     registry = _registry(ctx)
-    names = args.experiments or list(registry)
+    names = args.experiments or list(_DEFAULT_NAMES)
     unknown = [n for n in names if n not in registry]
     if unknown:
         parser.error(

@@ -97,6 +97,9 @@ class GridProcessor:
             result = self._run_blocks(kernel, records, config)
             if functional:
                 result.outputs = evaluate_stream(kernel, records)
+        # Backend identity tag (repro.backends): every simulator stamps
+        # its results so cached documents are self-describing.
+        result.detail["backend"] = "grid"
         return result
 
     def execute(self, kernel: Kernel, records: Sequence[Record]) -> List[List[Number]]:

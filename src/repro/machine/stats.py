@@ -41,6 +41,8 @@ class RunResult:
     useful_ops: int
     window: Optional[WindowTiming] = None
     setup_cycles: int = 0
+    #: per-simulator diagnostics; every backend stamps ``"backend"``
+    #: (its registry name) so cached documents are self-describing
     detail: Dict[str, float] = field(default_factory=dict)
     #: functional outputs (one record each) when simulated functionally
     outputs: Optional[list] = None

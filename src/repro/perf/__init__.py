@@ -23,7 +23,9 @@ three through Figure 5, Table 4, Table 6 and the sweep benchmarks.
 
 from .cache import CacheStats, RunCache, run_result_from_dict, run_result_to_dict
 from .fingerprint import (
+    DEFAULT_BACKEND_PART,
     combine_fingerprints,
+    fingerprint_backend,
     fingerprint_config,
     fingerprint_kernel,
     fingerprint_params,
@@ -35,11 +37,13 @@ from .phases import PHASES, PhaseAccumulator, measuring
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_BACKEND_PART",
     "PHASES",
     "PhaseAccumulator",
     "RunCache",
     "SweepPoint",
     "combine_fingerprints",
+    "fingerprint_backend",
     "effective_workers",
     "fingerprint_config",
     "fingerprint_kernel",

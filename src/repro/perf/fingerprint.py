@@ -37,7 +37,16 @@ from ..machine.params import MachineParams
 
 #: Bump when engine timing semantics change (invalidates disk caches).
 #: v2: RunResult.detail gained the memory-system metrics snapshot.
-SCHEMA_VERSION = 2
+#: v3: the simulation backend identity is folded into every address
+#: (``repro.backends``), and results carry a ``detail["backend"]`` tag.
+SCHEMA_VERSION = 3
+
+#: Backend part of a fingerprint when no backend is named: the grid
+#: processor, whose parameters are already covered by
+#: :func:`fingerprint_params`.  Must equal
+#: ``repro.backends.GridBackend.fingerprint_part()`` so addresses
+#: computed with and without the backend layer agree.
+DEFAULT_BACKEND_PART = "grid"
 
 
 def _digest(obj) -> str:
@@ -110,21 +119,50 @@ def fingerprint_records(records: Sequence[Sequence]) -> str:
     return _digest(doc)
 
 
+def fingerprint_backend(name: str, params=None) -> str:
+    """Content hash of a backend identity and its model parameters.
+
+    ``params`` is the backend's own parameter dataclass (e.g.
+    ``SimdParams``); enum-keyed dict fields (op-class cycle tables) are
+    encoded by enum *name*, mirroring :func:`fingerprint_params`.  Pass
+    ``params=None`` for backends whose timing is fully determined by the
+    shared :class:`~repro.machine.params.MachineParams`.
+    """
+    doc = {"backend": name}
+    if params is not None:
+        encoded = {}
+        for f in fields(params):
+            value = getattr(params, f.name)
+            if isinstance(value, dict):
+                value = {
+                    getattr(key, "name", str(key)): v
+                    for key, v in value.items()
+                }
+            encoded[f.name] = value
+        doc["params"] = encoded
+    return f"{name}:{_digest(doc)}"
+
+
 def combine_fingerprints(
     kernel_fp: str,
     config_fp: str,
     params_fp: str,
     records_fp: str,
     seed: int = 0,
+    backend: str = DEFAULT_BACKEND_PART,
 ) -> str:
     """Combine precomputed part fingerprints into a run's content address.
 
     Callers that sweep one kernel/workload over many configurations can
     hash the invariant parts once and combine per point — the digest is
-    identical to :func:`run_fingerprint` on the full inputs.
+    identical to :func:`run_fingerprint` on the full inputs.  ``backend``
+    is the simulating backend's :meth:`~repro.backends.Backend.fingerprint_part`
+    (default: the grid processor), so results from different machine
+    models can never alias in the cache.
     """
     doc = {
         "schema": SCHEMA_VERSION,
+        "backend": backend,
         "kernel": kernel_fp,
         "config": config_fp,
         "params": params_fp,
@@ -140,6 +178,7 @@ def run_fingerprint(
     params: MachineParams,
     records: Sequence[Sequence],
     seed: int = 0,
+    backend: str = DEFAULT_BACKEND_PART,
 ) -> str:
     """The content address of one deterministic simulation point."""
     return combine_fingerprints(
@@ -148,4 +187,5 @@ def run_fingerprint(
         fingerprint_params(params),
         fingerprint_records(records),
         seed,
+        backend=backend,
     )

@@ -55,7 +55,9 @@ class SweepPoint:
     (what the sweep benchmarks pass); the experiment harness always
     pins an explicit seed.  ``cache_dir`` (a path string, kept
     picklable) lets workers consult and populate the shared on-disk
-    run cache.
+    run cache.  ``backend`` is a :mod:`repro.backends` registry name —
+    workers resolve it locally, so points fan out for every simulator,
+    not just the grid.
     """
 
     kernel: str                 # registry name (rebuilt in the worker)
@@ -64,6 +66,7 @@ class SweepPoint:
     records: int                # workload record count
     workload_seed: Optional[int] = None
     cache_dir: Optional[str] = None
+    backend: str = "grid"       # backend registry name
 
 
 def simulate_point(point: SweepPoint) -> RunResult:
@@ -73,8 +76,10 @@ def simulate_point(point: SweepPoint) -> RunResult:
     first and populated after a miss, so concurrent workers (and later
     runs) share results through the filesystem.
     """
+    # Lazy imports: repro.backends imports this package back (for the
+    # fingerprint helpers), so resolving at call time avoids the cycle.
+    from ..backends import dispatch, get
     from ..kernels.registry import spec
-    from ..machine.processor import GridProcessor
 
     s = spec(point.kernel)
     if point.workload_seed is None:
@@ -82,6 +87,7 @@ def simulate_point(point: SweepPoint) -> RunResult:
     else:
         records = s.workload(point.records, point.workload_seed)
     kernel = s.kernel()
+    backend = get(point.backend)
     cache = None
     fp = None
     if point.cache_dir is not None:
@@ -89,12 +95,14 @@ def simulate_point(point: SweepPoint) -> RunResult:
         from .fingerprint import run_fingerprint
 
         cache = RunCache(point.cache_dir)
-        fp = run_fingerprint(kernel, point.config, point.params, records)
+        fp = run_fingerprint(
+            kernel, point.config, point.params, records,
+            backend=backend.fingerprint_part(),
+        )
         cached = cache.get(fp)
         if cached is not None:
             return cached
-    processor = GridProcessor(point.params)
-    result = processor.run(kernel, records, point.config)
+    result = dispatch(backend, kernel, records, point.config, point.params)
     if cache is not None:
         cache.put(fp, result)
     return result

@@ -94,6 +94,7 @@ class SimdArray:
             records=n,
             cycles=int(cycles),
             useful_ops=useful,
-            detail={"wave_cycles": float(self.wave_cycles(kernel)),
+            detail={"backend": "simd",
+                    "wave_cycles": float(self.wave_cycles(kernel)),
                     "waves": float(waves)},
         )

@@ -175,6 +175,7 @@ class SuperscalarCore:
             cycles=cycles,
             useful_ops=useful,
             detail={
+                "backend": "superscalar",
                 "per_record": per_record,
                 "issue_bound": issue_bound,
                 "l1_bound": l1_bound,

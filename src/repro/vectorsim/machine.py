@@ -130,6 +130,7 @@ class VectorMachine:
             cycles=int(cycles),
             useful_ops=useful,
             detail={
+                "backend": "vector",
                 "strip_cycles": float(per_strip),
                 "strips": float(strips),
             },

@@ -1,0 +1,1 @@
+"""Backend contract suite: every registered machine model, one contract."""

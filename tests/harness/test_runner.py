@@ -48,3 +48,47 @@ class TestRunSummary:
         captured = capsys.readouterr()
         assert "run summary" not in captured.out
         assert "run summary" in captured.err
+
+class TestBackendFlag:
+    def test_backend_selects_the_model(self, capsys):
+        assert runner.main(
+            ["table4", "--backend", "vector", "--records", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+
+    def test_backend_output_differs_from_grid(self, capsys):
+        runner.main(["table4", "--records", "16"])
+        grid_out = capsys.readouterr().out
+        runner.main(["table4", "--backend", "simd", "--records", "16"])
+        simd_out = capsys.readouterr().out
+        assert grid_out != simd_out
+
+    def test_unknown_backend_rejected(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            runner.main(["table1", "--backend", "no-such-model"])
+
+    def test_grid_flags_warn_on_fixed_backends(self, capsys):
+        """--rows/--cols shape the grid substrate; a fixed comparator
+        warns and ignores them instead of silently aliasing sweeps."""
+        runner.main(
+            ["table1", "--backend", "simd", "--rows", "4", "--records", "16"]
+        )
+        err = capsys.readouterr().err
+        assert "--rows/--cols" in err and "'simd'" in err
+
+    def test_grid_flags_stay_silent_on_grid_backends(self, capsys):
+        runner.main(["table1", "--rows", "4", "--cols", "4",
+                     "--records", "16"])
+        err = capsys.readouterr().err
+        assert "--rows/--cols" not in err
+
+    def test_figure2_measured_is_registered_but_not_default(self, capsys):
+        assert runner.main(["figure2_measured", "--records", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 (measured)" in out
+        assert "figure2_measured" not in runner._DEFAULT_NAMES
+        ctx = small_context()
+        assert "figure2_measured" in runner._registry(ctx)

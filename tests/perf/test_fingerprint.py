@@ -109,3 +109,49 @@ class TestSensitivity:
                    MachineConfig.M(), MachineConfig.M_D()]
         hashes = {fingerprint_config(c) for c in configs}
         assert len(hashes) == len(configs)
+
+class TestBackendSensitivity:
+    def test_default_backend_is_the_grid_part(self):
+        """Legacy call sites (no backend argument) produce grid
+        addresses — existing disk caches stay replayable by the grid."""
+        from repro.perf import DEFAULT_BACKEND_PART
+
+        assert DEFAULT_BACKEND_PART == "grid"
+        assert point_fingerprint() == point_fingerprint()
+
+    def test_backend_part_changes_fingerprint(self):
+        s = spec("fft")
+        base = run_fingerprint(
+            s.kernel(), MachineConfig.S(), MachineParams(), s.workload(8, 7)
+        )
+        for part in ("simd:abc", "vector:abc", "stream"):
+            assert run_fingerprint(
+                s.kernel(), MachineConfig.S(), MachineParams(),
+                s.workload(8, 7), backend=part,
+            ) != base
+
+    def test_backend_parameters_change_the_part(self):
+        from repro.perf import fingerprint_backend
+        from repro.simdsim import SimdParams
+
+        assert fingerprint_backend("simd", SimdParams()) != \
+            fingerprint_backend("simd", SimdParams(pes=128))
+        assert fingerprint_backend("simd", SimdParams()) == \
+            fingerprint_backend("simd", SimdParams())
+
+    def test_combine_matches_run_fingerprint_with_backend(self):
+        from repro.perf import combine_fingerprints
+
+        s = spec("fft")
+        kernel, records = s.kernel(), s.workload(8, 7)
+        config, params = MachineConfig.S(), MachineParams()
+        combined = combine_fingerprints(
+            fingerprint_kernel(kernel),
+            fingerprint_config(config),
+            fingerprint_params(params),
+            fingerprint_records(records),
+            backend="vector:abc",
+        )
+        assert combined == run_fingerprint(
+            kernel, config, params, records, backend="vector:abc"
+        )
