@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 
 from ..isa.kernel import Kernel
 from ..machine.config import MachineConfig
+from ..machine.fastcore import active_core, using_core
 from ..machine.params import MachineParams
 from ..machine.stats import RunResult
 from ..obs.metrics import METRICS
@@ -101,6 +102,7 @@ def dispatch(
     config: MachineConfig,
     params: Optional[MachineParams] = None,
     functional: bool = False,
+    engine_core: Optional[str] = None,
 ) -> RunResult:
     """Run one point on a backend, tagging observers with the backend.
 
@@ -109,12 +111,28 @@ def dispatch(
     registry (``backend.runs.<name>``) and on the trace timeline (one
     instant per dispatched point on the ``backend`` track) no matter
     which layer triggered it.
+
+    ``engine_core`` pins the engine-core selection
+    (:mod:`repro.machine.fastcore`) for this one dispatch; ``None``
+    keeps the process-wide selection.  Either way the run is counted
+    under ``backend.engine_core.<core>`` — the cores are pinned
+    bit-exact, so the tag changes no result, only attribution.
     """
-    result = backend.run(
-        kernel, records, config, params, functional=functional
-    )
+    if engine_core is None:
+        result = backend.run(
+            kernel, records, config, params, functional=functional
+        )
+    else:
+        with using_core(engine_core):
+            result = backend.run(
+                kernel, records, config, params, functional=functional
+            )
     if METRICS.enabled:
         METRICS.inc(f"backend.runs.{backend.name}")
+        METRICS.inc(
+            "backend.engine_core."
+            f"{engine_core if engine_core is not None else active_core()}"
+        )
         METRICS.observe(f"backend.cycles.{backend.name}", result.cycles)
     if TRACE.enabled:
         TRACE.instant(

@@ -33,6 +33,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from ..machine.fastcore import VALID_MODES, active_core, set_engine_core
 from ..perf import parallel
 from ..perf.cache import RunCache
 from ..perf.phases import measuring
@@ -80,6 +81,9 @@ def bench_experiments(
     phase definitions).
     """
     timer = PhaseTimer()
+    # Dispatch accounting is per-process state; reset it so the report
+    # can only ever describe this benchmark's own sweeps.
+    parallel.LAST_DISPATCH = None
 
     serial_ctx = experiments.ExperimentContext(
         records=records,
@@ -92,9 +96,12 @@ def bench_experiments(
         timer.measure("cold_serial", lambda: _run_all(serial_ctx))
     phase_breakdown = phase_acc.snapshot()
     cold_stats = serial_ctx.cache.stats.as_dict()
+    dispatch_stats = (
+        parallel.LAST_DISPATCH.as_dict()
+        if parallel.LAST_DISPATCH is not None else None
+    )
     timer.measure("warm_memory", lambda: _run_all(serial_ctx))
 
-    dispatch_stats = None
     if jobs > 1:
         parallel_ctx = experiments.ExperimentContext(
             records=records,
@@ -126,7 +133,7 @@ def bench_experiments(
     }
     cold = timer.seconds["cold_serial"]
     warm = timer.seconds["warm_memory"]
-    return {
+    report = {
         "schema": BENCH_SCHEMA,
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
@@ -135,6 +142,7 @@ def bench_experiments(
         "jobs": jobs,
         "cache_dir": cache_dir,
         "backend": backend,
+        "engine_core": active_core(),
         "phases_seconds": timer.seconds,
         # Where cold_serial's wall time went inside the pipeline: window
         # mapping (placement + expansion or cache rebase), block-style
@@ -146,12 +154,14 @@ def bench_experiments(
         "simulated_points": len(point_seconds),
         "cache_after_cold": cold_stats,
         "cache_after_warm": serial_ctx.cache.stats.as_dict(),
-        # How cold_parallel dispatched: pool/pool-fallback from
-        # run_points, or "in-context" when one worker was effective
-        # (1-CPU hosts).  None when jobs <= 1 skipped the phase.
-        "dispatch_stats": dispatch_stats,
         "point_seconds": point_seconds,
     }
+    if dispatch_stats is not None:
+        # How the most recent sweep dispatched: pool/pool-fallback from
+        # run_points, or "in-context" when one worker was effective.
+        # Omitted entirely when no sweep routed through run_points.
+        report["dispatch_stats"] = dispatch_stats
+    return report
 
 
 def render_report(report: dict) -> str:
@@ -224,12 +234,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also time a disk-cache replay through DIR",
     )
     parser.add_argument(
+        "--engine-core", default=None, choices=VALID_MODES,
+        help="engine-core selection (repro.machine.fastcore): 'array' "
+             "for the numpy fast paths, 'object' for the reference "
+             "engines (default: REPRO_ENGINE_CORE or 'array')",
+    )
+    parser.add_argument(
         "--output", default="BENCH_perf.json", metavar="FILE",
         help="report path (default BENCH_perf.json; '-' for stdout only)",
     )
     add_profile_arguments(parser)
     args = parser.parse_args(argv)
 
+    if args.engine_core is not None:
+        set_engine_core(args.engine_core)
     if args.profile:
         with profiled(label="repro-bench", top=args.profile_top):
             report = bench_experiments(

@@ -14,6 +14,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from ..backends import backend_names, get as get_backend
+from ..machine.fastcore import VALID_MODES, active_core, set_engine_core
 from ..machine.params import MachineParams
 from ..perf import parallel
 from . import experiments
@@ -82,9 +83,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="on-disk run cache directory (e.g. .repro_cache); repeated "
              "invocations replay cached simulation points",
     )
+    parser.add_argument(
+        "--engine-core", default=None, choices=VALID_MODES,
+        help="engine-core selection (repro.machine.fastcore): 'array' "
+             "for the numpy fast paths, 'object' for the reference "
+             "engines (default: REPRO_ENGINE_CORE or 'array'); stdout "
+             "is byte-identical either way",
+    )
     add_profile_arguments(parser)
     args = parser.parse_args(argv)
 
+    if args.engine_core is not None:
+        set_engine_core(args.engine_core)
     backend = get_backend(args.backend)
     if not backend.uses_grid_params and (
             args.rows is not None or args.cols is not None):
@@ -134,6 +144,7 @@ def run_summary(ctx: experiments.ExperimentContext) -> str:
     stats = ctx.cache.stats
     lines = [
         "run summary",
+        f"  engine core      : {active_core()}",
         f"  simulated points : {len(ctx.point_seconds)}"
         f" ({sum(ctx.point_seconds.values()):.3f}s simulating)",
         f"  run cache        : {stats.hits} hits / {stats.misses} misses"

@@ -27,8 +27,14 @@ from ..memory.ports import PortQueue
 from ..memory.system import MemorySystem
 from ..obs.metrics import METRICS
 from ..obs.trace import EXEC, TRACE
+from .fastcore import active_core
 from .mapping import COMPUTE, LDI, LMW, LOAD, LUT, STORE, MappedWindow
 from .stats import WindowTiming
+
+try:
+    from .fastcore import dataflow_core as _dataflow_core
+except ImportError:  # numpy unavailable: the object core stands alone
+    _dataflow_core = None
 
 
 @dataclass
@@ -114,6 +120,10 @@ class DataflowEngine:
         and LMW chunks reserve their SMC port and channel slots through
         the batched memory APIs (``lmw_deliver_fast``).
         """
+        if _dataflow_core is not None and active_core() == "array":
+            # Structure-of-arrays core (repro.machine.fastcore): same
+            # cycle loop over per-uid arrays precomputed once per window.
+            return _dataflow_core.run_array(self)
         window = self.window
         params = self.params
         memory = self.memory

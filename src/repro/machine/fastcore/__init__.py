@@ -1,0 +1,103 @@
+"""Batch-stepped array cores for the simulator's hot loops.
+
+The object engines (:mod:`repro.machine.dataflow_engine`,
+:mod:`repro.machine.mimd_engine`) and the mapping pipeline
+(:mod:`repro.machine.placement`, :mod:`repro.machine.mapping`) walk
+per-instance Python objects; this package re-implements their inner
+loops as structure-of-arrays kernels over numpy:
+
+* :mod:`.dataflow_core` — the grid dataflow issue loop over flattened
+  per-uid arrays with precomputed consumer routes and vectorized
+  LUT/LDI address streams, cached on the mapped window;
+* :mod:`.mimd_core` — the MIMD per-record instruction loop compiled to
+  a max-plus (tropical) affine plan and evaluated per record as one
+  matrix step;
+* :mod:`.map_core` — template-cloned window expansion and array-scored
+  iteration placement.
+
+Selection runs through :func:`active_core`: the ``REPRO_ENGINE_CORE``
+environment variable (``array`` | ``object``), overridable per process
+with :func:`set_engine_core` or scoped with :func:`using_core`.  The
+default is ``array``; the object loops remain the bit-exact reference
+oracle (``tests/machine/test_fastcore_equivalence.py`` pins equality),
+and anything the array path does not cover — a missing numpy, or a MIMD
+record whose live set takes the L1 round-trip paths — falls back to
+them automatically.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+try:
+    import numpy  # noqa: F401  (probe only; cores import it themselves)
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the container ships numpy
+    HAVE_NUMPY = False
+
+#: Engine-core names :func:`set_engine_core` / :func:`using_core` accept.
+VALID_MODES = ("array", "object")
+
+#: Process-wide override; ``None`` defers to ``REPRO_ENGINE_CORE``.
+_MODE: Optional[str] = None
+
+
+def _validate(mode: Optional[str]) -> None:
+    if mode is not None and mode not in VALID_MODES:
+        raise ValueError(
+            f"unknown engine core {mode!r}; choose one of {VALID_MODES}"
+        )
+
+
+def active_core() -> str:
+    """The engine core timing runs select right now.
+
+    ``"object"`` only when explicitly requested (or numpy is missing);
+    any other setting — including none at all — means ``"array"``.
+    """
+    if not HAVE_NUMPY:
+        return "object"
+    mode = _MODE if _MODE is not None else os.environ.get("REPRO_ENGINE_CORE")
+    return "object" if mode == "object" else "array"
+
+
+def set_engine_core(mode: Optional[str]) -> None:
+    """Select the engine core for this process *and* its pool workers.
+
+    Mirrors the choice into ``REPRO_ENGINE_CORE`` so processes spawned
+    by :func:`repro.perf.parallel.run_points` inherit it — a parent and
+    its workers must agree on the core or their run fingerprints would
+    address different cache entries.  ``None`` clears the override.
+    """
+    global _MODE
+    _validate(mode)
+    _MODE = mode
+    if mode is None:
+        os.environ.pop("REPRO_ENGINE_CORE", None)
+    else:
+        os.environ["REPRO_ENGINE_CORE"] = mode
+
+
+@contextmanager
+def using_core(mode: Optional[str]) -> Iterator[None]:
+    """Scope an engine-core choice to a block (this process only)."""
+    global _MODE
+    _validate(mode)
+    previous = _MODE
+    _MODE = mode
+    try:
+        yield
+    finally:
+        _MODE = previous
+
+
+__all__ = [
+    "HAVE_NUMPY",
+    "VALID_MODES",
+    "active_core",
+    "set_engine_core",
+    "using_core",
+]

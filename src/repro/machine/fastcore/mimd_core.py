@@ -1,0 +1,200 @@
+"""Max-plus affine fast core for the MIMD per-record loop.
+
+For a fixed trip count, :meth:`MimdEngine._run_record`'s instruction
+loop is a chain of ``issue = max(pc, ready(operands)); pc = issue + 1``
+updates — a *max-plus (tropical) affine* function of the only inputs
+that vary per record: the node's start cycle, the program counter after
+the record-chunk loads, and the per-word load return times.  This
+module compiles that function once per (engine, trip count) into a
+plan matrix ``M`` over the basis
+
+    x = [start, pc_after_chunks, word_ready[0], ..., word_ready[R-1]]
+
+so that one vectorized ``(M + x).max(axis=1)`` yields the post-loop
+program counter and every store's issue cycle.  The chunk-load phase
+stays concrete (it reserves SMC ports / L1 banks statefully, and is the
+``mimd_memory`` phase), as do the store-buffer pushes.
+
+Coverage: plans exist only when the live instructions never take an L1
+round trip mid-loop — no live LDI, and live LUTs only under an L0 data
+store (``config.l0_data``).  Anything else returns ``None`` and the
+engine falls back to its object loop; the affine cases are exactly the
+ones where ``lut_l1_trips`` stays zero, so the stats reduce to plan
+constants.  Numerics: times are half-integer multiples well below
+2**52, so float64 evaluation is exact, and the ``NEG`` sentinel is a
+power of two that float64 represents exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...perf.phases import PHASES, perf_counter
+
+#: "Minus infinity" of the max-plus algebra.  Exact in float64, and far
+#: below any reachable cycle count even after per-instruction +1 steps.
+NEG = -(1 << 62)
+
+_UNBUILT = object()
+
+
+class AffinePlan:
+    """One compiled per-record timing function (fixed trip count)."""
+
+    __slots__ = (
+        "matrix", "n_meta", "skipped", "slots", "pc_extra", "width",
+    )
+
+    def __init__(self, matrix, n_meta, skipped, slots, pc_extra):
+        self.matrix = matrix          # rows: pc_after_meta, pc_final, pushes
+        self.n_meta = n_meta
+        self.skipped = skipped
+        self.slots = slots            # output slot per push row, in order
+        self.pc_extra = pc_extra      # loop-control addend (plan constant)
+        self.width = matrix.shape[1]
+
+
+def _as_count(value):
+    """Exact scalar out of the float64 evaluation (int when integral)."""
+    value = float(value)
+    integral = int(value)
+    return integral if integral == value else value
+
+
+def build_plan(engine, trips):
+    """Compile the record loop for one trip count; None = unsupported."""
+    meta, skipped, live_luts, outs = engine._live_meta(trips)
+    l0_data = engine.config.l0_data
+    for m in meta:
+        kind = m[1]
+        if kind == 2 or (kind == 1 and not l0_data):
+            return None  # live L1 round trips: not an affine function
+
+    kernel = engine.kernel
+    width = 2 + kernel.record_in
+    l0_latency = engine.params.l0_data_latency
+    maximum = np.maximum
+
+    # ready_at rows: never-executed producers read as ``start`` (basis
+    # index 0), matching the reference's ``ready_at.get(p, start)``.
+    ready = np.full((len(kernel.body), width), NEG, dtype=np.int64)
+    ready[:, 0] = 0
+    pc = np.full(width, NEG, dtype=np.int64)
+    pc[1] = 0  # pc starts at pc_after_chunks
+
+    for iid, kind, producers, word_deps, latency, _base, _len in meta:
+        # The object loop's literal 0 floor on operands_ready never
+        # binds: pc >= start >= 1 (setup is at least one cycle).
+        issue = pc
+        for p in producers:
+            issue = maximum(issue, ready[p])
+        if word_deps:
+            deps = np.full(width, NEG, dtype=np.int64)
+            for w in word_deps:
+                deps[2 + w] = 0
+            issue = maximum(issue, deps)
+        ready[iid] = issue + (latency if kind == 0 else l0_latency)
+        pc = issue + 1
+
+    rows = [pc]  # row 0: pc after the instruction loop
+    for slot, producer in outs:
+        issue = pc if producer < 0 else maximum(pc, ready[producer])
+        pc = issue + 1
+        rows.append(issue)  # store issue; +edge happens at evaluation
+    rows.insert(1, pc)  # row 1: pc after the stores
+
+    loop = kernel.loop
+    static = loop.static_trips or 1
+    if loop.variable:
+        pc_extra = trips
+    elif static > 1:
+        pc_extra = static
+    else:
+        pc_extra = 0
+    return AffinePlan(
+        matrix=np.stack(rows).astype(np.float64),
+        n_meta=len(meta),
+        skipped=skipped,
+        slots=[slot for slot, _producer in outs],
+        pc_extra=pc_extra,
+    )
+
+
+def run_record(engine, node, start, record, record_index):
+    """Array-core replacement for one ``_run_record`` call.
+
+    Returns ``(next_free_cycle, None)`` exactly like the object loop,
+    or ``None`` when this record's trip count has no affine plan (the
+    caller then falls back).  The chunk-load phase below is the same
+    stateful sequence of memory calls the object loop makes, credited
+    to the same ``mimd_memory`` phase.
+    """
+    kernel = engine.kernel
+    trips = kernel.trip_count(record)
+    plans = engine.__dict__.setdefault("_fastcore_plans", {})
+    plan = plans.get(trips, _UNBUILT)
+    if plan is _UNBUILT:
+        plan = build_plan(engine, trips)
+        plans[trips] = plan
+    if plan is None:
+        return None
+
+    params = engine.params
+    memory = engine.memory
+    row = node // params.cols
+    edge = params.route_to_row_edge(node)
+
+    x = np.zeros(plan.width, dtype=np.float64)
+    x[0] = start
+
+    phases = PHASES.enabled
+    mem_started = perf_counter() if phases else 0.0
+    pc_time = start
+    load_stalls = 0
+    smc_stream = engine.config.smc_stream
+    l1_access = memory.l1_access
+    lmw_deliver_fast = memory.lmw_deliver_fast
+    for words in engine._chunks:
+        request = pc_time + edge
+        if smc_stream:
+            deliveries = lmw_deliver_fast(
+                row, request, len(words), scattered=True
+            )
+        else:
+            base = (1 << 24) + record_index * kernel.record_in
+            deliveries = [l1_access(base + w, request) for w in words]
+        chunk_ready = pc_time + 1
+        for w, ready in zip(words, deliveries):
+            back = ready + edge
+            x[2 + w] = back
+            if back > chunk_ready:
+                chunk_ready = back
+        load_stalls += chunk_ready - (pc_time + 1)
+        pc_time = chunk_ready
+    if phases:
+        PHASES.add("mimd_memory", perf_counter() - mem_started)
+    x[1] = pc_time
+
+    vals = (plan.matrix + x).max(axis=1)
+    # Instruction-loop stalls telescope: sum(issue - pc) over the loop
+    # is the final pc minus the entry pc minus one step per instruction.
+    load_stalls += _as_count(vals[0] - pc_time - plan.n_meta)
+
+    out_base = (1 << 26) + record_index * kernel.record_out
+    if plan.slots:
+        pushes = [
+            (out_base + slot, _as_count(vals[2 + k] + edge))
+            for k, slot in enumerate(plan.slots)
+        ]
+        if phases:
+            mem_started = perf_counter()
+        memory.smc_store_many(row, pushes)
+        if phases:
+            PHASES.add("mimd_memory", perf_counter() - mem_started)
+
+    stats = engine.stats
+    stats.load_stall_cycles += load_stalls
+    stats.instructions_executed += plan.n_meta
+    stats.instructions_skipped += plan.skipped
+    # lut_l1_trips stays zero by the coverage rule above.
+    return _as_count(vals[1]) + plan.pc_extra, None

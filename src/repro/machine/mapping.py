@@ -29,8 +29,14 @@ from ..isa.instruction import Const, Immediate, InstResult, RecordInput
 from ..isa.kernel import Kernel
 from ..isa.opcodes import OpClass
 from .config import MachineConfig
+from .fastcore import active_core
 from .params import MachineParams
 from .placement import Placement, max_unroll, place_iterations
+
+try:
+    from .fastcore import map_core as _map_core
+except ImportError:  # numpy unavailable: the object expansion stands alone
+    _map_core = None
 
 # Instance kinds
 COMPUTE = "compute"
@@ -143,32 +149,19 @@ _RECORD_REGION = 1 << 24
 _OUTPUT_REGION = 1 << 26
 
 
-def map_window(
-    kernel: Kernel,
-    config: MachineConfig,
-    params: MachineParams,
-    iterations: Optional[int] = None,
-    record_offset: int = 0,
-) -> MappedWindow:
-    """Expand and place one window of ``iterations`` kernel iterations.
-
-    ``record_offset`` advances the regular-memory addresses so consecutive
-    windows stream through memory (used to measure warm steady-state
-    windows on the cached paths).
+def _expansion_plan(kernel: Kernel, config: MachineConfig, params: MachineParams):
+    """Per-kernel-instruction expansion plan, classified once instead of
+    per iteration: instance template fields plus the operand split
+    (producer iids, record-word indices, constant slots).  The operand
+    count an instance starts with follows directly — immediates are
+    encoded in the instruction and contribute nothing.  Shared by the
+    object expansion below and the template-cloning array expansion in
+    :mod:`repro.machine.fastcore.map_core`.
     """
-    if config.local_pc:
-        raise ValueError("MIMD configurations use repro.machine.mimd_engine")
-    U = iterations if iterations is not None else window_iterations(kernel, config, params)
-    placement = place_iterations(kernel, params, U)
-
-    instances: List[Instance] = []
-    const_reads: List[ConstRead] = []
     table_bases = {tid: _TABLE_REGION + 4096 * i
                    for i, tid in enumerate(sorted(kernel.tables))}
     space_bases = {sid: _SPACE_REGION + (1 << 18) * i
                    for i, sid in enumerate(sorted(kernel.spaces))}
-    record_base = _RECORD_REGION + record_offset * kernel.record_in
-    out_base = _OUTPUT_REGION + record_offset * kernel.record_out
 
     # Issue priority: height-from-sink (critical-path first).  Stores and
     # leaves get low priority; memory feeders get the highest.
@@ -180,13 +173,7 @@ def map_window(
             heights[kinst.iid] = 1 + max(heights[c] for c, _ in cons)
     top_priority = -(max(heights, default=1) + 1)
     lat = params.latencies
-    cols = params.cols
 
-    # Per-kernel-instruction expansion plan, classified once instead of
-    # per iteration: instance template fields plus the operand split
-    # (producer iids, record-word indices, constant slots).  The operand
-    # count an instance starts with follows directly — immediates are
-    # encoded in the instruction and contribute nothing.
     body_plan = []
     for kinst in kernel.body:
         if kinst.op.name == "LUT":
@@ -219,6 +206,42 @@ def map_window(
               min((c + 1) * params.lmw_words, kernel.record_in))
         for c in range(n_chunks)
     ]
+    return body_plan, top_priority, table_bases, space_bases, chunk_words
+
+
+def map_window(
+    kernel: Kernel,
+    config: MachineConfig,
+    params: MachineParams,
+    iterations: Optional[int] = None,
+    record_offset: int = 0,
+) -> MappedWindow:
+    """Expand and place one window of ``iterations`` kernel iterations.
+
+    ``record_offset`` advances the regular-memory addresses so consecutive
+    windows stream through memory (used to measure warm steady-state
+    windows on the cached paths).
+    """
+    if config.local_pc:
+        raise ValueError("MIMD configurations use repro.machine.mimd_engine")
+    U = iterations if iterations is not None else window_iterations(kernel, config, params)
+    placement = place_iterations(kernel, params, U)
+    if (_map_core is not None and active_core() == "array"
+            and len(placement.node_rows) == U):
+        # Template-cloned expansion (repro.machine.fastcore.map_core):
+        # same instances, built by cloning one per-distinct-placement
+        # template instead of re-deriving every iteration.
+        return _map_core.expand_window(
+            kernel, config, params, U, record_offset, placement
+        )
+
+    instances: List[Instance] = []
+    const_reads: List[ConstRead] = []
+    (body_plan, top_priority, table_bases, space_bases,
+     chunk_words) = _expansion_plan(kernel, config, params)
+    record_base = _RECORD_REGION + record_offset * kernel.record_in
+    out_base = _OUTPUT_REGION + record_offset * kernel.record_out
+    cols = params.cols
     node_of = placement.node_of
     append_instance = instances.append
 

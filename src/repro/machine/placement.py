@@ -17,12 +17,19 @@ heuristic in the spirit of the paper's software schedulers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..isa.kernel import Kernel
 from ..obs.metrics import METRICS
+from ..perf.phases import PHASES, perf_counter
+from .fastcore import active_core
 from .params import MachineParams
+
+try:
+    from .fastcore import map_core as _map_core
+except ImportError:  # numpy unavailable: the object placement stands alone
+    _map_core = None
 
 
 @dataclass
@@ -39,6 +46,11 @@ class Placement:
     node_of: Dict[Tuple[int, int], int]
     home_row: List[int]
     slots_used: Dict[int, int]
+    #: per-iteration node assignment in kernel-body order — the same
+    #: information as ``node_of``, laid out for the template-cloning
+    #: window expansion (replayed iterations share one list object).
+    #: Derived, so excluded from equality.
+    node_rows: List[List[int]] = field(default_factory=list, compare=False)
 
     def max_slot_usage(self) -> int:
         return max(self.slots_used.values(), default=0)
@@ -145,7 +157,27 @@ def place_iterations(
     signatures).  :func:`place_iterations_reference` is the un-memoized
     executable specification; the equivalence suite pins the two to
     identical placements.
+
+    Under the ``array`` engine core the greedy pass runs the
+    array-scored variant in :mod:`repro.machine.fastcore.map_core`
+    (pinned to this one by the fastcore equivalence suite).  Wall time
+    is credited to the ``placement`` phase either way, so the mapping
+    phase breakdown separates placement from window expansion.
     """
+    if not PHASES.enabled:
+        return _place_iterations_impl(kernel, params, iterations)
+    started = perf_counter()
+    try:
+        return _place_iterations_impl(kernel, params, iterations)
+    finally:
+        PHASES.add("placement", perf_counter() - started)
+
+
+def _place_iterations_impl(
+    kernel: Kernel, params: MachineParams, iterations: int
+) -> Placement:
+    if _map_core is not None and active_core() == "array":
+        return _map_core.place_iterations_array(kernel, params, iterations)
     width = region_width(kernel, params)
     nodes = params.nodes
     capacity = params.slots_per_node
@@ -159,6 +191,7 @@ def place_iterations(
     slots_used: Dict[int, int] = {n: 0 for n in range(nodes)}
     node_of: Dict[Tuple[int, int], int] = {}
     home_row: List[int] = []
+    node_rows: List[List[int]] = []
     body = kernel.body
     #: start node -> [(entry slot signature, region, assignment)]
     memo: Dict[int, List[Tuple[Tuple[int, ...], List[int], List[int]]]] = {}
@@ -175,6 +208,7 @@ def place_iterations(
             for inst, node in zip(body, replay):
                 node_of[(u, inst.iid)] = node
                 slots_used[node] += 1
+            node_rows.append(replay)
             continue
         entry_slots = dict(slots_used)
         try:
@@ -189,6 +223,7 @@ def place_iterations(
         memo.setdefault(start, []).append(
             (tuple(entry_slots[n] for n in region), region, assignment)
         )
+        node_rows.append(assignment)
     if METRICS.enabled:
         METRICS.inc("placement.windows_placed")
         METRICS.inc("placement.instances_placed", iterations)
@@ -199,6 +234,7 @@ def place_iterations(
         node_of=node_of,
         home_row=home_row,
         slots_used=slots_used,
+        node_rows=node_rows,
     )
 
 
@@ -220,12 +256,13 @@ def place_iterations_reference(
     slots_used: Dict[int, int] = {n: 0 for n in range(nodes)}
     node_of: Dict[Tuple[int, int], int] = {}
     home_row: List[int] = []
+    node_rows: List[List[int]] = []
 
     for u in range(iterations):
         start = (u * width) % nodes
         home_row.append((start // params.cols) % params.rows)
         try:
-            _place_one_iteration(
+            _, assignment = _place_one_iteration(
                 kernel, params, u, width, slots_used, node_of
             )
         except ValueError:
@@ -233,11 +270,13 @@ def place_iterations_reference(
                 f"placement overflow: {kernel.name} x "
                 f"{iterations} exceeds reservation capacity"
             ) from None
+        node_rows.append(assignment)
     return Placement(
         iterations=iterations,
         node_of=node_of,
         home_row=home_row,
         slots_used=slots_used,
+        node_rows=node_rows,
     )
 
 

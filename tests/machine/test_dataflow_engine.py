@@ -112,6 +112,10 @@ class TestDeterminismAndErrors:
         params = MachineParams()
         engine, _ = build_engine(wide(4), MachineConfig.S_O(), params, 1)
         # Corrupt an operand count to create an unsatisfiable instance.
+        # Out-of-band instance surgery invalidates the cached SoA
+        # (rebase is the only mutation the array core is transparent to).
         engine.window.instances[-1].operands += 1
+        if hasattr(engine.window, "_fastcore_soa"):
+            del engine.window._fastcore_soa
         with pytest.raises(DeadlockError):
             engine.run()

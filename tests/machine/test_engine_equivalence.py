@@ -89,6 +89,12 @@ class TestDataflowEquivalence:
         fast, reference = dataflow_pair(kernel, config, iterations)
         fast.window.instances[-1].operands += 1
         reference.window.instances[-1].operands += 1
+        # Out-of-band instance surgery invalidates the cached SoA;
+        # rebase_window is the only mutation the cache is transparent
+        # to (LOAD/STORE addresses are read from instances at issue).
+        for engine in (fast, reference):
+            if hasattr(engine.window, "_fastcore_soa"):
+                del engine.window._fastcore_soa
         with pytest.raises(DeadlockError):
             fast.run()
         with pytest.raises(DeadlockError):

@@ -1,0 +1,268 @@
+"""Array engine cores vs the object reference oracle.
+
+``repro.machine.fastcore`` re-implements the hot loops of the dataflow
+engine, the MIMD engine and the mapping pipeline as batch-stepped
+structure-of-arrays kernels.  The object implementations stay untouched
+as the executable specification; these tests pin the two cores to
+bit-exact equality — identical mapped windows, ``WindowTiming``,
+``EngineStats``, traces and ``RunResult`` documents — across the pinned
+fuzz corpus and every paper kernel, and exercise the automatic
+fallback paths (uncovered MIMD records, missing numpy).
+"""
+
+import numpy
+import pytest
+
+from repro.isa.random_kernels import RandomKernelConfig, random_kernel
+from repro.kernels import spec
+from repro.kernels.registry import all_specs
+from repro.machine import DataflowEngine, GridProcessor, MachineConfig, \
+    MachineParams, MimdEngine, map_window
+from repro.machine import fastcore
+from repro.machine.fastcore import active_core, using_core
+from repro.machine.placement import place_iterations, \
+    place_iterations_reference
+from repro.machine.window_cache import MappedWindowCache
+from repro.memory import MemorySystem
+
+CONFIGS = [MachineConfig.baseline(), MachineConfig.S(),
+           MachineConfig.S_O(), MachineConfig.S_O_D()]
+
+
+def corpus_case(seed):
+    """One deterministic fuzzer point — the pinned corpus of
+    ``test_engine_equivalence`` (kept in sync by construction)."""
+    cfg = RandomKernelConfig(
+        size=10 + seed % 30,
+        record_in=2 + seed % 5,
+        record_out=1 + seed % 3,
+        integer=seed % 2 == 0,
+        n_constants=seed % 4,
+        table_size=16 if seed % 3 == 0 else 0,
+        space_size=32 if seed % 5 == 0 else 0,
+        variable_loop_trips=4 if seed % 7 == 0 else 0,
+    )
+    kernel = random_kernel(seed, cfg)
+    config = CONFIGS[seed % 4]
+    iterations = min(8, 1 + seed % 8)
+    return kernel, config, iterations
+
+
+def dataflow_engine(kernel, config, iterations, seed=1, trace=False):
+    params = MachineParams()
+    memory = MemorySystem(params.rows, params.memory_timings())
+    memory.configure_smc(config.smc_stream)
+    window = map_window(kernel, config, params, iterations=iterations)
+    return DataflowEngine(window, memory, seed=seed, trace=trace)
+
+
+class TestCoreSelection:
+    def test_array_is_the_default(self):
+        assert active_core() == "array"
+
+    def test_using_core_scopes_the_choice(self):
+        with using_core("object"):
+            assert active_core() == "object"
+        assert active_core() == "array"
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine core"):
+            fastcore.set_engine_core("simd")
+        with pytest.raises(ValueError, match="unknown engine core"):
+            with using_core("turbo"):
+                pass  # pragma: no cover
+
+    def test_missing_numpy_falls_back_to_object(self, monkeypatch):
+        """Without numpy the array request degrades to the object core
+        and the pipeline still runs."""
+        monkeypatch.setattr(fastcore, "HAVE_NUMPY", False)
+        with using_core("array"):
+            assert active_core() == "object"
+            kernel, config, iterations = corpus_case(2)
+            timing = dataflow_engine(kernel, config, iterations).run()
+        assert timing.cycles > 0
+
+
+class TestMappedWindowEquivalence:
+    """map_window under the array core vs the object expansion."""
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_fuzz_corpus_identical_windows(self, seed):
+        kernel, config, iterations = corpus_case(seed)
+        params = MachineParams()
+        with using_core("array"):
+            array_win = map_window(kernel, config, params,
+                                   iterations=iterations)
+        with using_core("object"):
+            object_win = map_window(kernel, config, params,
+                                    iterations=iterations)
+        assert array_win.instances == object_win.instances
+        assert array_win.const_reads == object_win.const_reads
+        assert array_win.placement == object_win.placement
+        assert array_win == object_win
+
+    @pytest.mark.parametrize("name", [s.name for s in all_specs()])
+    def test_paper_kernels_identical_windows(self, name):
+        kernel = spec(name).kernel()
+        params = MachineParams()
+        for config in CONFIGS:
+            with using_core("array"):
+                array_win = map_window(kernel, config, params,
+                                       record_offset=3)
+            with using_core("object"):
+                object_win = map_window(kernel, config, params,
+                                        record_offset=3)
+            assert array_win == object_win
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_fuzz_corpus_identical_placement(self, seed):
+        kernel, _config, iterations = corpus_case(seed)
+        params = MachineParams()
+        with using_core("array"):
+            array_placement = place_iterations(kernel, params, iterations)
+        with using_core("object"):
+            object_placement = place_iterations(kernel, params, iterations)
+        reference = place_iterations_reference(kernel, params, iterations)
+        assert array_placement == object_placement
+        assert array_placement == reference
+
+    @pytest.mark.parametrize("core", ["array", "object"])
+    def test_node_rows_consistent_with_node_of(self, core):
+        """Both cores derive ``node_rows`` (the expansion's view of the
+        placement) consistent with the authoritative ``node_of``."""
+        kernel, _config, iterations = corpus_case(5)
+        params = MachineParams()
+        with using_core(core):
+            placement = place_iterations(kernel, params, iterations)
+        assert len(placement.node_rows) == iterations
+        iids = [inst.iid for inst in kernel.body]
+        for u, row in enumerate(placement.node_rows):
+            assert row == [placement.node_of[(u, iid)] for iid in iids]
+
+
+class TestDataflowCoreEquivalence:
+    """DataflowEngine.run: SoA core vs the object issue loop."""
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_fuzz_corpus_identical_timing_and_stats(self, seed):
+        kernel, config, iterations = corpus_case(seed)
+        with using_core("array"):
+            fast = dataflow_engine(kernel, config, iterations)
+            t_fast = fast.run()
+        with using_core("object"):
+            reference = dataflow_engine(kernel, config, iterations)
+            t_ref = reference.run()
+        assert t_fast == t_ref
+        assert fast.stats == reference.stats
+
+    @pytest.mark.parametrize("seed", [0, 3, 5, 9, 12])
+    def test_template_soa_matches_build_soa(self, seed):
+        """The SoA the template expansion attaches at map time must be
+        field-for-field what ``build_soa`` derives from the finished
+        window's instances."""
+        from repro.machine.fastcore.dataflow_core import WindowSoA, \
+            build_soa
+
+        kernel, config, iterations = corpus_case(seed)
+        params = MachineParams()
+        with using_core("array"):
+            window = map_window(kernel, config, params,
+                                iterations=iterations)
+        fused = window._fastcore_soa
+        del window._fastcore_soa
+        window.issue_order = None
+        rebuilt = build_soa(window)
+        for name in WindowSoA.__slots__:
+            a, b = getattr(fused, name), getattr(rebuilt, name)
+            if name in ("lut_info", "ldi_info") and a is not None:
+                # (uids, bases, sizes, iters, kiids): numpy columns.
+                assert b is not None, name
+                assert len(a) == len(b), name
+                for col_a, col_b in zip(a, b):
+                    assert numpy.array_equal(col_a, col_b), name
+            else:
+                assert a == b, name
+
+    def test_traces_identical(self):
+        kernel, config, iterations = corpus_case(9)
+        with using_core("array"):
+            fast = dataflow_engine(kernel, config, iterations, trace=True)
+            fast.run()
+        with using_core("object"):
+            reference = dataflow_engine(kernel, config, iterations,
+                                        trace=True)
+            reference.run()
+        assert fast.trace == reference.trace
+
+
+def mimd_pair(name, config, records):
+    """Run one MIMD point under each core; returns (fast engine,
+    fast result, reference engine, reference result)."""
+    params = MachineParams()
+
+    def engine():
+        memory = MemorySystem(params.rows, params.memory_timings())
+        memory.configure_smc(True)
+        return MimdEngine(spec(name).kernel(), config, params, memory)
+
+    with using_core("array"):
+        fast = engine()
+        r_fast = fast.run(records)
+    with using_core("object"):
+        reference = engine()
+        r_ref = reference.run(records)
+    return fast, r_fast, reference, r_ref
+
+
+class TestMimdCoreEquivalence:
+    """MimdEngine records: max-plus affine core vs the object loop."""
+
+    @pytest.mark.parametrize("name,cfg", [
+        (s.name, config.name)
+        for s in all_specs()
+        for config in (MachineConfig.M(), MachineConfig.M_D())
+        if GridProcessor().supports(s.kernel(), config)
+    ])
+    def test_all_capable_points_identical(self, name, cfg):
+        config = MachineConfig.M() if cfg == "M" else MachineConfig.M_D()
+        records = spec(name).workload(16, 9)
+        fast, r_fast, reference, r_ref = mimd_pair(name, config, records)
+        assert r_fast == r_ref
+        assert fast.stats == reference.stats
+
+    @pytest.mark.parametrize("name,cfg", [
+        ("rijndael", "M"),            # LUTs without an L0 data store
+        ("anisotropic-filter", "M-D"),  # LDI: live L1 round trips
+    ])
+    def test_uncovered_records_fall_back_to_object_loop(self, name, cfg):
+        """Records whose live set takes the L1 round-trip paths are not
+        affine; the array core must decline them (plan ``None``) and the
+        object loop must produce the result — still bit-identical."""
+        config = MachineConfig.M() if cfg == "M" else MachineConfig.M_D()
+        records = spec(name).workload(8, 3)
+        fast, r_fast, _reference, r_ref = mimd_pair(name, config, records)
+        plans = fast.__dict__.get("_fastcore_plans", {})
+        assert plans, "array core never consulted"
+        assert set(plans.values()) == {None}
+        assert r_fast == r_ref
+
+
+class TestProcessorEquivalence:
+    """Full GridProcessor runs: RunResult documents must be identical."""
+
+    @pytest.mark.parametrize("name,config", [
+        ("fft", MachineConfig.S_O()),
+        ("convert", MachineConfig.baseline()),
+        ("md5", MachineConfig.S_O_D()),
+        ("blowfish", MachineConfig.M_D()),
+    ])
+    def test_run_results_identical_across_cores(self, name, config):
+        s = spec(name)
+        kernel, records = s.kernel(), s.workload(12, 7)
+        results = {}
+        for core in ("array", "object"):
+            with using_core(core):
+                processor = GridProcessor(window_cache=MappedWindowCache())
+                results[core] = processor.run(kernel, records, config)
+        assert results["array"] == results["object"]
+        assert results["array"].detail == results["object"].detail
