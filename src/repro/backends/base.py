@@ -35,6 +35,7 @@ from ..machine.params import MachineParams
 from ..machine.stats import RunResult
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACE
+from ..perf.nogc import gc_deferred
 
 #: Trace-track name backend dispatches are recorded under.
 BACKEND_TRACK = "backend"
@@ -117,16 +118,22 @@ def dispatch(
     keeps the process-wide selection.  Either way the run is counted
     under ``backend.engine_core.<core>`` — the cores are pinned
     bit-exact, so the tag changes no result, only attribution.
+
+    The cyclic collector is paused for the duration of the point
+    (:func:`repro.perf.nogc.gc_deferred`): mid-run collections would
+    otherwise stall the allocation-heavy phases for time proportional
+    to the process's resident caches, not to the point's own work.
     """
-    if engine_core is None:
-        result = backend.run(
-            kernel, records, config, params, functional=functional
-        )
-    else:
-        with using_core(engine_core):
+    with gc_deferred():
+        if engine_core is None:
             result = backend.run(
                 kernel, records, config, params, functional=functional
             )
+        else:
+            with using_core(engine_core):
+                result = backend.run(
+                    kernel, records, config, params, functional=functional
+                )
     if METRICS.enabled:
         METRICS.inc(f"backend.runs.{backend.name}")
         METRICS.inc(

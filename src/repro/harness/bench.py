@@ -13,9 +13,15 @@ report:
 * **disk_replay** — a fresh context replaying every point from the
   on-disk cache tier (skipped without ``--cache-dir``).
 
-The report also carries the cache hit/miss accounting and the wall
-seconds of every individual simulation point, so regressions can be
-attributed to a specific (kernel, configuration) pair.  For a true cold
+``--repeats N`` re-measures the cold serial phase N times on fresh
+contexts (window cache and SoA counters reset, private disk-cache
+subdirectories) and reports per-phase medians — use it on noisy hosts
+where a single cold run is not trustworthy.
+
+The report also carries the cache hit/miss accounting, the SoA
+fused/built/reused window counters and the wall seconds of every
+individual simulation point, so regressions can be attributed to a
+specific (kernel, configuration) pair.  For a true cold
 measurement pass a fresh (or absent) cache directory — a pre-populated
 one turns the "cold" phase into a disk replay.
 
@@ -33,7 +39,9 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from ..machine.fastcore import VALID_MODES, active_core, set_engine_core
+from ..machine.fastcore import VALID_MODES, active_core, reset_soa_counters, \
+    set_engine_core, soa_counters
+from ..machine.window_cache import SHARED_WINDOW_CACHE
 from ..perf import parallel
 from ..perf.cache import RunCache
 from ..perf.phases import measuring
@@ -42,6 +50,15 @@ from .profiling import add_profile_arguments, profiled
 
 #: Report format version (bump on incompatible layout changes).
 BENCH_SCHEMA = 1
+
+
+def _median(values: List[float]) -> float:
+    """Median of a non-empty list (mean of the middle pair when even)."""
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
 class PhaseTimer:
@@ -72,34 +89,73 @@ def bench_experiments(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: str = "grid",
+    repeats: int = 1,
 ) -> dict:
     """Time the experiment pipeline across cache/parallel phases.
 
     ``backend`` (a :mod:`repro.backends` registry name) selects the
-    machine model every phase simulates on.  Returns the
-    ``BENCH_perf.json`` document (see the module docstring for the
-    phase definitions).
+    machine model every phase simulates on.  ``repeats`` re-measures the
+    cold serial phase that many times — each repeat on a fresh context
+    with the shared window cache and SoA counters reset, and (when a
+    ``cache_dir`` is given) its own cache subdirectory so every repeat
+    is genuinely cold — and reports per-phase *medians*, which shake off
+    one-off scheduler noise on busy hosts.  Cache accounting, point
+    timings and the SoA counter snapshot come from the first repeat.
+    Returns the ``BENCH_perf.json`` document (see the module docstring
+    for the phase definitions).
     """
     timer = PhaseTimer()
+    repeats = max(1, repeats)
     # Dispatch accounting is per-process state; reset it so the report
     # can only ever describe this benchmark's own sweeps.
     parallel.LAST_DISPATCH = None
 
-    serial_ctx = experiments.ExperimentContext(
-        records=records,
-        large_kernel_records=large_kernel_records,
-        jobs=1,
-        cache=RunCache(cache_dir),
-        backend=backend,
-    )
-    with measuring() as phase_acc:
-        timer.measure("cold_serial", lambda: _run_all(serial_ctx))
-    phase_breakdown = phase_acc.snapshot()
-    cold_stats = serial_ctx.cache.stats.as_dict()
-    dispatch_stats = (
-        parallel.LAST_DISPATCH.as_dict()
-        if parallel.LAST_DISPATCH is not None else None
-    )
+    serial_ctx = None
+    serial_cache_dir = cache_dir
+    cold_seconds: List[float] = []
+    breakdown_runs: List[Dict[str, float]] = []
+    cold_stats = None
+    soa_snapshot = None
+    dispatch_stats = None
+    for index in range(repeats):
+        # A truly cold repeat: no mapped windows left over from the
+        # previous one, counters at zero, and a private disk-cache tier.
+        SHARED_WINDOW_CACHE.clear()
+        reset_soa_counters()
+        repeat_dir = cache_dir
+        if cache_dir is not None and repeats > 1:
+            repeat_dir = os.path.join(cache_dir, f"repeat{index}")
+        ctx = experiments.ExperimentContext(
+            records=records,
+            large_kernel_records=large_kernel_records,
+            jobs=1,
+            cache=RunCache(repeat_dir),
+            backend=backend,
+        )
+        with measuring() as phase_acc:
+            started = time.perf_counter()
+            _run_all(ctx)
+            cold_seconds.append(time.perf_counter() - started)
+        breakdown_runs.append(phase_acc.snapshot())
+        if index == 0:
+            serial_ctx = ctx
+            serial_cache_dir = repeat_dir
+            cold_stats = ctx.cache.stats.as_dict()
+            soa_snapshot = soa_counters()
+            dispatch_stats = (
+                parallel.LAST_DISPATCH.as_dict()
+                if parallel.LAST_DISPATCH is not None else None
+            )
+    timer.seconds["cold_serial"] = _median(cold_seconds)
+    breakdown_keys: List[str] = []
+    for run in breakdown_runs:
+        for key in run:
+            if key not in breakdown_keys:
+                breakdown_keys.append(key)
+    phase_breakdown = {
+        key: _median([run.get(key, 0.0) for run in breakdown_runs])
+        for key in breakdown_keys
+    }
     timer.measure("warm_memory", lambda: _run_all(serial_ctx))
 
     if jobs > 1:
@@ -114,11 +170,13 @@ def bench_experiments(
             dispatch_stats = parallel.LAST_DISPATCH.as_dict()
 
     if cache_dir is not None:
+        # Replay the tier the first cold repeat populated (its own
+        # subdirectory when repeating, the cache_dir itself otherwise).
         replay_ctx = experiments.ExperimentContext(
             records=records,
             large_kernel_records=large_kernel_records,
             jobs=1,
-            cache=RunCache(cache_dir),
+            cache=RunCache(serial_cache_dir),
             backend=backend,
         )
         timer.measure("disk_replay", lambda: _run_all(replay_ctx))
@@ -143,6 +201,15 @@ def bench_experiments(
         "cache_dir": cache_dir,
         "backend": backend,
         "engine_core": active_core(),
+        # Cold-phase repeat protocol: cold_serial (and its breakdown)
+        # are medians over this many fresh-context repeats; the raw
+        # per-repeat wall times are kept for spread inspection.
+        "repeats": repeats,
+        "cold_serial_seconds": cold_seconds,
+        # SoA lifecycle of the first cold repeat (repro.machine.fastcore):
+        # windows fused straight from the template expansion vs flattened
+        # from instance objects, and engine runs that reused the buffers.
+        "fastcore_soa": soa_snapshot,
         "phases_seconds": timer.seconds,
         # Where cold_serial's wall time went inside the pipeline: window
         # mapping (placement + expansion or cache rebase), block-style
@@ -171,8 +238,12 @@ def render_report(report: dict) -> str:
         f" ({report['records']} records,"
         f" {report['large_kernel_records']} for large kernels)",
     ]
+    repeats = report.get("repeats", 1)
     for name, seconds in report["phases_seconds"].items():
-        lines.append(f"{name:<17}: {seconds:8.3f}s")
+        line = f"{name:<17}: {seconds:8.3f}s"
+        if name == "cold_serial" and repeats > 1:
+            line += f"  (median of {repeats})"
+        lines.append(line)
     breakdown = report.get("phase_breakdown_seconds") or {}
     if breakdown:
         cold = report["phases_seconds"].get("cold_serial", 0.0)
@@ -184,6 +255,13 @@ def render_report(report: dict) -> str:
             lines.append(f"  {name:<15}: {seconds:8.3f}s")
         if cold > accounted:
             lines.append(f"  {'harness/other':<15}: {cold - accounted:8.3f}s")
+    soa = report.get("fastcore_soa")
+    if soa:
+        lines.append(
+            "soa windows      : "
+            f"{soa['fused']} fused, {soa['built']} built, "
+            f"{soa['reused']} reused"
+        )
     lines.append(
         f"warm/cold speedup: {report['warm_vs_cold_speedup']:8.1f}x"
     )
@@ -225,6 +303,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also time a parallel cold run with N worker processes",
     )
     parser.add_argument(
+        "--repeats", type=int, default=1, metavar="N",
+        help="measure the cold serial phase N times on fresh contexts "
+             "and report per-phase medians (default 1)",
+    )
+    parser.add_argument(
         "--backend", default="grid", metavar="NAME",
         help="machine model to benchmark (a repro.backends registry "
              "name; default grid)",
@@ -248,23 +331,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.engine_core is not None:
         set_engine_core(args.engine_core)
+    kwargs = dict(
+        records=args.records,
+        large_kernel_records=max(16, args.records // 4),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        repeats=args.repeats,
+    )
     if args.profile:
         with profiled(label="repro-bench", top=args.profile_top):
-            report = bench_experiments(
-                records=args.records,
-                large_kernel_records=max(16, args.records // 4),
-                jobs=args.jobs,
-                cache_dir=args.cache_dir,
-                backend=args.backend,
-            )
+            report = bench_experiments(**kwargs)
     else:
-        report = bench_experiments(
-            records=args.records,
-            large_kernel_records=max(16, args.records // 4),
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            backend=args.backend,
-        )
+        report = bench_experiments(**kwargs)
     if args.output != "-":
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)

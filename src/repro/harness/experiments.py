@@ -111,15 +111,29 @@ class ExperimentContext:
         self._config_fps: Dict[str, str] = {}
         self._backend_fps: Dict[str, str] = {}
         self._params_fp: Optional[str] = None
+        self._kernels: Dict[str, object] = {}
         #: wall seconds spent simulating each point (bench reporting);
         #: non-grid points are keyed ``backend:kernel``
         self.point_seconds: Dict[Tuple[str, str], float] = {}
 
+    def kernel(self, name: str):
+        """The (cached) built kernel for a benchmark.
+
+        One instance per context, so per-instance memos (the window
+        cache's content key, the fingerprint below) amortize across the
+        configurations of a sweep instead of being recomputed on a
+        fresh build per point.
+        """
+        kernel = self._kernels.get(name)
+        if kernel is None:
+            kernel = self._kernels[name] = spec(name).kernel()
+        return kernel
+
     def record_count(self, name: str) -> int:
         """Records simulated for a kernel (large kernels use fewer)."""
-        kernel = spec(name).kernel()
         return (
-            self.large_kernel_records if len(kernel) >= 600 else self.records
+            self.large_kernel_records
+            if len(self.kernel(name)) >= 600 else self.records
         )
 
     def workload(self, name: str) -> list:
@@ -158,7 +172,7 @@ class ExperimentContext:
         if fp is None:
             kernel_fp = self._kernel_fps.get(name)
             if kernel_fp is None:
-                kernel_fp = fingerprint_kernel(spec(name).kernel())
+                kernel_fp = fingerprint_kernel(self.kernel(name))
                 self._kernel_fps[name] = kernel_fp
             records_fp = self._records_fps.get(name)
             if records_fp is None:
@@ -209,7 +223,7 @@ class ExperimentContext:
         fp = self.fingerprint(name, config, b)
         result = self.cache.get(fp)
         if result is None:
-            kernel = spec(name).kernel()
+            kernel = self.kernel(name)
             started = time.perf_counter()
             result = backend_dispatch(
                 b, kernel, self.workload(name), config, self.params
@@ -256,7 +270,7 @@ class ExperimentContext:
             # rather than re-probing through :meth:`run`.
             sweep_started = time.perf_counter()
             for name, config, fp in missing:
-                kernel = spec(name).kernel()
+                kernel = self.kernel(name)
                 started = time.perf_counter()
                 result = backend_dispatch(
                     b, kernel, self.workload(name), config, self.params
@@ -293,7 +307,7 @@ class ExperimentContext:
     ) -> bool:
         """Whether the kernel can run under ``config`` on the backend."""
         b = self._backend(backend)
-        return b.supports(spec(name).kernel(), config, self.params)
+        return b.supports(self.kernel(name), config, self.params)
 
 
 # ---- Table 1: benchmark suite -------------------------------------------------

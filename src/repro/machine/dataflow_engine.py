@@ -451,10 +451,19 @@ class DataflowEngine:
                     stats.issued / (self.params.nodes * cycles),
                 )
         if TRACE.enabled and trace:
-            latency_of = {
-                (inst.iteration, inst.kernel_iid): inst.latency
-                for inst in window.instances
-            }
+            soa = getattr(window, "_fastcore_soa", None)
+            if soa is not None:
+                # Read the SoA columns instead of touching ``instances``
+                # (which would materialize a lazy window just for a trace).
+                latency_of = {
+                    (it, kiid): lat for it, kiid, lat
+                    in zip(soa.iters, soa.kiids, soa.latencies)
+                }
+            else:
+                latency_of = {
+                    (inst.iteration, inst.kernel_iid): inst.latency
+                    for inst in window.instances
+                }
             complete = TRACE.complete
             for cycle, node, kind, iteration, kernel_iid in trace:
                 complete(

@@ -28,8 +28,9 @@ them automatically.
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 try:
     import numpy  # noqa: F401  (probe only; cores import it themselves)
@@ -43,6 +44,36 @@ VALID_MODES = ("array", "object")
 
 #: Process-wide override; ``None`` defers to ``REPRO_ENGINE_CORE``.
 _MODE: Optional[str] = None
+
+#: Process-wide SoA lifecycle accounting: ``fused`` windows got their
+#: structure-of-arrays buffers straight from the template expansion,
+#: ``built`` windows were flattened from instance objects by
+#: ``dataflow_core.build_soa``, and ``reused`` counts engine runs that
+#: found the buffers already on the window.  Always on (three int
+#: increments); mirrored into :data:`repro.obs.metrics.METRICS` under
+#: ``fastcore.soa_*`` when metrics collection is enabled, and surfaced
+#: in ``repro-bench`` reports.
+SOA_COUNTERS: Dict[str, int] = {"fused": 0, "built": 0, "reused": 0}
+
+
+def soa_counters() -> Dict[str, int]:
+    """A snapshot copy of :data:`SOA_COUNTERS`."""
+    return dict(SOA_COUNTERS)
+
+
+def reset_soa_counters() -> None:
+    """Zero :data:`SOA_COUNTERS` (bench phases reset between runs)."""
+    for key in SOA_COUNTERS:
+        SOA_COUNTERS[key] = 0
+
+
+def _warn_no_numpy() -> None:
+    warnings.warn(
+        "engine core 'array' requested but numpy is unavailable; "
+        "falling back to the object engines",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _validate(mode: Optional[str]) -> None:
@@ -74,6 +105,8 @@ def set_engine_core(mode: Optional[str]) -> None:
     """
     global _MODE
     _validate(mode)
+    if mode == "array" and not HAVE_NUMPY:
+        _warn_no_numpy()
     _MODE = mode
     if mode is None:
         os.environ.pop("REPRO_ENGINE_CORE", None)
@@ -94,10 +127,19 @@ def using_core(mode: Optional[str]) -> Iterator[None]:
         _MODE = previous
 
 
+if not HAVE_NUMPY and os.environ.get("REPRO_ENGINE_CORE") == "array":
+    # The explicit environment request cannot be honored; degrading to
+    # the (bit-identical) object engines deserves a visible warning.
+    _warn_no_numpy()
+
+
 __all__ = [
     "HAVE_NUMPY",
+    "SOA_COUNTERS",
     "VALID_MODES",
     "active_core",
+    "reset_soa_counters",
     "set_engine_core",
+    "soa_counters",
     "using_core",
 ]

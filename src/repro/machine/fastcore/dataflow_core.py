@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from itertools import chain
+from itertools import chain, islice
 from typing import Dict, List
 
 import numpy as np
@@ -40,16 +40,30 @@ from ...check.sanitizer import SANITIZER
 from ...obs.metrics import METRICS
 from ...obs.trace import TRACE
 from ..stats import WindowTiming
+from . import SOA_COUNTERS
 
 
 class WindowSoA:
-    """Per-window flattened state shared by every engine run over it."""
+    """Per-window flattened state shared by every engine run over it.
+
+    The LOAD/STORE address columns are *affine in the record offset*:
+    ``addr_at0 + record_offset * addr_stride`` is every instance's
+    current address, so :func:`~repro.machine.mapping.rebase_window`
+    never touches the SoA — the per-offset materialized address lists
+    are cached in ``mem_addr_by_offset``.  ``const_deliveries`` holds
+    the register-file constant arrivals as precomputed ``(consumer uid,
+    cycle)`` pairs (FIFO port grants over a fixed read sequence are a
+    pure function of the window), and ``has_l1`` marks windows whose
+    issue loop takes the batched L1 path.
+    """
 
     __slots__ = (
         "n", "codes", "nodes_of", "latencies", "rows", "edges", "kinds",
-        "iters", "kiids", "operands", "zero_uids", "cons", "hops_of",
-        "lmw_words", "lmw_cons", "lmw_hops", "lut_info", "ldi_info",
-        "addresses_by_seed", "order", "rank_of",
+        "iters", "kiids", "operands", "useful", "depths", "zero_uids",
+        "cons", "hops_of", "lmw_words", "lmw_cons", "lmw_hops",
+        "lut_info", "ldi_info", "addresses_by_seed", "addr_at0",
+        "addr_stride", "mem_addr_by_offset", "const_deliveries",
+        "n_const_reads", "has_l1", "order", "rank_of",
     )
 
 
@@ -86,22 +100,28 @@ def _wire_edges(nodes_arr, counts, flat_cuids, n, hops_table, delay_table):
     consumer-list lengths and ``flat_cuids`` their concatenation (plain
     ints, so the pairs index and hash at native speed downstream).
     """
-    offsets = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
     if flat_cuids:
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
         cuid_arr = np.asarray(flat_cuids, dtype=np.int64)
         src = np.repeat(nodes_arr, counts)
         dst = nodes_arr[cuid_arr]
         edge_hops = hops_table[src, dst]
-        pairs = list(zip(flat_cuids, delay_table[src, dst].tolist()))
         hop_csum = np.zeros(len(flat_cuids) + 1, dtype=np.int64)
         np.cumsum(edge_hops, out=hop_csum[1:])
         hops_of = (hop_csum[offsets[1:]] - hop_csum[offsets[:-1]]).tolist()
+        # One pass over the edge stream: each uid's row is sliced off
+        # the live zip by its consumer count, skipping the intermediate
+        # full pairs list (and the n slice copies) entirely.
+        pairs_iter = zip(flat_cuids, delay_table[src, dst].tolist())
+        take = islice
+        counts_list = (
+            counts.tolist() if isinstance(counts, np.ndarray) else counts
+        )
+        cons = [list(take(pairs_iter, c)) for c in counts_list]
     else:
-        pairs = []
         hops_of = [0] * n
-    bounds = offsets.tolist()
-    cons = [pairs[bounds[uid]:bounds[uid + 1]] for uid in range(n)]
+        cons = [[] for _ in range(n)]
     return cons, hops_of
 
 
@@ -129,12 +149,32 @@ def build_soa(window) -> WindowSoA:
     soa.iters = [inst.iteration for inst in instances]
     soa.kiids = [inst.kernel_iid for inst in instances]
     operands = soa.operands = [inst.operands for inst in instances]
+    soa.useful = [inst.useful for inst in instances]
+    soa.depths = [inst.depth for inst in instances]
     soa.lmw_words = [inst.words for inst in instances]
     soa.addresses_by_seed = {}
 
     code_of = {COMPUTE: 0, STORE: 1, LMW: 2, LOAD: 4,
                LUT: 0 if window.config.l0_data else 3, LDI: 3}
     codes = soa.codes = list(map(code_of.__getitem__, kinds))
+    soa.has_l1 = any(code >= 3 for code in codes)
+
+    # LOAD/STORE addresses as offset-0 columns plus an affine per-record
+    # stride: subtracting the window's current offset recovers the
+    # offset-0 base whatever position the stream sits at, so a window
+    # flattened after rebasing carries the same columns as one flattened
+    # fresh (and as the template expansion's).
+    stride_of = {LOAD: kernel.record_in, STORE: kernel.record_out}
+    stride_list = [stride_of.get(kind, 0) for kind in kinds]
+    stride = np.asarray(stride_list, dtype=np.int64)
+    soa.addr_stride = stride
+    soa.addr_at0 = (
+        np.fromiter(
+            (inst.address for inst in instances), dtype=np.int64, count=n
+        )
+        - window.record_offset * stride
+    )
+    soa.mem_addr_by_offset = {}
 
     # Dataflow edges, wired in one flat vectorized pass: flatten every
     # instance's consumer list, look the per-edge (hops, delay) up with
@@ -193,6 +233,26 @@ def build_soa(window) -> WindowSoA:
     soa.lut_info = _address_info(lut_rows)
     soa.ldi_info = _address_info(ldi_rows)
 
+    # Register-file constant deliveries, precomputed once: the read
+    # sequence is fixed per window and every read asks the FIFO regfile
+    # ports for cycle 0, so the k-th grant is ``k // ports`` — exactly
+    # what DataflowEngine._deliver_const_reads computes per run.
+    const_reads = window.const_reads
+    soa.n_const_reads = len(const_reads)
+    deliveries: List[tuple] = []
+    ports = params.regfile_read_ports
+    latency = params.regfile_latency
+    from_regfile = [
+        params.route_from_regfile(node) for node in range(params.nodes)
+    ]
+    for k, read in enumerate(const_reads):
+        grant = k // ports
+        for cuid in read.consumers:
+            deliveries.append((
+                cuid, grant + latency + from_regfile[nodes_of[cuid]],
+            ))
+    soa.const_deliveries = deliveries
+
     # The static issue order (rank per uid) is a pure function of the
     # window; share it with the object loop's cache on the window.
     # np.lexsort's last key is primary: sort by depth, break ties by
@@ -211,6 +271,9 @@ def build_soa(window) -> WindowSoA:
     rank_arr = np.empty(n, dtype=np.int64)
     rank_arr[order_arr] = np.arange(n)
     soa.rank_of = rank_arr.tolist()
+    SOA_COUNTERS["built"] += 1
+    if METRICS.enabled:
+        METRICS.inc("fastcore.soa_built")
     return soa
 
 
@@ -266,11 +329,14 @@ def run_array(engine) -> WindowTiming:
     window = engine.window
     params = engine.params
     memory = engine.memory
-    instances = window.instances
     soa = getattr(window, "_fastcore_soa", None)
     if soa is None:
         soa = build_soa(window)
         window._fastcore_soa = soa
+    else:
+        SOA_COUNTERS["reused"] += 1
+        if METRICS.enabled:
+            METRICS.inc("fastcore.soa_reused")
 
     n = soa.n
     codes = soa.codes
@@ -290,6 +356,14 @@ def run_array(engine) -> WindowTiming:
         _addresses(soa, engine._seed)
         if soa.lut_info is not None or soa.ldi_info is not None else None
     )
+    # LOAD/STORE addresses at the window's current record offset — one
+    # affine evaluation of the SoA columns per offset, cached (the cold
+    # and warm passes revisit the same offsets across engine runs).
+    offset = window.record_offset
+    mem_addrs = soa.mem_addr_by_offset.get(offset)
+    if mem_addrs is None:
+        mem_addrs = (soa.addr_at0 + offset * soa.addr_stride).tolist()
+        soa.mem_addr_by_offset[offset] = mem_addrs
     remaining = list(soa.operands)
 
     sanitize = SANITIZER.enabled
@@ -318,7 +392,13 @@ def run_array(engine) -> WindowTiming:
         else:
             bucket.append(uid)
 
-    engine._deliver_const_reads(schedule_arrival)
+    # Register-file constant deliveries, replayed from the precomputed
+    # (consumer uid, arrival) pairs — same arrivals, same bucket
+    # insertion order as DataflowEngine._deliver_const_reads.
+    stats = engine.stats
+    stats.regfile_reads += soa.n_const_reads
+    for cuid, at in soa.const_deliveries:
+        schedule_arrival(cuid, at)
 
     for uid in soa.zero_uids:
         node = nodes_of[uid]
@@ -335,11 +415,10 @@ def run_array(engine) -> WindowTiming:
     hops_delta = 0
     l1_delta = 0
     lmw_delta = 0
-    l1_access = memory.l1_access
+    l1_access_batch = memory.l1_access_batch
     smc_store = memory.smc_store
     lmw_deliver_fast = memory.lmw_deliver_fast
     ceil = math.ceil
-    stats = engine.stats
 
     def sync_stats() -> None:
         stats.issued += issued_delta
@@ -347,7 +426,10 @@ def run_array(engine) -> WindowTiming:
         stats.l1_accesses += l1_delta
         stats.lmw_requests += lmw_delta
 
-    while issued < total:
+    if not soa.has_l1:
+      # No L1 round trips in this window (SMC-streamed loads, L0-resident
+      # LUTs, no LDIs): the single-pass issue loop, minus the dead branch.
+      while issued < total:
         # Deliver operands that arrive this cycle.
         while arrival_cycles and arrival_cycles[0] <= cycle:
             at = heappop(arrival_cycles)
@@ -386,9 +468,123 @@ def run_array(engine) -> WindowTiming:
                     else:
                         bucket.append(cuid)
                 hops_delta += hops_of[uid]
-            elif code == 1:  # store (address rebased between runs)
+            elif code == 1:  # store (affine address at the current offset)
                 arrival = cycle + edges[uid]
-                done = smc_store(rows[uid], instances[uid].address, arrival)
+                done = smc_store(rows[uid], mem_addrs[uid], arrival)
+                completion = ceil(done)
+                if completion > store_drain:
+                    store_drain = completion
+                if sanitize and arrival > last_store_arrival:
+                    last_store_arrival = arrival
+            else:  # code == 2: LMW wide load
+                lmw_delta += 1
+                word_cycles = lmw_deliver_fast(
+                    rows[uid], cycle + 1, lmw_words[uid]
+                )
+                completion = cycle + 1
+                for word_cycle, word_cons in zip(word_cycles, lmw_cons[uid]):
+                    for cuid, delay in word_cons:
+                        at = word_cycle + delay
+                        key = int(at)
+                        bucket = arrivals_get(key)
+                        if bucket is None:
+                            arrivals[key] = [cuid]
+                            heappush(arrival_cycles, key)
+                        else:
+                            bucket.append(cuid)
+                        if at > completion:
+                            completion = at
+                hops_delta += lmw_hops[uid]
+            if completion > last_completion:
+                last_completion = completion
+
+        if issued >= total:
+            break
+        if active_nodes:
+            cycle += 1
+        elif arrival_cycles:
+            cycle = arrival_cycles[0]
+        else:
+            sync_stats()
+            raise DeadlockError(
+                f"issued {issued}/{total} instances in window of "
+                f"{window.kernel.name}; remaining operand counts are "
+                "unsatisfiable"
+            )
+
+    else:
+      # Windows with L1 round trips run a two-pass cycle: pass 1 pops
+      # this cycle's issues (and traces them) while collecting the L1
+      # address stream, which goes through the memory system as ONE
+      # batched call; pass 2 schedules every issue's effects in the same
+      # per-uid order pass 1 popped them.  Equivalence holds because the
+      # batch preserves the relative order of the L1 ops (identical port
+      # grants and tag state) and the SMC-side queues (store buffers,
+      # LMW ports/channels) are independent of the L1 banks, so moving
+      # the L1 calls ahead of same-cycle SMC calls changes no queue's
+      # request sequence.
+      l1_ready: List[int] = []
+      while issued < total:
+        # Deliver operands that arrive this cycle.
+        while arrival_cycles and arrival_cycles[0] <= cycle:
+            at = heappop(arrival_cycles)
+            for uid in arrivals_pop(at, ()):
+                left = remaining[uid] - 1
+                remaining[uid] = left
+                if left == 0:
+                    node = nodes_of[uid]
+                    heappush(ready_heaps[node], rank_of[uid])
+                    active_nodes.add(node)
+
+        # Pass 1: each node issues at most one ready instruction this
+        # cycle; L1-bound issues contribute to the batch address stream.
+        pend: List[int] = []
+        pend_append = pend.append
+        l1_addrs: List[int] = []
+        l1_cycles: List[int] = []
+        for node in list(active_nodes):
+            heap = ready_heaps[node]
+            if not heap:
+                active_nodes.discard(node)
+                continue
+            uid = order[heappop(heap)]
+            if not heap:
+                active_nodes.discard(node)
+            issued += 1
+            issued_delta += 1
+            if trace is not None:
+                trace.append(
+                    (cycle, node, kinds[uid], iters[uid], kiids[uid])
+                )
+            pend_append(uid)
+            if codes[uid] >= 3:
+                l1_addrs.append(
+                    addresses[uid] if codes[uid] == 3 else mem_addrs[uid]
+                )
+                l1_cycles.append(cycle + edges[uid])
+
+        if l1_addrs:
+            l1_ready = l1_access_batch(l1_addrs, l1_cycles)
+            l1_delta += len(l1_addrs)
+        k = 0
+
+        # Pass 2: schedule each issue's completions and arrivals.
+        for uid in pend:
+            code = codes[uid]
+            if code == 0:  # compute / L0-resident LUT
+                completion = cycle + latencies[uid]
+                for cuid, delay in cons[uid]:
+                    at = completion + delay
+                    bucket = arrivals_get(at)
+                    if bucket is None:
+                        arrivals[at] = [cuid]
+                        heappush(arrival_cycles, at)
+                    else:
+                        bucket.append(cuid)
+                hops_delta += hops_of[uid]
+            elif code == 1:  # store (affine address at the current offset)
+                arrival = cycle + edges[uid]
+                done = smc_store(rows[uid], mem_addrs[uid], arrival)
                 completion = ceil(done)
                 if completion > store_drain:
                     store_drain = completion
@@ -414,11 +610,8 @@ def run_array(engine) -> WindowTiming:
                             completion = at
                 hops_delta += lmw_hops[uid]
             else:  # L1 round trip: LUT/LDI (code 3) or LOAD (code 4)
-                edge = edges[uid]
-                address = (addresses[uid] if code == 3
-                           else instances[uid].address)
-                back = l1_access(address, cycle + edge) + edge
-                l1_delta += 1
+                back = l1_ready[k] + edges[uid]
+                k += 1
                 for cuid, delay in cons[uid]:
                     at = int(back + delay)
                     bucket = arrivals_get(at)

@@ -127,10 +127,15 @@ def place_iterations_array(kernel, params, iterations: int):
             f"capacity is {nodes * capacity} slots"
         )
 
-    pos_of = {inst.iid: pos for pos, inst in enumerate(body)}
-    producer_pos = [
-        [pos_of[p] for p in inst.dataflow_sources()] for inst in body
-    ]
+    # Body order and dataflow sources are immutable per kernel, so the
+    # producer-position table is computed once per kernel instance no
+    # matter how many windows a sweep places.
+    producer_pos = getattr(kernel, "_producer_pos", None)
+    if producer_pos is None:
+        pos_of = {inst.iid: pos for pos, inst in enumerate(body)}
+        producer_pos = kernel._producer_pos = [
+            [pos_of[p] for p in inst.dataflow_sources()] for inst in body
+        ]
     fair_share = max(2, 2 * -(-body_len // max(1, width)))
 
     slots = [0] * nodes
@@ -190,32 +195,35 @@ def place_iterations_array(kernel, params, iterations: int):
 
 
 def expand_window(kernel, config, params, U, record_offset, placement):
-    """Template-cloned twin of the ``mapping.map_window`` expansion.
+    """Template-to-SoA twin of the ``mapping.map_window`` expansion.
 
     An iteration's uid block always has the same shape — body instances
     in kernel order, then regular-memory loads, then stores — and its
     consumer wiring is *positional* (store and dataflow consumer uids
     are block-relative offsets fixed by the kernel), so everything but
-    nodes, rows and addresses is computed once.  Per iteration, a clone
-    rebases consumer uids by the block offset, resolves each instance's
-    node through the iteration's placement assignment (``node_pos``
-    below: a body position, or -1 for the home-row SMC interface), and
-    advances LOAD/STORE addresses by the affine per-iteration stride.
-    Produces the identical instance stream — same uids, consumer order,
-    addresses, priorities — as the object expansion.
+    nodes, rows and addresses is computed once.  The window is emitted
+    *lazy*: the per-block template goes straight into the engine's
+    structure-of-arrays buffers (:func:`_attach_soa` — per-uid columns
+    are U-fold tiles of template columns plus numpy gathers over the
+    placement matrix) and is retained as a
+    :class:`~repro.machine.mapping._LazyExpansion` payload, so
+    :class:`~repro.machine.mapping.Instance` objects only ever exist if
+    something touches ``window.instances`` — the object-core engines or
+    introspection — in which case the deferred clone loop produces the
+    identical instance stream (same uids, consumer order, addresses,
+    priorities) as the eager object expansion.
     """
     from ..mapping import (
-        LMW, LOAD, STORE, ConstRead, Instance, MappedWindow,
-        _expansion_plan, _OUTPUT_REGION, _RECORD_REGION,
+        MappedWindow, _LazyExpansion, _expansion_plan,
     )
 
     (body_plan, top_priority, table_bases, space_bases,
      chunk_words) = _expansion_plan(kernel, config, params)
+    from ..mapping import _OUTPUT_REGION, _RECORD_REGION
+
     record_base = _RECORD_REGION + record_offset * kernel.record_in
     out_base = _OUTPUT_REGION + record_offset * kernel.record_out
-    cols = params.cols
     record_in = kernel.record_in
-    record_out = kernel.record_out
     smc = config.smc_stream
     B = len(body_plan)
     pos_of = {entry[0]: pos for pos, entry in enumerate(body_plan)}
@@ -223,9 +231,12 @@ def expand_window(kernel, config, params, U, record_offset, placement):
     block = B + n_loads + len(kernel.outputs)
 
     # ---- one template for all iterations --------------------------------
-    # Body rows hold everything but the node (zipped with the
-    # iteration's assignment at clone time); load and store rows carry
-    # the body position their node resolves through.
+    # Body rows hold everything but the node (resolved through the
+    # iteration's assignment); load and store rows carry the body
+    # position their node resolves through, and *relative* addresses
+    # (record word index / output slot) so the same template serves both
+    # the offset-0 SoA address columns and deferred materialization at
+    # whatever offset the window sits at by then.
     body_cons: List[List[int]] = [[] for _ in range(B)]
     in_consumers: List[List[int]] = [[] for _ in range(record_in)]
     const_consumers: Dict[int, List[int]] = {}
@@ -237,7 +248,7 @@ def expand_window(kernel, config, params, U, record_offset, placement):
         for slot in const_slots:
             const_consumers.setdefault(slot, []).append(pos)
     lmw_rows: List[tuple] = []   # (n_words, word consumer lists)
-    load_rows: List[tuple] = []  # (addr const, node body-pos, consumers)
+    load_rows: List[tuple] = []  # (word index, node body-pos, consumers)
     if smc:
         for words in chunk_words:
             lmw_rows.append(
@@ -247,12 +258,12 @@ def expand_window(kernel, config, params, U, record_offset, placement):
         for w in range(record_in):
             consumers = in_consumers[w]
             node_pos = consumers[0] if consumers else pos_of[0]
-            load_rows.append((record_base + w, node_pos, consumers))
+            load_rows.append((w, node_pos, consumers))
     rel = B + n_loads
-    store_rows: List[tuple] = []  # (addr const, producer body-pos)
+    store_rows: List[tuple] = []  # (output slot, producer body-pos)
     for producer, out_slot in kernel.outputs:
         ppos = pos_of[producer]
-        store_rows.append((out_base + out_slot, ppos))
+        store_rows.append((out_slot, ppos))
         body_cons[ppos].append(rel)
         rel += 1
     # Dataflow edges last — matching the object expansion's second pass,
@@ -274,92 +285,57 @@ def expand_window(kernel, config, params, U, record_offset, placement):
     else:
         cr_rows = sorted(const_consumers.items())
 
-    # ---- clone the template per iteration -------------------------------
-    instances: List[Instance] = []
-    const_reads: List[ConstRead] = []
-    append_instance = instances.append
-    append_const = const_reads.append
-    node_rows = placement.node_rows
-    home_rows = placement.home_row
-
-    for u in range(U):
-        assignment = node_rows[u]
-        home_row = home_rows[u]
-        base = uid = u * block
-        for (kind, latency, cons, operands, useful, words, address,
-             depth, iid), node in zip(body_rows, assignment):
-            append_instance(Instance(
-                uid, kind, node, u, latency,
-                [base + c for c in cons] if cons else [],
-                operands, useful, node // cols, words, address, [],
-                depth, iid,
-            ))
-            uid += 1
-        if smc:
-            interface_node = home_row * cols
-            for n_words, wc in lmw_rows:
-                append_instance(Instance(
-                    uid, LMW, interface_node, u, 1, [], 0, False,
-                    home_row, n_words, 0,
-                    [[base + c for c in cl] for cl in wc],
-                    top_priority, -1,
-                ))
-                uid += 1
-        else:
-            for a_const, node_pos, cons in load_rows:
-                node = assignment[node_pos]
-                append_instance(Instance(
-                    uid, LOAD, node, u, 1,
-                    [base + c for c in cons] if cons else [],
-                    0, False, node // cols, 0, a_const + u * record_in,
-                    [], top_priority, -1,
-                ))
-                uid += 1
-        for a_const, ppos in store_rows:
-            node = assignment[ppos]
-            append_instance(Instance(
-                uid, STORE, node, u, 1, [], 1, False,
-                home_row if smc else node // cols, 0,
-                a_const + u * record_out, [], 0, -1,
-            ))
-            uid += 1
-        for slot, cons in cr_rows:
-            append_const(ConstRead(slot, u, [base + c for c in cons]))
-
+    # ---- lazy window: SoA now, Instance objects only on demand ----------
     window = MappedWindow(
         kernel=kernel,
         config=config,
         params=params,
         iterations=U,
-        instances=instances,
-        const_reads=const_reads,
+        instances=None,
+        const_reads=None,
         placement=placement,
-        machine_instructions=len(instances) + len(const_reads),
+        machine_instructions=U * (block + len(cr_rows)),
         table_bases=table_bases,
         space_bases=space_bases,
         record_base=record_base,
         out_base=out_base,
         record_offset=record_offset,
     )
+    window._lazy = _LazyExpansion(
+        body_rows=body_rows,
+        lmw_rows=lmw_rows,
+        load_rows=load_rows,
+        store_rows=store_rows,
+        cr_rows=cr_rows,
+        block=block,
+        top_priority=top_priority,
+    )
     _attach_soa(window, body_rows, lmw_rows, load_rows, store_rows,
-                block, top_priority)
+                cr_rows, block, top_priority)
     return window
 
 
 def _attach_soa(window, body_rows, lmw_rows, load_rows, store_rows,
-                block, top_priority):
+                cr_rows, block, top_priority):
     """Emit the dataflow core's ``WindowSoA`` straight from the template.
 
     ``dataflow_core.build_soa`` flattens a finished window by walking
     its ``U * block`` instances.  Every per-uid column it produces is
     either a U-fold tile of a per-block template column or a numpy
     gather over the placement matrix, so the template expansion can
-    attach the SoA directly and the first engine run over the window
-    skips the flattening pass.  Field-for-field identical to
-    ``build_soa(window)``; rebasing stays safe because LOAD/STORE
-    addresses are read from the instances at issue time.
+    attach the SoA directly and engine runs over the window never flatten
+    anything.  Field-for-field identical to ``build_soa(window)``.
+    LOAD/STORE addresses live in the SoA as offset-0 columns plus an
+    affine per-record stride (``addr_at0 + record_offset * stride``), so
+    rebasing the window costs nothing here; register-file constant
+    deliveries are precomputed as ``(consumer uid, arrival)`` pairs
+    (FIFO regfile-port grants are ``k // ports`` for same-cycle
+    requests).
     """
-    from ..mapping import LDI, LMW, LOAD, LUT, STORE
+    from ..mapping import (
+        LDI, LMW, LOAD, LUT, STORE, _OUTPUT_REGION, _RECORD_REGION,
+    )
+    from . import SOA_COUNTERS
     from .dataflow_core import (
         WindowSoA, _address_info, _route_tables, _wire_edges,
     )
@@ -384,6 +360,8 @@ def _attach_soa(window, body_rows, lmw_rows, load_rows, store_rows,
     tpl_lat = [row[1] for row in body_rows] + [1] * (n_mem + n_stores)
     tpl_operands = ([row[3] for row in body_rows] + [0] * n_mem
                     + [1] * n_stores)
+    tpl_useful = ([row[4] for row in body_rows]
+                  + [False] * (n_mem + n_stores))
     tpl_words = ([row[5] for row in body_rows]
                  + ([r[0] for r in lmw_rows] if smc else [0] * n_mem)
                  + [0] * n_stores)
@@ -399,11 +377,34 @@ def _attach_soa(window, body_rows, lmw_rows, load_rows, store_rows,
     soa.kinds = tpl_kind * U
     soa.latencies = tpl_lat * U
     soa.operands = tpl_operands * U
+    soa.useful = tpl_useful * U
     soa.lmw_words = tpl_words * U
+    soa.depths = tpl_depth * U
     soa.kiids = tpl_kiid * U
     soa.codes = tpl_code * U
-    soa.iters = np.repeat(np.arange(U, dtype=np.int64), block).tolist()
+    soa.has_l1 = any(code >= 3 for code in tpl_code)
+    u_idx = np.repeat(np.arange(U, dtype=np.int64), block)
+    soa.iters = u_idx.tolist()
     soa.addresses_by_seed = {}
+
+    # ---- LOAD/STORE address columns: offset-0 base + affine stride ------
+    # Static addresses (LUT table / LDI space bases) ride along with
+    # stride 0, so ``addr_at0 + offset * stride`` is every instance's
+    # ``address`` field at the window's current offset.
+    tpl_addr0 = ([row[6] for row in body_rows]
+                 + ([0] * n_lmw if smc
+                    else [_RECORD_REGION + r[0] for r in load_rows])
+                 + [_OUTPUT_REGION + slot for slot, _ppos in store_rows])
+    tpl_stride = ([0] * B
+                  + ([0] * n_lmw if smc
+                     else [kernel.record_in] * len(load_rows))
+                  + [kernel.record_out] * n_stores)
+    stride = np.tile(np.asarray(tpl_stride, dtype=np.int64), U)
+    soa.addr_stride = stride
+    soa.addr_at0 = (
+        np.tile(np.asarray(tpl_addr0, dtype=np.int64), U) + u_idx * stride
+    )
+    soa.mem_addr_by_offset = {}
 
     # ---- nodes / rows / edges: gathers over the placement matrix --------
     A = np.asarray(node_rows, dtype=np.int64)
@@ -508,6 +509,33 @@ def _attach_soa(window, body_rows, lmw_rows, load_rows, store_rows,
     else:
         soa.zero_uids = []
 
+    # ---- register-file constant deliveries ------------------------------
+    # Mirrors DataflowEngine._deliver_const_reads: reads arrive
+    # iteration-major in slot order, all asking the regfile ports for
+    # cycle 0, so the FIFO grant of the k-th read is ``k // ports``.
+    soa.n_const_reads = U * len(cr_rows)
+    deliveries: List[tuple] = []
+    if cr_rows:
+        ports = params.regfile_read_ports
+        latency = params.regfile_latency
+        from_regfile = [
+            params.route_from_regfile(node) for node in range(params.nodes)
+        ]
+        nodes_list = soa.nodes_of
+        k = 0
+        for u in range(U):
+            base = u * block
+            for _slot, cons in cr_rows:
+                grant = k // ports
+                k += 1
+                for c in cons:
+                    cuid = base + c
+                    deliveries.append((
+                        cuid,
+                        grant + latency + from_regfile[nodes_list[cuid]],
+                    ))
+    soa.const_deliveries = deliveries
+
     depth_full = np.tile(np.asarray(tpl_depth, dtype=np.int64), U)
     order_arr = np.lexsort((np.arange(n), depth_full))
     soa.order = order_arr.tolist()
@@ -515,4 +543,7 @@ def _attach_soa(window, body_rows, lmw_rows, load_rows, store_rows,
     rank_arr = np.empty(n, dtype=np.int64)
     rank_arr[order_arr] = np.arange(n)
     soa.rank_of = rank_arr.tolist()
+    SOA_COUNTERS["fused"] += 1
+    if METRICS.enabled:
+        METRICS.inc("fastcore.soa_fused")
     window._fastcore_soa = soa

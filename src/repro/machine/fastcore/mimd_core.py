@@ -10,19 +10,32 @@ plan matrix ``M`` over the basis
 
     x = [start, pc_after_chunks, word_ready[0], ..., word_ready[R-1]]
 
-so that one vectorized ``(M + x).max(axis=1)`` yields the post-loop
-program counter and every store's issue cycle.  The chunk-load phase
-stays concrete (it reserves SMC ports / L1 banks statefully, and is the
-``mimd_memory`` phase), as do the store-buffer pushes.
+so that ``max(M[i] + x)`` per row yields the post-loop program counter
+and every store's issue cycle.  The rows are stored sparsely — only
+the reachable (non-sentinel) columns — and evaluated as plain Python
+max-of-sums over a list basis: at these row widths that beats a dense
+numpy broadcast per record and keeps the per-record path free of array
+round trips.  The chunk-load phase stays concrete (it reserves SMC
+ports / L1 banks statefully, and is the ``mimd_memory`` phase), as do
+the store-buffer pushes.
 
-Coverage: plans exist only when the live instructions never take an L1
-round trip mid-loop — no live LDI, and live LUTs only under an L0 data
-store (``config.l0_data``).  Anything else returns ``None`` and the
-engine falls back to its object loop; the affine cases are exactly the
-ones where ``lut_l1_trips`` stays zero, so the stats reduce to plan
-constants.  Numerics: times are half-integer multiples well below
-2**52, so float64 evaluation is exact, and the ``NEG`` sentinel is a
-power of two that float64 represents exactly.
+Live instructions that take an L1 round trip mid-loop (LDI, and LUT
+without an L0 data store) are not affine in the basis above — the L1
+reply depends on stateful bank ports and tags — but their *addresses*
+are pure functions of ``(record_index, iid)``, so the loop is affine
+*between* them: the plan gains one basis column per L1 op holding its
+(concrete) data-return time, plus a per-op issue row evaluated
+stage-by-stage.  Each stage resolves the op's issue cycle from the
+basis filled so far, performs the real ``l1_access`` — same address,
+same arrival cycle, hence identical hit/miss/eviction and port-grant
+state as the object loop — and writes the return time into the basis.
+The instruction-loop stall total still telescopes (each op's stall
+terms sum to its pc advance minus one), so the stats stay plan
+constants plus the final pc.  Numerics: cycle times are half-integer
+multiples well below 2**52, so Python int/float arithmetic on them is
+exact (as was the float64 evaluation this replaces), and the ``NEG``
+sentinel rows are filtered out at plan-build time instead of being
+carried through every max.
 """
 
 from __future__ import annotations
@@ -43,15 +56,47 @@ class AffinePlan:
 
     __slots__ = (
         "matrix", "n_meta", "skipped", "slots", "pc_extra", "width",
+        "l1_rows", "l1_meta", "lut_trips", "l1_sparse", "matrix_sparse",
     )
 
-    def __init__(self, matrix, n_meta, skipped, slots, pc_extra):
+    def __init__(self, matrix, n_meta, skipped, slots, pc_extra,
+                 l1_rows, l1_meta, lut_trips):
         self.matrix = matrix          # rows: pc_after_meta, pc_final, pushes
         self.n_meta = n_meta
         self.skipped = skipped
         self.slots = slots            # output slot per push row, in order
         self.pc_extra = pc_extra      # loop-control addend (plan constant)
         self.width = matrix.shape[1]
+        #: per-L1-op issue rows (stage evaluation order) and address
+        #: recipes ``(base, mult, add, mem_len)``: the op's address is
+        #: ``base + (record_index * mult + add) % mem_len``.
+        self.l1_rows = l1_rows
+        self.l1_meta = l1_meta
+        self.lut_trips = lut_trips    # live LUT L1 trips per record
+        # Sparse twins of l1_rows / matrix for the per-record hot path:
+        # each row as [(basis column, addend), ...] over non-NEG entries
+        # (every row has at least one — col 0 or col 1 is always live).
+        # Evaluated in plain Python, which beats a dense numpy add+max
+        # at these row widths and skips the per-record array round trip.
+        self.l1_sparse = _sparse_rows(l1_rows)
+        self.matrix_sparse = _sparse_rows(matrix)
+
+
+def _sparse_rows(rows):
+    """``[(col, int addend), ...]`` per row, near-NEG entries dropped.
+
+    ``issue + latency`` steps leave some sentinels at ``NEG + k`` rather
+    than ``NEG`` exactly, so filter by magnitude: anything below
+    ``NEG / 2`` is unreachable (basis values are nonnegative cycle
+    counts far below 2**52) and cannot bind in the max.
+    """
+    if rows is None:
+        return None
+    cutoff = NEG / 2
+    return [
+        [(col, int(value)) for col, value in enumerate(row) if value > cutoff]
+        for row in rows.tolist()
+    ]
 
 
 def _as_count(value):
@@ -62,16 +107,17 @@ def _as_count(value):
 
 
 def build_plan(engine, trips):
-    """Compile the record loop for one trip count; None = unsupported."""
+    """Compile the record loop for one trip count (staged when L1 ops
+    are live; ``None`` is no longer returned — every record is covered)."""
     meta, skipped, live_luts, outs = engine._live_meta(trips)
     l0_data = engine.config.l0_data
-    for m in meta:
-        kind = m[1]
-        if kind == 2 or (kind == 1 and not l0_data):
-            return None  # live L1 round trips: not an affine function
 
     kernel = engine.kernel
-    width = 2 + kernel.record_in
+    n_l1 = sum(
+        1 for m in meta if m[1] == 2 or (m[1] == 1 and not l0_data)
+    )
+    base_col = 2 + kernel.record_in
+    width = base_col + n_l1
     l0_latency = engine.params.l0_data_latency
     maximum = np.maximum
 
@@ -82,7 +128,9 @@ def build_plan(engine, trips):
     pc = np.full(width, NEG, dtype=np.int64)
     pc[1] = 0  # pc starts at pc_after_chunks
 
-    for iid, kind, producers, word_deps, latency, _base, _len in meta:
+    l1_issue_rows = []
+    l1_meta = []
+    for iid, kind, producers, word_deps, latency, base, mem_len in meta:
         # The object loop's literal 0 floor on operands_ready never
         # binds: pc >= start >= 1 (setup is at least one cycle).
         issue = pc
@@ -93,8 +141,27 @@ def build_plan(engine, trips):
             for w in word_deps:
                 deps[2 + w] = 0
             issue = maximum(issue, deps)
-        ready[iid] = issue + (latency if kind == 0 else l0_latency)
-        pc = issue + 1
+        if kind == 0:
+            ready[iid] = issue + latency
+            pc = issue + 1
+        elif kind == 1 and l0_data:
+            ready[iid] = issue + l0_latency
+            pc = issue + 1
+        else:
+            # L1 round trip: a new basis column holds the concrete
+            # data-return time filled in stage-by-stage at evaluation;
+            # ``pc = max(issue + 1, done)`` mirrors the object loop's
+            # blocking-load jump.
+            col = base_col + len(l1_issue_rows)
+            l1_issue_rows.append(issue)
+            if kind == 1:
+                l1_meta.append((base, 31, iid, mem_len))
+            else:
+                l1_meta.append((base, 97, iid * 13, mem_len))
+            done = np.full(width, NEG, dtype=np.int64)
+            done[col] = 0
+            ready[iid] = done
+            pc = maximum(issue + 1, done)
 
     rows = [pc]  # row 0: pc after the instruction loop
     for slot, producer in outs:
@@ -117,6 +184,10 @@ def build_plan(engine, trips):
         skipped=skipped,
         slots=[slot for slot, _producer in outs],
         pc_extra=pc_extra,
+        l1_rows=(np.stack(l1_issue_rows).astype(np.float64)
+                 if l1_issue_rows else None),
+        l1_meta=l1_meta,
+        lut_trips=0 if l0_data else live_luts,
     )
 
 
@@ -144,7 +215,10 @@ def run_record(engine, node, start, record, record_index):
     row = node // params.cols
     edge = params.route_to_row_edge(node)
 
-    x = np.zeros(plan.width, dtype=np.float64)
+    # The basis lives as a plain Python list: cycle times are exact as
+    # Python ints / half-integer floats, and the sparse row evaluation
+    # below never touches numpy on the per-record path.
+    x = [0] * plan.width
     x[0] = start
 
     phases = PHASES.enabled
@@ -152,7 +226,7 @@ def run_record(engine, node, start, record, record_index):
     pc_time = start
     load_stalls = 0
     smc_stream = engine.config.smc_stream
-    l1_access = memory.l1_access
+    l1_access_batch = memory.l1_access_batch
     lmw_deliver_fast = memory.lmw_deliver_fast
     for words in engine._chunks:
         request = pc_time + edge
@@ -161,8 +235,10 @@ def run_record(engine, node, start, record, record_index):
                 row, request, len(words), scattered=True
             )
         else:
+            # Non-streaming chunk loads go through the L1 as one batch
+            # (same per-word order, so identical grants and tag state).
             base = (1 << 24) + record_index * kernel.record_in
-            deliveries = [l1_access(base + w, request) for w in words]
+            deliveries = l1_access_batch([base + w for w in words], request)
         chunk_ready = pc_time + 1
         for w, ready in zip(words, deliveries):
             back = ready + edge
@@ -175,7 +251,22 @@ def run_record(engine, node, start, record, record_index):
         PHASES.add("mimd_memory", perf_counter() - mem_started)
     x[1] = pc_time
 
-    vals = (plan.matrix + x).max(axis=1)
+    if plan.l1_meta:
+        # Staged L1 round trips: resolve each op's issue cycle from the
+        # basis filled so far (later ops' columns are dropped from the
+        # sparse row, so they cannot bind), make the real access — same
+        # address and arrival cycle as the object loop, hence identical
+        # bank/port state — and feed the return time back into the
+        # basis.  Charged to the engine phase, like the object loop.
+        l1_access = memory.l1_access
+        l1_sparse = plan.l1_sparse
+        col = plan.width - len(plan.l1_meta)
+        for j, (base, mult, add, mem_len) in enumerate(plan.l1_meta):
+            issue = int(max(x[c] + v for c, v in l1_sparse[j]))
+            address = base + (record_index * mult + add) % mem_len
+            x[col + j] = l1_access(address, issue + edge) + edge
+
+    vals = [max(x[c] + v for c, v in pairs) for pairs in plan.matrix_sparse]
     # Instruction-loop stalls telescope: sum(issue - pc) over the loop
     # is the final pc minus the entry pc minus one step per instruction.
     load_stalls += _as_count(vals[0] - pc_time - plan.n_meta)
@@ -196,5 +287,5 @@ def run_record(engine, node, start, record, record_index):
     stats.load_stall_cycles += load_stalls
     stats.instructions_executed += plan.n_meta
     stats.instructions_skipped += plan.skipped
-    # lut_l1_trips stays zero by the coverage rule above.
+    stats.lut_l1_trips += plan.lut_trips
     return _as_count(vals[1]) + plan.pc_extra, None

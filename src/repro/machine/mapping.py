@@ -83,36 +83,335 @@ class ConstRead:
     consumers: List[int]
 
 
-@dataclass
-class MappedWindow:
-    """Everything the dataflow engine needs to time one window."""
+@dataclass(slots=True)
+class _LazyExpansion:
+    """Deferred instance materialization: the per-block expansion
+    template plus the clone-loop inputs.
 
-    kernel: Kernel
-    config: MachineConfig
-    params: MachineParams
-    iterations: int
-    instances: List[Instance]
-    const_reads: List[ConstRead]
-    placement: Placement
-    #: total machine instructions (for fetch-bandwidth accounting)
-    machine_instructions: int = 0
-    #: address bases for the L1 paths
-    table_bases: Dict[int, int] = field(default_factory=dict)
-    space_bases: Dict[int, int] = field(default_factory=dict)
-    record_base: int = 0
-    out_base: int = 0
-    #: record offset the regular-memory addresses are currently based at
-    #: (see :func:`rebase_window`)
-    record_offset: int = 0
-    #: lazily-computed static issue order (uids sorted by (depth, uid));
-    #: a pure function of the instances, so engine runs share it
-    issue_order: Optional[List[int]] = field(
-        default=None, repr=False, compare=False
-    )
+    The array expansion (:mod:`repro.machine.fastcore.map_core`) derives
+    the engine's structure-of-arrays buffers straight from this template
+    and never builds :class:`Instance` objects; the payload keeps enough
+    to run the object expansion's clone loop on demand — the object-core
+    engines, window-corruption tests and ad-hoc introspection all still
+    see the exact instance stream ``map_window`` would have built
+    eagerly.  Addresses are *relative* (record word index / output
+    slot); materialization adds the window's current bases, so a lazy
+    window rebased n times materializes exactly like a fresh map at the
+    final offset.
+    """
+
+    #: (kind, latency, rel consumers, operands, useful, words, address,
+    #: depth, kernel iid) per kernel-body position
+    body_rows: List[tuple]
+    #: (word count, per-word rel consumer lists) per LMW chunk
+    lmw_rows: List[tuple]
+    #: (record word index, node body-pos, rel consumers) per L1 load
+    load_rows: List[tuple]
+    #: (output slot, producer body-pos) per store
+    store_rows: List[tuple]
+    #: (constant slot, rel consumers) per register-file read
+    cr_rows: List[tuple]
+    #: uids per iteration block
+    block: int
+    #: issue priority of the memory feeder instances
+    top_priority: int
+
+
+class MappedWindow:
+    """Everything the dataflow engine needs to time one window.
+
+    Under the array engine core the window arrives *lazy*: the engine's
+    structure-of-arrays buffers (``_fastcore_soa``) are the primary
+    representation and ``instances`` / ``const_reads`` materialize on
+    first touch from the retained expansion template
+    (:class:`_LazyExpansion`) — bit-identical to the eager object
+    expansion.  The object core builds the instance lists eagerly, as
+    before.  :meth:`instance_view` serves single-instance introspection
+    (traces, sanitizers, tests) without forcing materialization.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: MachineConfig,
+        params: MachineParams,
+        iterations: int,
+        instances: Optional[List[Instance]],
+        const_reads: Optional[List[ConstRead]],
+        placement: Placement,
+        machine_instructions: int = 0,
+        table_bases: Optional[Dict[int, int]] = None,
+        space_bases: Optional[Dict[int, int]] = None,
+        record_base: int = 0,
+        out_base: int = 0,
+        record_offset: int = 0,
+    ):
+        self.kernel = kernel
+        self.config = config
+        self.params = params
+        self.iterations = iterations
+        self._instances = instances
+        self._const_reads = const_reads
+        self.placement = placement
+        #: total machine instructions (for fetch-bandwidth accounting)
+        self.machine_instructions = machine_instructions
+        #: address bases for the L1 paths
+        self.table_bases = table_bases if table_bases is not None else {}
+        self.space_bases = space_bases if space_bases is not None else {}
+        self.record_base = record_base
+        self.out_base = out_base
+        #: record offset the regular-memory addresses are currently
+        #: based at (see :func:`rebase_window`)
+        self.record_offset = record_offset
+        #: lazily-computed static issue order (uids sorted by
+        #: (depth, uid)); a pure function of the instances, so engine
+        #: runs share it
+        self.issue_order: Optional[List[int]] = None
+        #: deferred-expansion template (array core only)
+        self._lazy: Optional[_LazyExpansion] = None
 
     @property
     def useful_per_iteration(self) -> int:
         return self.kernel.useful_ops()
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the :class:`Instance` lists exist yet."""
+        return self._instances is not None
+
+    @property
+    def instances(self) -> List[Instance]:
+        if self._instances is None:
+            self._materialize()
+        return self._instances
+
+    @property
+    def const_reads(self) -> List[ConstRead]:
+        if self._const_reads is None:
+            self._materialize()
+        return self._const_reads
+
+    def instance_view(self, uid: int):
+        """One mapped instance for introspection — the real
+        :class:`Instance` when materialized, else a thin
+        :class:`InstanceView` over the SoA buffers (no materialization).
+        """
+        if self._instances is not None:
+            return self._instances[uid]
+        if getattr(self, "_fastcore_soa", None) is not None:
+            return InstanceView(self, uid)
+        return self.instances[uid]
+
+    def instance_views(self) -> List:
+        """Views for every mapped instance (see :meth:`instance_view`)."""
+        soa = getattr(self, "_fastcore_soa", None)
+        if self._instances is None and soa is not None:
+            return [InstanceView(self, uid) for uid in range(soa.n)]
+        return list(self.instances)
+
+    def _materialize(self) -> None:
+        """Run the deferred clone loop (identical to the object
+        expansion's, down to list-object allocation order)."""
+        lazy = self._lazy
+        if lazy is None:
+            raise RuntimeError(
+                "window has neither instances nor an expansion template"
+            )
+        kernel = self.kernel
+        cols = self.params.cols
+        smc = self.config.smc_stream
+        record_in = kernel.record_in
+        record_out = kernel.record_out
+        record_base = self.record_base
+        out_base = self.out_base
+        node_rows = self.placement.node_rows
+        home_rows = self.placement.home_row
+        instances: List[Instance] = []
+        const_reads: List[ConstRead] = []
+        append_instance = instances.append
+        append_const = const_reads.append
+
+        for u in range(self.iterations):
+            assignment = node_rows[u]
+            home_row = home_rows[u]
+            base = uid = u * lazy.block
+            for (kind, latency, cons, operands, useful, words, address,
+                 depth, iid), node in zip(lazy.body_rows, assignment):
+                append_instance(Instance(
+                    uid, kind, node, u, latency,
+                    [base + c for c in cons] if cons else [],
+                    operands, useful, node // cols, words, address, [],
+                    depth, iid,
+                ))
+                uid += 1
+            if smc:
+                interface_node = home_row * cols
+                for n_words, wc in lazy.lmw_rows:
+                    append_instance(Instance(
+                        uid, LMW, interface_node, u, 1, [], 0, False,
+                        home_row, n_words, 0,
+                        [[base + c for c in cl] for cl in wc],
+                        lazy.top_priority, -1,
+                    ))
+                    uid += 1
+            else:
+                for w, node_pos, cons in lazy.load_rows:
+                    node = assignment[node_pos]
+                    append_instance(Instance(
+                        uid, LOAD, node, u, 1,
+                        [base + c for c in cons] if cons else [],
+                        0, False, node // cols, 0,
+                        record_base + u * record_in + w,
+                        [], lazy.top_priority, -1,
+                    ))
+                    uid += 1
+            for out_slot, ppos in lazy.store_rows:
+                node = assignment[ppos]
+                append_instance(Instance(
+                    uid, STORE, node, u, 1, [], 1, False,
+                    home_row if smc else node // cols, 0,
+                    out_base + u * record_out + out_slot, [], 0, -1,
+                ))
+                uid += 1
+            for slot, cons in lazy.cr_rows:
+                append_const(ConstRead(slot, u, [base + c for c in cons]))
+
+        self._instances = instances
+        self._const_reads = const_reads
+
+    def _key(self) -> tuple:
+        return (
+            self.kernel, self.config, self.params, self.iterations,
+            self.instances, self.const_reads, self.placement,
+            self.machine_instructions, self.table_bases, self.space_bases,
+            self.record_base, self.out_base, self.record_offset,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MappedWindow):
+            return NotImplemented
+        # Field-for-field, matching the former dataclass semantics
+        # (issue_order excluded); comparing instances materializes both
+        # sides, so lazy and eager windows compare by content.
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "lazy" if self._instances is None else "materialized"
+        return (
+            f"<MappedWindow {self.kernel.name}|{self.config.name} "
+            f"U={self.iterations} offset={self.record_offset} {state}>"
+        )
+
+
+class InstanceView:
+    """Read-only :class:`Instance` facade over a lazy window's SoA.
+
+    Field-for-field what materializing and indexing ``instances`` would
+    return, read straight out of the window's fused structure-of-arrays
+    buffers — O(1), no Instance construction.  Addresses resolve at the
+    window's *current* record offset, exactly like rebased instances.
+    """
+
+    __slots__ = ("_window", "_soa", "uid")
+
+    def __init__(self, window: MappedWindow, uid: int):
+        self._window = window
+        self._soa = window._fastcore_soa
+        self.uid = uid
+
+    @property
+    def kind(self) -> str:
+        return self._soa.kinds[self.uid]
+
+    @property
+    def node(self) -> int:
+        return self._soa.nodes_of[self.uid]
+
+    @property
+    def iteration(self) -> int:
+        return self._soa.iters[self.uid]
+
+    @property
+    def latency(self) -> int:
+        return self._soa.latencies[self.uid]
+
+    @property
+    def consumers(self) -> List[int]:
+        return [cuid for cuid, _delay in self._soa.cons[self.uid]]
+
+    @property
+    def operands(self) -> int:
+        return self._soa.operands[self.uid]
+
+    @property
+    def useful(self) -> bool:
+        return self._soa.useful[self.uid]
+
+    @property
+    def row(self) -> int:
+        return self._soa.rows[self.uid]
+
+    @property
+    def words(self) -> int:
+        return self._soa.lmw_words[self.uid]
+
+    @property
+    def address(self) -> int:
+        soa = self._soa
+        return int(
+            soa.addr_at0[self.uid]
+            + self._window.record_offset * soa.addr_stride[self.uid]
+        )
+
+    @property
+    def word_consumers(self) -> List[List[int]]:
+        words = self._soa.lmw_cons[self.uid]
+        if not words:
+            return []
+        return [[cuid for cuid, _delay in word] for word in words]
+
+    @property
+    def depth(self) -> int:
+        return self._soa.depths[self.uid]
+
+    @property
+    def kernel_iid(self) -> int:
+        return self._soa.kiids[self.uid]
+
+    def to_instance(self) -> Instance:
+        """A real (detached) :class:`Instance` with this view's fields."""
+        return Instance(
+            self.uid, self.kind, self.node, self.iteration, self.latency,
+            list(self.consumers), self.operands, self.useful, self.row,
+            self.words, self.address, self.word_consumers, self.depth,
+            self.kernel_iid,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (Instance, InstanceView)):
+            return NotImplemented
+        return (
+            self.uid == other.uid
+            and self.kind == other.kind
+            and self.node == other.node
+            and self.iteration == other.iteration
+            and self.latency == other.latency
+            and self.consumers == other.consumers
+            and self.operands == other.operands
+            and self.useful == other.useful
+            and self.row == other.row
+            and self.words == other.words
+            and self.address == other.address
+            and self.word_consumers == other.word_consumers
+            and self.depth == other.depth
+            and self.kernel_iid == other.kernel_iid
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<InstanceView uid={self.uid} kind={self.kind} "
+            f"node={self.node} iter={self.iteration}>"
+        )
 
 
 def overhead_per_iteration(kernel: Kernel, config: MachineConfig, params: MachineParams) -> int:
@@ -157,7 +456,26 @@ def _expansion_plan(kernel: Kernel, config: MachineConfig, params: MachineParams
     encoded in the instruction and contribute nothing.  Shared by the
     object expansion below and the template-cloning array expansion in
     :mod:`repro.machine.fastcore.map_core`.
+
+    Memoized on the kernel instance, keyed by the config/param fields
+    the classification can depend on (the plan is iteration-count
+    independent, so a kernel swept across configurations classifies
+    each body once per distinct key).  The returned structures are
+    shared and treated as read-only by both expansions.
     """
+    key = (
+        config.l0_data, config.operand_revitalize, config.smc_stream,
+        params.l0_data_latency, params.lmw_words,
+        tuple(sorted(
+            ((opclass.name, latency)
+             for opclass, latency in params.latencies.items()),
+        )),
+    )
+    memo = kernel.__dict__.setdefault("_expansion_plan_memo", {})
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+
     table_bases = {tid: _TABLE_REGION + 4096 * i
                    for i, tid in enumerate(sorted(kernel.tables))}
     space_bases = {sid: _SPACE_REGION + (1 << 18) * i
@@ -206,7 +524,9 @@ def _expansion_plan(kernel: Kernel, config: MachineConfig, params: MachineParams
               min((c + 1) * params.lmw_words, kernel.record_in))
         for c in range(n_chunks)
     ]
-    return body_plan, top_priority, table_bases, space_bases, chunk_words
+    plan = body_plan, top_priority, table_bases, space_bases, chunk_words
+    memo[key] = plan
+    return plan
 
 
 def map_window(
@@ -356,19 +676,22 @@ def rebase_window(window: MappedWindow, record_offset: int) -> MappedWindow:
     field-for-field identical to ``map_window(..., record_offset=...)``
     at the new offset (the equivalence suite pins this), at the cost of
     touching only the LOAD/STORE instances instead of rebuilding and
-    re-placing the whole window.
+    re-placing the whole window.  Lazy windows rebase in O(1): only the
+    bases and offset move, and both deferred materialization and the SoA
+    address columns (kept relative to offset 0) resolve through them.
     """
     delta = record_offset - window.record_offset
     if delta == 0:
         return window
     delta_in = delta * window.kernel.record_in
     delta_out = delta * window.kernel.record_out
-    for inst in window.instances:
-        kind = inst.kind
-        if kind == LOAD:
-            inst.address += delta_in
-        elif kind == STORE:
-            inst.address += delta_out
+    if window.materialized:
+        for inst in window._instances:
+            kind = inst.kind
+            if kind == LOAD:
+                inst.address += delta_in
+            elif kind == STORE:
+                inst.address += delta_out
     window.record_base += delta_in
     window.out_base += delta_out
     window.record_offset = record_offset

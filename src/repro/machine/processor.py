@@ -262,7 +262,9 @@ class GridProcessor:
         :class:`~repro.machine.window_cache.MappedWindowCache`) and
         *rebased* between the cold and warm passes instead of being
         re-mapped — bit-identical to two independent ``map_window``
-        calls, per the equivalence suite.
+        calls, per the equivalence suite.  Under the array core the
+        window is still lazy at this point, so the rebase is O(1)
+        (template bookkeeping only, no per-instance writes).
         """
         U = min(window_iterations(kernel, config, self.params),
                 max(1, n_records))
@@ -323,9 +325,17 @@ class GridProcessor:
     def _useful_ops(kernel: Kernel, records: Sequence[Record]) -> int:
         if not kernel.loop.variable:
             return kernel.useful_ops() * len(records)
-        return sum(
-            kernel.useful_ops_live(kernel.trip_count(r)) for r in records
-        )
+        # ``useful_ops_live`` walks the body per call; trip counts repeat
+        # heavily across a stream, so memoize per distinct count.
+        per_trips: dict = {}
+        total = 0
+        for r in records:
+            trips = kernel.trip_count(r)
+            ops = per_trips.get(trips)
+            if ops is None:
+                ops = per_trips[trips] = kernel.useful_ops_live(trips)
+            total += ops
+        return total
 
 
 def run_kernel(

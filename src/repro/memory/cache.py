@@ -10,11 +10,16 @@ measured rather than assumed, plus port arbitration for bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs.trace import MEM, TRACE
 from .mainmem import WORD_BYTES, MainMemory
 from .ports import PortQueue
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the container ships numpy
+    np = None
 
 
 @dataclass
@@ -141,6 +146,73 @@ class BankedL1:
                 ts=grant, dur=latency,
             )
         return grant + latency
+
+    def timed_access_batch(
+        self,
+        addresses: Sequence[int],
+        cycles: Union[int, Sequence[int]],
+        write: bool = False,
+    ) -> List[int]:
+        """Batched twin of :meth:`timed_access` for whole address streams.
+
+        Equivalent — in returned ready cycles, per-bank tag/LRU state,
+        hit/miss/eviction/writeback statistics and port-queue state — to
+        sequential :meth:`timed_access` calls in order.  ``cycles`` may
+        be one arrival cycle for the whole stream or one per address.
+        The bank, set and tag of every address are precomputed in one
+        numpy pass (``line = addr // line_words``; ``bank = line %
+        banks``; within a bank, ``set = line % n_sets``, ``tag = line //
+        n_sets``) and the remaining per-access work — FIFO port grant
+        plus the LRU way scan — runs as a tight loop with the bank
+        structures held in locals.  The per-access path stands alone as
+        the reference (and serves tracing, which needs one event per
+        access, and numpy-free processes).
+        """
+        n = len(addresses)
+        if isinstance(cycles, int):
+            cycles = [cycles] * n
+        if TRACE.enabled or np is None or n < 2:
+            return [
+                self.timed_access(address, cycle, write=write)
+                for address, cycle in zip(addresses, cycles)
+            ]
+        lines = np.asarray(addresses, dtype=np.int64) // self.line_words
+        n_banks = len(self.banks)
+        n_sets = self.banks[0].n_sets
+        bank_idx = (lines % n_banks).tolist()
+        set_idx = (lines % n_sets).tolist()
+        tags = (lines // n_sets).tolist()
+        banks = self.banks
+        ports = self.ports
+        hit_latency = self.hit_latency
+        miss_latency = hit_latency + self.l2_latency
+        out: List[int] = []
+        append = out.append
+        for i in range(n):
+            b = bank_idx[i]
+            grant = ports[b].reserve(cycles[i])
+            cache = banks[b]
+            ways = cache._sets[set_idx[i]]
+            stats = cache.stats
+            stats.accesses += 1
+            tag = tags[i]
+            for j, (t, dirty) in enumerate(ways):
+                if t == tag:
+                    ways.pop(j)
+                    ways.append((tag, dirty or write))
+                    stats.hits += 1
+                    append(grant + hit_latency)
+                    break
+            else:
+                stats.misses += 1
+                if len(ways) >= cache.assoc:
+                    _, victim_dirty = ways.pop(0)
+                    stats.evictions += 1
+                    if victim_dirty:
+                        stats.writebacks += 1
+                ways.append((tag, write))
+                append(grant + miss_latency)
+        return out
 
     def warm(self, addresses) -> None:
         """Pre-touch addresses (used to model steady-state resident tables)."""

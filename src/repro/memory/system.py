@@ -194,6 +194,18 @@ class MemorySystem:
         """Time one access through the hardware-cached L1 path."""
         return self.l1.timed_access(address, cycle, write=write)
 
+    def l1_access_batch(
+        self, addresses, cycles, write: bool = False
+    ) -> List[int]:
+        """Time a stream of L1 accesses (batch twin of :meth:`l1_access`).
+
+        ``cycles`` is one arrival cycle per address, or one int for the
+        whole stream.  Identical ready cycles, cache state and port
+        state to sequential :meth:`l1_access` calls in order — see
+        :meth:`repro.memory.cache.BankedL1.timed_access_batch`.
+        """
+        return self.l1.timed_access_batch(addresses, cycles, write=write)
+
     def row_store_drain_cycle(self, row: int) -> int:
         return self.store_buffers[row].drain_complete_cycle()
 

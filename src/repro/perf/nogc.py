@@ -1,0 +1,38 @@
+"""Deferred garbage collection around simulation hot loops.
+
+Simulating one point allocates heavily — per-edge consumer tuples,
+arrival buckets, SoA scratch — and CPython's generational collector
+triggers full collections mid-run once the allocation cascades through
+the thresholds.  Those pauses land inside whatever phase happens to be
+allocating (window expansion is the usual victim: its tuple burst is
+what trips the thresholds, so it pays for scanning every long-lived
+object in the process) and grow with the size of the resident caches,
+not with the work of the point being simulated.
+
+The simulator does not rely on collection for correctness: nothing in
+a run depends on ``__del__`` ordering, and a point's garbage is
+reclaimed by refcounting as it goes (the collector only exists for
+cycles).  So the dispatch layer pauses the collector for the duration
+of one point and restores the caller's setting after — cycles created
+during the run are collected at the next ambient collection instead of
+stalling the run itself.  Nested use is a no-op, and a caller that
+runs with the collector disabled process-wide is left untouched.
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+
+
+@contextmanager
+def gc_deferred():
+    """Pause the cyclic collector; restore the previous state on exit."""
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()

@@ -180,8 +180,35 @@ class TestDataflowCoreEquivalence:
                 assert len(a) == len(b), name
                 for col_a, col_b in zip(a, b):
                     assert numpy.array_equal(col_a, col_b), name
+            elif isinstance(a, numpy.ndarray):
+                # Whole-array slots (addr_at0, addr_stride).
+                assert numpy.array_equal(a, b), name
             else:
                 assert a == b, name
+
+    # seeds 0/4: baseline configs (all loads through the L1);
+    # seed 9: LUTs over a 16-entry table under S; seed 10: LDI space.
+    @pytest.mark.parametrize("seed", [0, 4, 9, 10])
+    def test_batch_memory_timing_bit_exact(self, seed):
+        """Windows whose streams hit the banked L1 (baseline loads, LUT
+        and LDI round trips) must time identically whether the core
+        batches the per-cycle address stream through
+        ``timed_access_batch`` or the object loop issues one
+        ``l1_access`` per instance — including every hit/miss/eviction
+        and port-grant the run publishes in its detail snapshot."""
+        kernel, config, iterations = corpus_case(seed)
+        with using_core("array"):
+            fast = dataflow_engine(kernel, config, iterations)
+            t_fast = fast.run()
+        with using_core("object"):
+            reference = dataflow_engine(kernel, config, iterations)
+            t_ref = reference.run()
+        assert t_fast == t_ref
+        assert fast.stats == reference.stats
+        assert (fast.memory.metrics_snapshot()
+                == reference.memory.metrics_snapshot())
+        assert fast.memory.l1.stats == reference.memory.l1.stats
+        assert reference.memory.l1.stats.accesses > 0
 
     def test_traces_identical(self):
         kernel, config, iterations = corpus_case(9)
@@ -193,6 +220,67 @@ class TestDataflowCoreEquivalence:
                                         trace=True)
             reference.run()
         assert fast.trace == reference.trace
+
+
+class TestLazyWindowExpansion:
+    """The array core's windows stay lazy until someone actually needs
+    Instance objects — and materialize bit-identically when they do."""
+
+    def setup_window(self, seed=3, offset=0):
+        kernel, config, iterations = corpus_case(seed)
+        params = MachineParams()
+        with using_core("array"):
+            window = map_window(kernel, config, params,
+                                iterations=iterations,
+                                record_offset=offset)
+        return kernel, config, params, iterations, window
+
+    def test_map_and_run_never_materialize(self):
+        kernel, config, iterations = corpus_case(3)
+        params = MachineParams()
+        with using_core("array"):
+            window = map_window(kernel, config, params,
+                                iterations=iterations)
+            assert not window.materialized
+            memory = MemorySystem(params.rows, params.memory_timings())
+            memory.configure_smc(config.smc_stream)
+            timing = DataflowEngine(window, memory, seed=1).run()
+        assert timing.cycles > 0
+        assert not window.materialized  # the SoA run never touched them
+
+    def test_materialization_matches_object_expansion(self):
+        kernel, config, params, iterations, window = self.setup_window()
+        with using_core("object"):
+            eager = map_window(kernel, config, params,
+                               iterations=iterations)
+        assert window.instances == eager.instances  # forces the clone loop
+        assert window.materialized
+        assert window.const_reads == eager.const_reads
+
+    def test_instance_views_match_instances_without_materializing(self):
+        kernel, config, params, iterations, window = self.setup_window()
+        with using_core("object"):
+            eager = map_window(kernel, config, params,
+                               iterations=iterations)
+        views = window.instance_views()
+        assert not window.materialized
+        assert len(views) == len(eager.instances)
+        for view, inst in zip(views, eager.instances):
+            assert view == inst
+        assert window.instance_view(0) == eager.instances[0]
+        assert not window.materialized
+
+    def test_rebase_lazy_then_materialize_matches_fresh_map(self):
+        from repro.machine.mapping import rebase_window
+
+        kernel, config, params, iterations, window = self.setup_window()
+        rebase_window(window, 11)
+        assert not window.materialized  # lazy rebase is O(1) bookkeeping
+        with using_core("object"):
+            fresh = map_window(kernel, config, params,
+                               iterations=iterations, record_offset=11)
+        assert window.instances == fresh.instances
+        assert window == fresh
 
 
 def mimd_pair(name, config, records):
@@ -234,17 +322,22 @@ class TestMimdCoreEquivalence:
         ("rijndael", "M"),            # LUTs without an L0 data store
         ("anisotropic-filter", "M-D"),  # LDI: live L1 round trips
     ])
-    def test_uncovered_records_fall_back_to_object_loop(self, name, cfg):
-        """Records whose live set takes the L1 round-trip paths are not
-        affine; the array core must decline them (plan ``None``) and the
-        object loop must produce the result — still bit-identical."""
+    def test_l1_round_trip_records_use_staged_plans(self, name, cfg):
+        """Records whose live set takes the L1 round-trip paths compile
+        to *staged* plans — affine between the L1 ops, concrete
+        ``l1_access`` calls at each — and must stay bit-identical to the
+        object loop, including the L1/port state the stages mutate."""
         config = MachineConfig.M() if cfg == "M" else MachineConfig.M_D()
         records = spec(name).workload(8, 3)
-        fast, r_fast, _reference, r_ref = mimd_pair(name, config, records)
+        fast, r_fast, reference, r_ref = mimd_pair(name, config, records)
         plans = fast.__dict__.get("_fastcore_plans", {})
         assert plans, "array core never consulted"
-        assert set(plans.values()) == {None}
+        assert all(plan is not None for plan in plans.values())
+        assert any(plan.l1_meta for plan in plans.values())
         assert r_fast == r_ref
+        assert fast.stats == reference.stats
+        assert (fast.memory.metrics_snapshot()
+                == reference.memory.metrics_snapshot())
 
 
 class TestProcessorEquivalence:
@@ -255,6 +348,8 @@ class TestProcessorEquivalence:
         ("convert", MachineConfig.baseline()),
         ("md5", MachineConfig.S_O_D()),
         ("blowfish", MachineConfig.M_D()),
+        ("rijndael", MachineConfig.S()),
+        ("anisotropic-filter", MachineConfig.baseline()),
     ])
     def test_run_results_identical_across_cores(self, name, config):
         s = spec(name)

@@ -1,0 +1,148 @@
+"""The pipeline without numpy: warning, degradation, identical results.
+
+The array engine cores (:mod:`repro.machine.fastcore`) depend on numpy;
+the package itself must not.  These tests import a parallel world of
+``repro.*`` modules under a meta-path finder that blocks ``numpy``, and
+pin the contract: requesting ``--engine-core array`` (or setting
+``REPRO_ENGINE_CORE=array``) raises a :class:`RuntimeWarning` and
+degrades to the object engines, whose results are bit-identical to the
+object core of the numpy-enabled world.
+
+Objects from the blocked world are *different classes* than the normal
+world's (same source, separate module instances), so results are
+compared as plain data — cycles, ops, setup and the detail dict — never
+as ``RunResult`` instances across worlds.
+"""
+
+import importlib
+import os
+import sys
+from contextlib import contextmanager
+
+import pytest
+
+
+class _NumpyBlocker:
+    """Meta-path finder that makes ``import numpy`` fail."""
+
+    def find_spec(self, fullname, path=None, target=None):
+        if fullname == "numpy" or fullname.startswith("numpy."):
+            raise ModuleNotFoundError(
+                "numpy is blocked by test_numpy_fallback", name=fullname
+            )
+        return None
+
+
+def _world_modules():
+    return [
+        name for name in sys.modules
+        if name == "repro" or name.startswith("repro.")
+        or name == "numpy" or name.startswith("numpy.")
+    ]
+
+
+@contextmanager
+def numpy_free_world():
+    """A repro world in which numpy does not exist.
+
+    Saves the real ``repro.*``/``numpy*`` modules (and the engine-core
+    environment variable), installs the blocker, and yields a bare
+    ``import_module``; on exit the blocked-world modules are evicted and
+    the originals restored, so code after the ``with`` block sees the
+    numpy-enabled classes again.
+    """
+    saved = {name: sys.modules.pop(name) for name in _world_modules()}
+    saved_env = os.environ.get("REPRO_ENGINE_CORE")
+    blocker = _NumpyBlocker()
+    sys.meta_path.insert(0, blocker)
+    try:
+        yield importlib.import_module
+    finally:
+        sys.meta_path.remove(blocker)
+        for name in _world_modules():
+            del sys.modules[name]
+        sys.modules.update(saved)
+        if saved_env is None:
+            os.environ.pop("REPRO_ENGINE_CORE", None)
+        else:
+            os.environ["REPRO_ENGINE_CORE"] = saved_env
+
+
+@pytest.fixture
+def numpy_free_import():
+    with numpy_free_world() as import_module:
+        yield import_module
+
+
+def test_blocker_actually_blocks(numpy_free_import):
+    with pytest.raises(ModuleNotFoundError):
+        numpy_free_import("numpy")
+    fastcore = numpy_free_import("repro.machine.fastcore")
+    assert fastcore.HAVE_NUMPY is False
+    assert fastcore.active_core() == "object"
+
+
+def test_array_request_warns_and_degrades(numpy_free_import):
+    fastcore = numpy_free_import("repro.machine.fastcore")
+    with pytest.warns(RuntimeWarning, match="numpy is unavailable"):
+        fastcore.set_engine_core("array")
+    # The request is remembered (pool workers must inherit it) but
+    # timing still selects the object engines.
+    assert os.environ["REPRO_ENGINE_CORE"] == "array"
+    assert fastcore.active_core() == "object"
+    # The object core is an explicit, warning-free choice.
+    fastcore.set_engine_core("object")
+    assert fastcore.active_core() == "object"
+
+
+def test_env_request_warns_at_import(numpy_free_import):
+    os.environ["REPRO_ENGINE_CORE"] = "array"
+    with pytest.warns(RuntimeWarning, match="numpy is unavailable"):
+        numpy_free_import("repro.machine.fastcore")
+
+
+#: One block-style and one MIMD point (the latter exercises the LUT/LDI
+#: L1 paths the staged plans normally cover).
+POINTS = [("convert", "S_O"), ("blowfish", "M_D")]
+
+
+def _run_plain(import_module, points):
+    """Run the points in the given module world; plain-data results."""
+    machine = import_module("repro.machine")
+    window_cache = import_module("repro.machine.window_cache")
+    kernels = import_module("repro.kernels")
+    out = {}
+    for kernel_name, config_name in points:
+        s = kernels.spec(kernel_name)
+        kernel, records = s.kernel(), s.workload(8, 5)
+        config = getattr(machine.MachineConfig, config_name)()
+        processor = machine.GridProcessor(
+            window_cache=window_cache.MappedWindowCache()
+        )
+        result = processor.run(kernel, records, config)
+        out[(kernel_name, config_name)] = {
+            "cycles": result.cycles,
+            "useful_ops": result.useful_ops,
+            "setup_cycles": result.setup_cycles,
+            "records": result.records,
+            "detail": dict(result.detail),
+        }
+    return out
+
+
+def test_results_identical_to_numpy_object_core():
+    """A degraded-world sweep equals the numpy world's object core,
+    field for field."""
+    with numpy_free_world() as import_module:
+        fastcore = import_module("repro.machine.fastcore")
+        with pytest.warns(RuntimeWarning):
+            fastcore.set_engine_core("array")  # degrades to object
+        blocked = _run_plain(import_module, POINTS)
+
+    # Real modules are restored here; run the same points on the
+    # explicit object core as the oracle.
+    from repro.machine.fastcore import using_core
+
+    with using_core("object"):
+        oracle = _run_plain(importlib.import_module, POINTS)
+    assert blocked == oracle

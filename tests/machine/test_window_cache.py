@@ -10,6 +10,7 @@ requested offset, regardless of hit/miss history.
 from repro.kernels import spec
 from repro.machine import GridProcessor, MachineConfig, MachineParams, \
     map_window
+from repro.machine.fastcore import using_core
 from repro.machine.window_cache import (
     SHARED_WINDOW_CACHE,
     MappedWindowCache,
@@ -81,6 +82,25 @@ class TestMappedWindowCache:
         # iterations=1 was least recently used: re-requesting it misses.
         cache.get_or_map(kernel, config, params, 1)
         assert cache.misses == 4 and cache.hits == 0
+
+    def test_engine_cores_have_distinct_entries(self):
+        """The active engine core is part of the key: the array core's
+        lazy SoA-backed window and the object core's eager one must not
+        be traded across a mid-process core switch — but their content
+        is identical."""
+        kernel, config, params = fft_point()
+        cache = MappedWindowCache()
+        with using_core("array"):
+            lazy = cache.get_or_map(kernel, config, params, 4)
+        with using_core("object"):
+            eager = cache.get_or_map(kernel, config, params, 4)
+        assert (cache.hits, cache.misses, len(cache)) == (0, 2, 2)
+        assert eager is not lazy
+        assert eager.materialized
+        assert eager == lazy  # content equality regardless of core
+        with using_core("array"):
+            assert cache.get_or_map(kernel, config, params, 4) is lazy
+        assert cache.hits == 1
 
     def test_clear_resets_counters(self):
         kernel, config, params = fft_point()

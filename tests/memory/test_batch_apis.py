@@ -2,9 +2,10 @@
 
 The engine hot paths call batch twins (``reserve_batch``,
 ``deliver_burst``/``deliver_batch``, ``push_many``, ``lmw_deliver_fast``,
-``smc_store_many``) that must be bit-identical — in returned cycles,
-statistics and internal queue state — to the original one-call-per-word
-methods, which stay in the code as executable reference specifications.
+``smc_store_many``, ``timed_access_batch``/``l1_access_batch``) that
+must be bit-identical — in returned cycles, statistics and internal
+queue/tag state — to the original one-call-per-word methods, which stay
+in the code as executable reference specifications.
 """
 
 import random
@@ -12,6 +13,7 @@ import random
 import pytest
 
 from repro.memory import MemorySystem
+from repro.memory.cache import BankedL1
 from repro.memory.channels import StreamChannel
 from repro.memory.ports import PortQueue, ThroughputMeter
 from repro.memory.storebuffer import StoreBuffer
@@ -140,6 +142,82 @@ class TestStoreBufferBatch:
         assert storebuffer_state(batched) == storebuffer_state(reference)
         assert batched._pending_lines == reference._pending_lines
         assert len(batched._pending_lines) <= 2
+
+
+def small_l1():
+    """A deliberately tiny L1 so random streams hit every path — hits,
+    misses, LRU evictions and dirty writebacks."""
+    return BankedL1(capacity_kb=2, banks=2, line_words=8, assoc=2)
+
+
+def l1_state(l1):
+    return (
+        [port_state(port) for port in l1.ports],
+        [bank._sets for bank in l1.banks],
+        [(bank.stats.accesses, bank.stats.hits, bank.stats.misses,
+          bank.stats.evictions, bank.stats.writebacks)
+         for bank in l1.banks],
+    )
+
+
+class TestBankedL1Batch:
+    @pytest.mark.parametrize("write", [False, True])
+    def test_batch_matches_sequential_access(self, write):
+        rng = random.Random(13)
+        addresses = [rng.randrange(0, 4096) for _ in range(120)]
+        cycles = [rng.randrange(0, 60) for _ in range(120)]
+        batched, reference = small_l1(), small_l1()
+        got = batched.timed_access_batch(addresses, cycles, write=write)
+        want = [reference.timed_access(a, c, write=write)
+                for a, c in zip(addresses, cycles)]
+        assert got == want
+        assert l1_state(batched) == l1_state(reference)
+        assert batched.stats.evictions > 0  # the stream really thrashed
+
+    def test_scalar_cycle_broadcasts(self):
+        addresses = [0, 8, 16, 64, 8, 0]
+        batched, reference = small_l1(), small_l1()
+        got = batched.timed_access_batch(addresses, 9)
+        want = [reference.timed_access(a, 9) for a in addresses]
+        assert got == want
+        assert l1_state(batched) == l1_state(reference)
+
+    def test_batch_after_prior_sequential_traffic(self):
+        """A batch entering warm tag and port state sees exactly the
+        grants/hits the sequential path would — and vice versa after."""
+        rng = random.Random(29)
+        batched, reference = small_l1(), small_l1()
+        for _ in range(40):
+            a, c = rng.randrange(0, 2048), rng.randrange(0, 30)
+            assert batched.timed_access(a, c) == reference.timed_access(a, c)
+        addresses = [rng.randrange(0, 2048) for _ in range(50)]
+        got = batched.timed_access_batch(addresses, 12)
+        want = [reference.timed_access(a, 12) for a in addresses]
+        assert got == want
+        # Follow-up singles agree: state fully converged.
+        assert batched.timed_access(3, 50) == reference.timed_access(3, 50)
+        assert l1_state(batched) == l1_state(reference)
+
+    def test_short_and_empty_batches(self):
+        batched, reference = small_l1(), small_l1()
+        assert batched.timed_access_batch([], 0) == []
+        assert batched.timed_access_batch([40], 2) == \
+            [reference.timed_access(40, 2)]
+        assert l1_state(batched) == l1_state(reference)
+
+    def test_memory_system_batch_front_door(self):
+        """``MemorySystem.l1_access_batch`` is the engines' entry point;
+        it must agree with sequential ``l1_access`` including the
+        metrics snapshot the run publishes."""
+        rng = random.Random(31)
+        addresses = [rng.randrange(0, 8192) for _ in range(80)]
+        cycles = [rng.randrange(0, 40) for _ in range(80)]
+        fast, reference = MemorySystem(rows=4), MemorySystem(rows=4)
+        got = fast.l1_access_batch(addresses, cycles)
+        want = [reference.l1_access(a, c)
+                for a, c in zip(addresses, cycles)]
+        assert got == want
+        assert fast.metrics_snapshot() == reference.metrics_snapshot()
 
 
 def smc_memory():

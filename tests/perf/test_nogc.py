@@ -1,0 +1,70 @@
+"""GC deferral around dispatched simulation points.
+
+The contract is narrow: inside the context the cyclic collector is off,
+outside it the caller's setting is restored exactly — including when the
+caller already runs with collection disabled (the context must not turn
+it back on behind their back) and when the body raises.
+"""
+
+import gc
+
+import pytest
+
+from repro.backends import get as get_backend
+from repro.backends.base import dispatch
+from repro.kernels import spec
+from repro.machine import MachineConfig
+from repro.perf.nogc import gc_deferred
+
+
+class TestGcDeferred:
+    def test_disables_inside_and_restores(self):
+        assert gc.isenabled()
+        with gc_deferred():
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_nested_use_is_safe(self):
+        with gc_deferred():
+            with gc_deferred():
+                assert not gc.isenabled()
+            # The inner exit must not re-enable under the outer pause.
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_respects_caller_disabled_state(self):
+        gc.disable()
+        try:
+            with gc_deferred():
+                assert not gc.isenabled()
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with gc_deferred():
+                raise RuntimeError("boom")
+        assert gc.isenabled()
+
+
+def test_dispatch_runs_with_gc_paused_and_restores():
+    s = spec("convert")
+    observed = {}
+    backend = get_backend("grid")
+    original_run = backend.run
+
+    def probed_run(*args, **kwargs):
+        observed["enabled_inside"] = gc.isenabled()
+        return original_run(*args, **kwargs)
+
+    backend.run = probed_run
+    try:
+        result = dispatch(
+            backend, s.kernel(), s.workload(4, 7), MachineConfig.S()
+        )
+    finally:
+        backend.run = original_run
+    assert observed["enabled_inside"] is False
+    assert gc.isenabled()
+    assert result.cycles > 0
