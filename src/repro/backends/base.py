@@ -28,14 +28,18 @@ from __future__ import annotations
 import abc
 from typing import Optional, Sequence
 
+from time import perf_counter
+
 from ..isa.kernel import Kernel
 from ..machine.config import MachineConfig
 from ..machine.fastcore import active_core, using_core
 from ..machine.params import MachineParams
 from ..machine.stats import RunResult
+from ..obs.ledger import LEDGER
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACE
 from ..perf.nogc import gc_deferred
+from ..perf.phases import measuring
 
 #: Trace-track name backend dispatches are recorded under.
 BACKEND_TRACK = "backend"
@@ -96,6 +100,27 @@ class Backend(abc.ABC):
         """Simulate one (kernel, records, config) point on this model."""
 
 
+def _run_on(
+    backend: Backend,
+    kernel: Kernel,
+    records: Sequence[Sequence],
+    config: MachineConfig,
+    params: Optional[MachineParams],
+    functional: bool,
+    engine_core: Optional[str],
+) -> RunResult:
+    """The bare simulation of :func:`dispatch` (core pin + GC pause)."""
+    with gc_deferred():
+        if engine_core is None:
+            return backend.run(
+                kernel, records, config, params, functional=functional
+            )
+        with using_core(engine_core):
+            return backend.run(
+                kernel, records, config, params, functional=functional
+            )
+
+
 def dispatch(
     backend: Backend,
     kernel: Kernel,
@@ -104,14 +129,18 @@ def dispatch(
     params: Optional[MachineParams] = None,
     functional: bool = False,
     engine_core: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+    cache_status: Optional[str] = None,
 ) -> RunResult:
     """Run one point on a backend, tagging observers with the backend.
 
     The cross-cutting layers (experiment harness, sweep workers, fuzz
     modes) all route through here, so a run shows up in the metrics
-    registry (``backend.runs.<name>``) and on the trace timeline (one
-    instant per dispatched point on the ``backend`` track) no matter
-    which layer triggered it.
+    registry (``backend.runs.<name>``), on the trace timeline (one
+    instant per dispatched point on the ``backend`` track) and — when
+    the durable run ledger is enabled — as one
+    :data:`~repro.obs.ledger.LEDGER` row, no matter which layer
+    triggered it.
 
     ``engine_core`` pins the engine-core selection
     (:mod:`repro.machine.fastcore`) for this one dispatch; ``None``
@@ -119,21 +148,47 @@ def dispatch(
     under ``backend.engine_core.<core>`` — the cores are pinned
     bit-exact, so the tag changes no result, only attribution.
 
+    ``fingerprint`` and ``cache_status`` annotate the ledger row with
+    the point's content address and how the caller's cache treated it
+    (callers dispatch only on a miss, so the default records
+    ``"miss"`` when a fingerprint is known and ``"uncached"`` when the
+    caller runs cache-less); both are ignored while the ledger is off.
+
     The cyclic collector is paused for the duration of the point
     (:func:`repro.perf.nogc.gc_deferred`): mid-run collections would
     otherwise stall the allocation-heavy phases for time proportional
     to the process's resident caches, not to the point's own work.
     """
-    with gc_deferred():
-        if engine_core is None:
-            result = backend.run(
-                kernel, records, config, params, functional=functional
+    if LEDGER.enabled:
+        # One measuring scope per dispatch captures this point's own
+        # phase breakdown; nesting folds it back into any outer scope
+        # (the bench), so aggregate breakdowns stay intact.
+        started = perf_counter()
+        with measuring() as acc:
+            result = _run_on(
+                backend, kernel, records, config, params, functional,
+                engine_core,
             )
-        else:
-            with using_core(engine_core):
-                result = backend.run(
-                    kernel, records, config, params, functional=functional
-                )
+            phases = acc.snapshot()
+        LEDGER.record_run(
+            result,
+            backend=backend.name,
+            engine_core=(
+                engine_core if engine_core is not None else active_core()
+            ),
+            wall_seconds=perf_counter() - started,
+            params=params,
+            fingerprint=fingerprint,
+            cache=cache_status or (
+                "miss" if fingerprint is not None else "uncached"
+            ),
+            phases=phases,
+        )
+    else:
+        result = _run_on(
+            backend, kernel, records, config, params, functional,
+            engine_core,
+        )
     if METRICS.enabled:
         METRICS.inc(f"backend.runs.{backend.name}")
         METRICS.inc(

@@ -42,6 +42,8 @@ from typing import Dict, List, Optional
 from ..machine.fastcore import VALID_MODES, active_core, reset_soa_counters, \
     set_engine_core, soa_counters
 from ..machine.window_cache import SHARED_WINDOW_CACHE
+from ..obs.ledger import LEDGER, add_ledger_arguments, configure_from_args
+from ..obs.metrics import Histogram
 from ..perf import parallel
 from ..perf.cache import RunCache
 from ..perf.phases import measuring
@@ -189,6 +191,18 @@ def bench_experiments(
             reverse=True,
         )
     }
+    # Tail view of per-point simulation latency: a bounded histogram
+    # (repro.obs.metrics) summarizes the cold sweep's point wall times,
+    # so the report says not just where the total went but how skewed
+    # the distribution is (one pathological point vs uniform slowness).
+    point_latency = Histogram()
+    for seconds in point_seconds.values():
+        point_latency.observe(seconds)
+    point_percentiles = {
+        "p50": point_latency.percentile(50),
+        "p90": point_latency.percentile(90),
+        "p99": point_latency.percentile(99),
+    }
     cold = timer.seconds["cold_serial"]
     warm = timer.seconds["warm_memory"]
     report = {
@@ -222,6 +236,7 @@ def bench_experiments(
         "cache_after_cold": cold_stats,
         "cache_after_warm": serial_ctx.cache.stats.as_dict(),
         "point_seconds": point_seconds,
+        "point_latency_percentiles": point_percentiles,
     }
     if dispatch_stats is not None:
         # How the most recent sweep dispatched: pool/pool-fallback from
@@ -279,6 +294,14 @@ def render_report(report: dict) -> str:
         if dispatch.get("utilization") is not None:
             line += f", {dispatch['utilization']:.0%} utilization"
         lines.append(line)
+    percentiles = report.get("point_latency_percentiles")
+    if percentiles:
+        lines.append(
+            "point latency    : "
+            f"p50 {percentiles['p50']:.3f}s  "
+            f"p90 {percentiles['p90']:.3f}s  "
+            f"p99 {percentiles['p99']:.3f}s"
+        )
     slowest = list(report["point_seconds"].items())[:5]
     if slowest:
         lines.append("slowest points   :")
@@ -326,11 +349,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default="BENCH_perf.json", metavar="FILE",
         help="report path (default BENCH_perf.json; '-' for stdout only)",
     )
+    add_ledger_arguments(parser)
     add_profile_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.engine_core is not None:
         set_engine_core(args.engine_core)
+    configure_from_args(args)
     kwargs = dict(
         records=args.records,
         large_kernel_records=max(16, args.records // 4),
@@ -350,6 +375,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             fh.write("\n")
         print(f"wrote {args.output}")
     print(render_report(report))
+    if LEDGER.enabled and LEDGER.path is not None:
+        print(f"run ledger       : {LEDGER.path} (see repro-perf)",
+              file=sys.stderr)
     return 0
 
 

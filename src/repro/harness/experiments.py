@@ -35,6 +35,8 @@ from ..machine.config import TABLE5_CONFIGS, MachineConfig
 from ..machine.params import MachineParams
 from ..machine.processor import GridProcessor
 from ..machine.stats import RunResult, harmonic_mean
+from ..obs.ledger import LEDGER
+from ..obs.progress import PROGRESS, point_label
 from ..perf.cache import RunCache
 from ..perf.fingerprint import (
     combine_fingerprints,
@@ -210,6 +212,7 @@ class ExperimentContext:
             workload_seed=100 + self.seed,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
             backend=self._backend(backend).name,
+            ledger_path=LEDGER.path if LEDGER.enabled else None,
         )
 
     def run(
@@ -226,7 +229,8 @@ class ExperimentContext:
             kernel = self.kernel(name)
             started = time.perf_counter()
             result = backend_dispatch(
-                b, kernel, self.workload(name), config, self.params
+                b, kernel, self.workload(name), config, self.params,
+                fingerprint=fp, cache_status="miss",
             )
             self.point_seconds[(self._label(b, name), config.name)] = (
                 time.perf_counter() - started
@@ -269,15 +273,24 @@ class ExperimentContext:
             # charged the cache miss, so simulate and store directly
             # rather than re-probing through :meth:`run`.
             sweep_started = time.perf_counter()
+            want_progress = PROGRESS.enabled
+            if want_progress:
+                PROGRESS.add_total(len(missing))
             for name, config, fp in missing:
                 kernel = self.kernel(name)
+                if want_progress:
+                    label = point_label(b.name, name, config.name)
+                    PROGRESS.point_started(label)
                 started = time.perf_counter()
                 result = backend_dispatch(
-                    b, kernel, self.workload(name), config, self.params
+                    b, kernel, self.workload(name), config, self.params,
+                    fingerprint=fp, cache_status="miss",
                 )
                 self.point_seconds[(self._label(b, name), config.name)] = (
                     time.perf_counter() - started
                 )
+                if want_progress:
+                    PROGRESS.point_finished(label, backend=b.name)
                 self.cache.put(fp, result)
                 results[(name, config.name)] = result
             wall = time.perf_counter() - sweep_started

@@ -16,6 +16,8 @@ from typing import Callable, Dict, List, Optional
 from ..backends import backend_names, get as get_backend
 from ..machine.fastcore import VALID_MODES, active_core, set_engine_core
 from ..machine.params import MachineParams
+from ..obs.ledger import LEDGER, add_ledger_arguments, configure_from_args
+from ..obs.progress import progress_ticker
 from ..perf import parallel
 from . import experiments
 from .profiling import add_profile_arguments, profiled
@@ -90,11 +92,18 @@ def main(argv: Optional[List[str]] = None) -> int:
              "engines (default: REPRO_ENGINE_CORE or 'array'); stdout "
              "is byte-identical either way",
     )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print a live progress line (completed/total, rate, ETA, "
+             "in-flight points) to stderr while sweeps run",
+    )
+    add_ledger_arguments(parser)
     add_profile_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.engine_core is not None:
         set_engine_core(args.engine_core)
+    configure_from_args(args)
     backend = get_backend(args.backend)
     if not backend.uses_grid_params and (
             args.rows is not None or args.cols is not None):
@@ -125,14 +134,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(
             f"unknown experiment(s) {unknown}; choose from {sorted(registry)}"
         )
-    for name in names:
-        if args.profile:
-            with profiled(label=name, top=args.profile_top):
+    def run_all() -> None:
+        for name in names:
+            if args.profile:
+                with profiled(label=name, top=args.profile_top):
+                    result = registry[name]()
+            else:
                 result = registry[name]()
-        else:
-            result = registry[name]()
-        print(result.render())
-        print()
+            print(result.render())
+            print()
+
+    if args.progress:
+        # Ticker lines go to stderr only; stdout stays byte-identical.
+        with progress_ticker():
+            run_all()
+    else:
+        run_all()
     # stderr, like --profile: stdout stays byte-identical across
     # serial / --jobs / cache-replay runs (timings and hit rates vary).
     print(run_summary(ctx), file=sys.stderr)
@@ -150,6 +167,8 @@ def run_summary(ctx: experiments.ExperimentContext) -> str:
         f"  run cache        : {stats.hits} hits / {stats.misses} misses"
         f" ({stats.hit_rate:.1%} hit rate, {stats.stores} stores)",
     ]
+    if LEDGER.enabled and LEDGER.path is not None:
+        lines.append(f"  run ledger       : {LEDGER.path} (see repro-perf)")
     dispatch = parallel.LAST_DISPATCH
     if dispatch is not None:
         line = (

@@ -218,7 +218,9 @@ class MemorySystem:
         catalog (DESIGN.md "Observability").  Reading is cheap and
         side-effect free — the processor takes one snapshot per run and
         merges it into both :data:`~repro.obs.metrics.METRICS` and
-        ``RunResult.detail``.
+        ``RunResult.detail``.  Keys are emitted in sorted order so the
+        snapshot serializes byte-identically wherever it lands (cache
+        documents, ledger rows, bench JSON).
         """
         l1 = self.l1.stats
         stall_cycles = 0
@@ -233,7 +235,7 @@ class MemorySystem:
             if bank.smc is not None:
                 stall_cycles += bank.smc.port.total_wait
                 requests += bank.smc.port.total_requests
-        return {
+        snapshot = {
             "l1.accesses": float(l1.accesses),
             "l1.hits": float(l1.hits),
             "l1.misses": float(l1.misses),
@@ -263,6 +265,7 @@ class MemorySystem:
                 )
             ),
         }
+        return dict(sorted(snapshot.items()))
 
     def reset_timing(self) -> None:
         """Clear all timing state (ports, buffers) but keep functional state."""

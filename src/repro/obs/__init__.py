@@ -1,6 +1,6 @@
 """Observability for the simulation pipeline (``repro.obs``).
 
-Two coupled layers, both following the :data:`~repro.perf.phases.PHASES`
+Four coupled layers, all following the :data:`~repro.perf.phases.PHASES`
 pattern of near-zero cost when disabled:
 
 * :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
@@ -11,7 +11,14 @@ pattern of near-zero cost when disabled:
 * :mod:`repro.obs.trace` — a cycle-accurate event recorder emitting
   Chrome trace-event JSON (one track per ALU node / memory port / stream
   channel), plus the analysis behind the ``repro-trace`` CLI
-  (:mod:`repro.obs.cli`).
+  (:mod:`repro.obs.cli`);
+* :mod:`repro.obs.ledger` — the durable run ledger: one sqlite row per
+  dispatched simulation point (fingerprint, backend, engine core,
+  phases, metrics snapshot, cache/sanitizer verdicts, provenance),
+  read back by the ``repro-perf`` CLI (:mod:`repro.obs.perfcli`);
+* :mod:`repro.obs.progress` — live sweep progress with a
+  ``get_current_state()`` snapshot API and the
+  ``repro-experiments --progress`` stderr ticker.
 
 This package deliberately imports nothing from ``repro.machine`` or
 ``repro.memory`` at module level — those layers import *it*, so the
@@ -20,7 +27,25 @@ instrumentation can sit directly on the hot paths without cycles.
 
 from contextlib import contextmanager
 
+from .ledger import (
+    DEFAULT_LEDGER,
+    LEDGER,
+    LEDGER_ENV,
+    LEDGER_SCHEMA,
+    LedgerHandle,
+    RunLedger,
+    current_git_sha,
+    ledger_to,
+)
 from .metrics import METRICS, Histogram, MetricsRegistry, collecting
+from .progress import (
+    PROGRESS,
+    ProgressTracker,
+    point_label,
+    progress_ticker,
+    render_state,
+    tracking,
+)
 from .trace import (
     CTL,
     EXEC,
@@ -61,6 +86,20 @@ __all__ = [
     "MetricsRegistry",
     "Histogram",
     "collecting",
+    "LEDGER",
+    "LEDGER_ENV",
+    "LEDGER_SCHEMA",
+    "DEFAULT_LEDGER",
+    "LedgerHandle",
+    "RunLedger",
+    "current_git_sha",
+    "ledger_to",
+    "PROGRESS",
+    "ProgressTracker",
+    "tracking",
+    "point_label",
+    "render_state",
+    "progress_ticker",
     "TRACE",
     "TraceRecorder",
     "recording",

@@ -160,11 +160,13 @@ def _show(args: argparse.Namespace) -> int:
 
 def _diff(args: argparse.Namespace) -> int:
     a, b = load_trace(args.trace_a), load_trace(args.trace_b)
-    status = _validate_or_complain(a, args.trace_a) or _validate_or_complain(
-        b, args.trace_b
-    )
+    # Validate BOTH inputs unconditionally (no short-circuit): a diff
+    # against a corrupt trace must exit non-zero whichever side is bad,
+    # and both complaint lists must reach stderr.
+    status_a = _validate_or_complain(a, args.trace_a)
+    status_b = _validate_or_complain(b, args.trace_b)
     print(diff_traces(a, b, label_a=args.trace_a, label_b=args.trace_b))
-    return status
+    return status_a or status_b
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,477 @@
+"""Durable run ledger: one sqlite row per dispatched simulation point.
+
+The metrics registry and trace recorder observe a single process and
+evaporate at exit.  The ledger is the durable complement: every run
+that crosses :func:`repro.backends.dispatch` (and every cache hit a
+sweep worker replays) appends one row to a sqlite database, so "what
+was simulated, where, how long did each phase take, and what did the
+metrics say" survives the process — the substrate the service layer's
+run IDs and the distributed claim-and-run store build on.
+
+Design points:
+
+* **Near-zero cost when disabled.**  Like
+  :data:`~repro.perf.phases.PHASES`, the global :data:`LEDGER` is an
+  explicitly-enabled instrument: instrumented sites guard with
+  ``if LEDGER.enabled:`` and pay one attribute test when it is off
+  (the default).  It turns on when the ``REPRO_LEDGER`` environment
+  variable names a database path, or via :meth:`LedgerHandle.configure`
+  (the CLIs do this for their ``--ledger`` flags, default-on).
+* **Safe for concurrent pool workers.**  The database runs in WAL
+  mode with a busy timeout; every process (and thread) appends through
+  its own connection in one short autocommitted ``INSERT`` — sqlite
+  serializes the writers.  Worker processes inherit ``REPRO_LEDGER``
+  through the environment and :class:`~repro.perf.parallel.SweepPoint`
+  carries the path explicitly, so fan-out records exactly like the
+  serial loop.
+* **Self-describing rows.**  Each row carries the run's content
+  fingerprint, backend and engine core, kernel/config/params, a
+  per-phase timing breakdown, the metrics snapshot from
+  ``RunResult.detail`` (JSON, sorted keys — byte-stable), the cache
+  verdict (``hit``/``miss``/``uncached``), the sanitizer verdict,
+  host/pid/git-SHA provenance and wall seconds.
+
+``repro-perf`` (:mod:`repro.obs.perfcli`) reads the ledger back:
+``history`` lists rows, ``diff`` compares the phase/metric columns of
+two runs.  The schema is versioned (:data:`LEDGER_SCHEMA`) so the
+distributed experiment store can extend it compatibly.
+"""
+
+from __future__ import annotations
+
+import getpass
+import json
+import os
+import platform
+import sqlite3
+import subprocess
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+#: Ledger schema version (bump on incompatible table changes).
+LEDGER_SCHEMA = 1
+
+#: Environment variable naming the ledger database path; empty or
+#: ``0``/``off``/``none`` (any case) leave the ledger disabled.
+LEDGER_ENV = "REPRO_LEDGER"
+
+#: Conventional default database filename (what the CLIs use).
+DEFAULT_LEDGER = ".repro_ledger.sqlite"
+
+_DISABLED_VALUES = {"", "0", "off", "none", "disabled"}
+
+_TABLE_SQL = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    created_at   REAL NOT NULL,
+    host         TEXT,
+    "user"       TEXT,
+    pid          INTEGER,
+    git_sha      TEXT,
+    backend      TEXT,
+    engine_core  TEXT,
+    kernel       TEXT,
+    config       TEXT,
+    records      INTEGER,
+    params       TEXT,
+    fingerprint  TEXT,
+    cache        TEXT,
+    sanitizer    TEXT,
+    cycles       INTEGER,
+    useful_ops   INTEGER,
+    wall_seconds REAL,
+    phases       TEXT,
+    metrics      TEXT
+);
+CREATE INDEX IF NOT EXISTS runs_created ON runs (created_at);
+CREATE INDEX IF NOT EXISTS runs_point ON runs (kernel, config, backend);
+CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT);
+"""
+
+#: Column order of one ``runs`` row (INSERT and SELECT share it).
+ROW_COLUMNS = (
+    "run_id", "created_at", "host", "user", "pid", "git_sha",
+    "backend", "engine_core", "kernel", "config", "records", "params",
+    "fingerprint", "cache", "sanitizer", "cycles", "useful_ops",
+    "wall_seconds", "phases", "metrics",
+)
+
+_GIT_SHA_CACHE: Dict[str, Optional[str]] = {}
+
+
+def current_git_sha() -> Optional[str]:
+    """The working directory's HEAD commit, or None outside a repo.
+
+    Resolved once per (process, cwd) — a subprocess per dispatched
+    point would dwarf the insert it annotates.
+    """
+    cwd = os.getcwd()
+    if cwd not in _GIT_SHA_CACHE:
+        sha: Optional[str] = None
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=5, cwd=cwd,
+            )
+            if proc.returncode == 0:
+                sha = proc.stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            sha = None
+        _GIT_SHA_CACHE[cwd] = sha
+    return _GIT_SHA_CACHE[cwd]
+
+
+def _jsonable(value: Any) -> Any:
+    """A JSON-encodable copy: dict keys become strings, odd values reprs.
+
+    Machine parameters carry enum-keyed tables (e.g. per-opcode-class
+    latencies); sorted-key JSON needs homogeneous string keys.
+    """
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _json_or_none(doc: Optional[Dict[str, Any]]) -> Optional[str]:
+    """Sorted-key JSON for a dict column (byte-stable), None passthrough."""
+    if doc is None:
+        return None
+    return json.dumps(_jsonable(doc), sort_keys=True)
+
+
+class RunLedger:
+    """Append/read access to one ledger database file.
+
+    Opens lazily, configures WAL mode + a busy timeout, and creates the
+    schema on first use.  One instance is safe to share across threads
+    (a lock serializes this process's inserts); concurrent *processes*
+    coordinate through sqlite's own WAL locking.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+
+    def _connect(self) -> sqlite3.Connection:
+        """The (per-process) connection, reopened after a fork."""
+        if self._conn is None or self._pid != os.getpid():
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            conn = sqlite3.connect(
+                self.path, timeout=30.0, isolation_level=None,
+                check_same_thread=False,
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.executescript(_TABLE_SQL)
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("schema", str(LEDGER_SCHEMA)),
+            )
+            self._conn = conn
+            self._pid = os.getpid()
+        return self._conn
+
+    def append(self, row: Dict[str, Any]) -> None:
+        """Insert one run row (missing columns default to None)."""
+        values = tuple(row.get(column) for column in ROW_COLUMNS)
+        placeholders = ", ".join("?" for _ in ROW_COLUMNS)
+        columns = ", ".join(f'"{c}"' for c in ROW_COLUMNS)
+        with self._lock:
+            self._connect().execute(
+                f"INSERT INTO runs ({columns}) VALUES ({placeholders})",
+                values,
+            )
+
+    def rows(
+        self,
+        limit: Optional[int] = None,
+        backend: Optional[str] = None,
+        kernel: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run rows as dicts, newest first, JSON columns decoded."""
+        query = f'SELECT {", ".join(_quoted(c) for c in ROW_COLUMNS)} FROM runs'
+        clauses, args = [], []
+        if backend is not None:
+            clauses.append("backend = ?")
+            args.append(backend)
+        if kernel is not None:
+            clauses.append("kernel = ?")
+            args.append(kernel)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY created_at DESC, run_id"
+        if limit is not None:
+            query += " LIMIT ?"
+            args.append(int(limit))
+        with self._lock:
+            cursor = self._connect().execute(query, args)
+            raw = cursor.fetchall()
+        return [self._decode(r) for r in raw]
+
+    def find(self, run_id_prefix: str) -> Optional[Dict[str, Any]]:
+        """The unique row whose run_id starts with the prefix, or None.
+
+        Raises :class:`LookupError` when the prefix is ambiguous.
+        """
+        with self._lock:
+            cursor = self._connect().execute(
+                f'SELECT {", ".join(_quoted(c) for c in ROW_COLUMNS)} '
+                "FROM runs WHERE run_id LIKE ? LIMIT 2",
+                (run_id_prefix + "%",),
+            )
+            raw = cursor.fetchall()
+        if not raw:
+            return None
+        if len(raw) > 1:
+            raise LookupError(f"run id prefix {run_id_prefix!r} is ambiguous")
+        return self._decode(raw[0])
+
+    def count(self) -> int:
+        """Total run rows in the ledger."""
+        with self._lock:
+            cursor = self._connect().execute("SELECT COUNT(*) FROM runs")
+            return int(cursor.fetchone()[0])
+
+    @staticmethod
+    def _decode(raw: tuple) -> Dict[str, Any]:
+        row = dict(zip(ROW_COLUMNS, raw))
+        for column in ("params", "phases", "metrics"):
+            if row[column] is not None:
+                try:
+                    row[column] = json.loads(row[column])
+                except (TypeError, ValueError):
+                    row[column] = None
+        return row
+
+    def close(self) -> None:
+        """Close this process's connection (reopens on next use)."""
+        with self._lock:
+            if self._conn is not None and self._pid == os.getpid():
+                self._conn.close()
+            self._conn = None
+
+
+def _quoted(column: str) -> str:
+    """Double-quote a column name (``user`` is a sqlite keyword)."""
+    return f'"{column}"'
+
+
+class LedgerHandle:
+    """The process-wide ledger switch the hot paths guard on.
+
+    ``LEDGER.enabled`` is the one-attribute-test fast path; when True,
+    ``LEDGER.record_run(...)`` appends a row to the configured database.
+    Mirrors the path into :data:`LEDGER_ENV` so spawned worker
+    processes inherit the configuration.
+    """
+
+    __slots__ = ("enabled", "path", "_ledger")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.path: Optional[str] = None
+        self._ledger: Optional[RunLedger] = None
+
+    def configure(self, path: Optional[str], mirror_env: bool = True) -> None:
+        """Enable the ledger at ``path`` (None/empty disables).
+
+        ``mirror_env`` writes the choice into ``REPRO_LEDGER`` so pool
+        workers spawned later land in the same database even when their
+        :class:`~repro.perf.parallel.SweepPoint` predates the flag.
+        """
+        if path is None or str(path).strip().lower() in _DISABLED_VALUES:
+            self.disable(mirror_env=mirror_env)
+            return
+        path = str(path)
+        if self._ledger is not None and self._ledger.path != path:
+            self._ledger.close()
+            self._ledger = None
+        self.path = path
+        if self._ledger is None:
+            self._ledger = RunLedger(path)
+        self.enabled = True
+        if mirror_env:
+            os.environ[LEDGER_ENV] = path
+
+    def disable(self, mirror_env: bool = True) -> None:
+        """Turn recording off (the database file is left in place)."""
+        self.enabled = False
+        if self._ledger is not None:
+            self._ledger.close()
+        if mirror_env:
+            os.environ.pop(LEDGER_ENV, None)
+
+    @property
+    def ledger(self) -> Optional[RunLedger]:
+        """The underlying :class:`RunLedger` (None while disabled)."""
+        return self._ledger if self.enabled else None
+
+    def record_run(
+        self,
+        result,
+        backend: str,
+        engine_core: str,
+        wall_seconds: float,
+        params=None,
+        fingerprint: Optional[str] = None,
+        cache: str = "uncached",
+        phases: Optional[Dict[str, float]] = None,
+    ) -> Optional[str]:
+        """Append one row for a finished run; returns its run id.
+
+        ``result`` is a :class:`~repro.machine.stats.RunResult`; its
+        ``detail`` dict *is* the per-run metrics snapshot (the memory
+        hierarchy's traffic summary plus backend diagnostics), stored
+        as sorted-key JSON.  Failures to reach the database degrade to
+        a dropped row, never an error — observability must not take
+        down the simulation it observes.
+        """
+        if not self.enabled or self._ledger is None:
+            return None
+        # Imported lazily: repro.check imports repro.obs back.
+        from ..check.sanitizer import SANITIZER
+
+        if SANITIZER.enabled:
+            verdict = (
+                f"violations:{SANITIZER.total}" if SANITIZER.total else "ok"
+            )
+        else:
+            verdict = "off"
+        params_doc = None
+        if params is not None:
+            import dataclasses
+
+            try:
+                params_doc = dataclasses.asdict(params)
+            except TypeError:
+                params_doc = {"repr": repr(params)}
+        run_id = uuid.uuid4().hex
+        row = {
+            "run_id": run_id,
+            "created_at": time.time(),
+            "host": platform.node(),
+            "user": _safe_user(),
+            "pid": os.getpid(),
+            "git_sha": current_git_sha(),
+            "backend": backend,
+            "engine_core": engine_core,
+            "kernel": result.kernel,
+            "config": result.config,
+            "records": result.records,
+            "params": _json_or_none(params_doc),
+            "fingerprint": fingerprint,
+            "cache": cache,
+            "sanitizer": verdict,
+            "cycles": result.cycles,
+            "useful_ops": result.useful_ops,
+            "wall_seconds": wall_seconds,
+            "phases": _json_or_none(phases),
+            "metrics": _json_or_none(dict(result.detail)),
+        }
+        try:
+            self._ledger.append(row)
+        except sqlite3.Error:
+            return None
+        return run_id
+
+
+def _safe_user() -> Optional[str]:
+    """The invoking user, or None where the lookup fails (containers)."""
+    try:
+        return getpass.getuser()
+    except (KeyError, OSError):
+        return None
+
+
+#: The process-wide ledger the dispatch choke point records into.
+LEDGER = LedgerHandle()
+
+# Environment-driven default: workers spawned by a ledger-enabled
+# parent (and CI jobs exporting REPRO_LEDGER) record automatically.
+_env_path = os.environ.get(LEDGER_ENV)
+if _env_path is not None:
+    LEDGER.configure(_env_path, mirror_env=False)
+del _env_path
+
+
+def add_ledger_arguments(parser) -> None:
+    """Attach the shared ``--ledger`` / ``--no-ledger`` CLI flags.
+
+    The CLIs (``repro-experiments``, ``repro-bench``) record by default:
+    ``--ledger PATH`` overrides the database, ``--no-ledger`` opts out,
+    and with neither flag the path comes from ``$REPRO_LEDGER`` or
+    :data:`DEFAULT_LEDGER`.  Pair with :func:`configure_from_args`.
+    """
+    parser.add_argument(
+        "--ledger", default=None, metavar="DB",
+        help="run-ledger sqlite database (default: $REPRO_LEDGER or "
+             f"{DEFAULT_LEDGER}; see repro-perf)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record runs into the ledger",
+    )
+
+
+def configure_from_args(args) -> None:
+    """Apply :func:`add_ledger_arguments` flags to the global LEDGER."""
+    if args.no_ledger:
+        LEDGER.disable()
+        return
+    path = args.ledger or os.environ.get(LEDGER_ENV) or DEFAULT_LEDGER
+    LEDGER.configure(path)
+
+
+@contextmanager
+def ledger_to(path: Optional[str]):
+    """Scope the global ledger to ``path`` (None pauses it) and restore.
+
+    >>> with ledger_to(tmp / "ledger.sqlite"):
+    ...     run_points(points)
+
+    Restores the previous enabled/path state — and the ``REPRO_LEDGER``
+    mirror — on exit, so tests and nested tools cannot leak a redirect.
+    """
+    prev_enabled, prev_path = LEDGER.enabled, LEDGER.path
+    prev_env = os.environ.get(LEDGER_ENV)
+    if path is None:
+        LEDGER.disable()
+    else:
+        LEDGER.configure(str(path))
+    try:
+        yield LEDGER
+    finally:
+        if prev_enabled and prev_path is not None:
+            LEDGER.configure(prev_path, mirror_env=False)
+        else:
+            LEDGER.disable(mirror_env=False)
+        if prev_env is None:
+            os.environ.pop(LEDGER_ENV, None)
+        else:
+            os.environ[LEDGER_ENV] = prev_env
+
+
+__all__ = [
+    "LEDGER",
+    "LEDGER_ENV",
+    "LEDGER_SCHEMA",
+    "DEFAULT_LEDGER",
+    "ROW_COLUMNS",
+    "LedgerHandle",
+    "RunLedger",
+    "add_ledger_arguments",
+    "configure_from_args",
+    "current_git_sha",
+    "ledger_to",
+]

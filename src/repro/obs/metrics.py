@@ -23,21 +23,42 @@ parent (:func:`repro.perf.parallel.run_points` does this automatically).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import math
+from typing import Dict, List, Optional
 
 
 class Histogram:
-    """Bounded summary of repeated observations (no per-sample storage)."""
+    """Bounded summary of repeated observations.
 
-    __slots__ = ("count", "total", "min", "max")
+    Keeps count/sum/min/max exactly, plus a *bounded deterministic
+    sample* for percentile queries: every observation is retained until
+    :data:`SAMPLE_CAP`, after which the retained set is halved (every
+    other sample dropped) and only every ``stride``-th subsequent
+    observation is kept.  The decimation is systematic — no randomness,
+    so repeated runs summarize identically — and memory stays O(cap)
+    no matter how long the stream.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_stride")
+
+    #: Retained-sample bound; percentiles are exact below it.
+    SAMPLE_CAP = 4096
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
+        """Record one sample (count/sum/min/max plus the bounded pool)."""
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.SAMPLE_CAP:
+                del self._samples[::2]
+                self._stride *= 2
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -48,6 +69,22 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0–100) of the observed stream.
+
+        Nearest-rank over the retained sample: exact until the stream
+        exceeds :data:`SAMPLE_CAP` observations, a deterministic
+        systematic approximation beyond (the decimated pool still
+        spans the whole stream).  Returns 0.0 before any observation.
+        """
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self._samples)
+        rank = math.ceil(p / 100.0 * len(ordered)) - 1
+        return ordered[max(0, min(len(ordered) - 1, rank))]
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -100,13 +137,18 @@ class MetricsRegistry:
     # ---- reading ---------------------------------------------------------
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat ``{name: value}`` view (histograms expand to sub-keys)."""
+        """Flat ``{name: value}`` view (histograms expand to sub-keys).
+
+        Keys come back sorted, so snapshots serialized into
+        ``RunResult.detail``, bench reports or ledger rows are
+        byte-stable regardless of the order metrics were first touched.
+        """
         doc: Dict[str, float] = dict(self.counters)
         doc.update(self.gauges)
         for name, hist in self.histograms.items():
             for stat, value in hist.as_dict().items():
                 doc[f"{name}.{stat}"] = value
-        return doc
+        return dict(sorted(doc.items()))
 
     def merge(self, snapshot: Dict[str, float]) -> None:
         """Fold a worker's flat snapshot into this registry.

@@ -1,0 +1,210 @@
+"""Live sweep progress: who is running, how far along, how fast.
+
+A long sweep through :func:`repro.perf.parallel.run_points` was a black
+box — nothing said how many points had finished or how long the rest
+would take.  :data:`PROGRESS` is the process-wide tracker the sweep
+layers publish into:
+
+* :func:`run_points` adds every batch to the total and marks points
+  started/finished as the serial loop (exactly) or the process pool
+  (modeled by its chunked scheduling window) advances;
+* :meth:`ExperimentContext.run_many <repro.harness.experiments.ExperimentContext.run_many>`'s
+  in-context serial path publishes the same events, so progress covers
+  every dispatch route.
+
+:meth:`ProgressTracker.get_current_state` returns a plain-dict snapshot
+(completed/total, points per second, ETA, per-backend completion
+counts, the labels currently in flight) — the exact shape the service
+layer's status streaming will serve per run ID.  The
+``repro-experiments --progress`` flag feeds the snapshot to a stderr
+ticker thread (:func:`progress_ticker`) for humans watching a sweep.
+
+Like :data:`~repro.perf.phases.PHASES`, the tracker is explicitly
+enabled and near-zero cost when off: publishing sites guard with
+``if PROGRESS.enabled:`` and pay one attribute test.  All state
+mutations take an internal lock, so the ticker thread reads a
+consistent snapshot while the sweep publishes from the main thread.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, List, Optional
+
+
+class ProgressTracker:
+    """Thread-safe completed/total/in-flight accounting for sweeps."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self._total = 0
+        self._completed = 0
+        self._started_at: Optional[float] = None
+        self._in_flight: Dict[str, float] = {}   # label -> start stamp
+        self._per_backend: Dict[str, int] = {}
+        self._last_label: Optional[str] = None
+
+    def reset(self) -> None:
+        """Forget all progress (a new tracking scope starts from zero)."""
+        with self._lock:
+            self._reset_locked()
+
+    def add_total(self, count: int) -> None:
+        """Announce ``count`` more points that will be simulated."""
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = perf_counter()
+            self._total += count
+
+    def point_started(self, label: str) -> None:
+        """Mark one point (a ``backend:kernel|config`` label) in flight."""
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = perf_counter()
+            self._in_flight[label] = perf_counter()
+
+    def point_finished(self, label: str, backend: Optional[str] = None) -> None:
+        """Mark one point complete (tolerates a missing start event)."""
+        with self._lock:
+            self._in_flight.pop(label, None)
+            self._completed += 1
+            self._last_label = label
+            if backend is not None:
+                self._per_backend[backend] = (
+                    self._per_backend.get(backend, 0) + 1
+                )
+
+    def get_current_state(self) -> dict:
+        """A consistent snapshot of the sweep right now.
+
+        Keys: ``completed``, ``total``, ``in_flight`` (sorted labels),
+        ``elapsed_seconds``, ``points_per_second``, ``eta_seconds``
+        (None until at least one point lands), ``per_backend``
+        (completion counts) and ``last_point``.  This is the shape the
+        service layer's ``get_current_state()`` status endpoint serves.
+        """
+        with self._lock:
+            elapsed = (
+                perf_counter() - self._started_at
+                if self._started_at is not None else 0.0
+            )
+            rate = self._completed / elapsed if elapsed > 0 else 0.0
+            remaining = max(0, self._total - self._completed)
+            eta = remaining / rate if rate > 0 else None
+            return {
+                "completed": self._completed,
+                "total": self._total,
+                "in_flight": sorted(self._in_flight),
+                "elapsed_seconds": elapsed,
+                "points_per_second": rate,
+                "eta_seconds": eta,
+                "per_backend": dict(sorted(self._per_backend.items())),
+                "last_point": self._last_label,
+            }
+
+
+#: The process-wide tracker the sweep layers publish into.
+PROGRESS = ProgressTracker()
+
+
+def point_label(backend: str, kernel: str, config: str) -> str:
+    """The canonical in-flight label of one sweep point."""
+    return f"{backend}:{kernel}|{config}"
+
+
+class tracking:
+    """Context manager enabling PROGRESS around a block.
+
+    >>> with tracking() as progress:
+    ...     run_points(points, jobs=4)
+    >>> progress.get_current_state()["completed"]
+
+    Starts from a clean tracker (``reset=True``, the default) and
+    restores the previous enabled flag on exit; the final state stays
+    readable after exit so callers can report totals.
+    """
+
+    def __init__(self, reset: bool = True):
+        self._reset = reset
+        self._was_enabled = False
+
+    def __enter__(self) -> ProgressTracker:
+        self._was_enabled = PROGRESS.enabled
+        if self._reset:
+            PROGRESS.reset()
+        PROGRESS.enabled = True
+        return PROGRESS
+
+    def __exit__(self, *exc) -> None:
+        PROGRESS.enabled = self._was_enabled
+
+
+def render_state(state: dict) -> str:
+    """One human-readable progress line from a state snapshot."""
+    parts = [
+        f"progress: {state['completed']}/{state['total']} points",
+        f"{state['points_per_second']:.1f}/s",
+    ]
+    eta = state.get("eta_seconds")
+    if eta is not None:
+        parts.append(f"eta {eta:.0f}s")
+    per_backend = state.get("per_backend") or {}
+    if len(per_backend) > 1:
+        parts.append(
+            " ".join(f"{name}={n}" for name, n in per_backend.items())
+        )
+    in_flight: List[str] = state.get("in_flight") or []
+    if in_flight:
+        shown = ", ".join(in_flight[:3])
+        if len(in_flight) > 3:
+            shown += f", +{len(in_flight) - 3} more"
+        parts.append(f"in flight: {shown}")
+    return "  ".join(parts)
+
+
+@contextmanager
+def progress_ticker(interval: float = 1.0, stream=None):
+    """Enable tracking and print a progress line every ``interval`` s.
+
+    The ticker is a daemon thread writing :func:`render_state` lines to
+    ``stream`` (default stderr — stdout stays byte-identical for the
+    experiment reports).  A final line is always printed on exit, so
+    even sweeps shorter than one interval leave a summary.
+    """
+    stream = stream if stream is not None else sys.stderr
+    stop = threading.Event()
+
+    def tick() -> None:
+        while not stop.wait(interval):
+            print(render_state(PROGRESS.get_current_state()),
+                  file=stream, flush=True)
+
+    with tracking() as tracker:
+        thread = threading.Thread(
+            target=tick, name="repro-progress-ticker", daemon=True
+        )
+        thread.start()
+        try:
+            yield tracker
+        finally:
+            stop.set()
+            thread.join(timeout=interval + 1.0)
+            print(render_state(tracker.get_current_state()),
+                  file=stream, flush=True)
+
+
+__all__ = [
+    "PROGRESS",
+    "ProgressTracker",
+    "tracking",
+    "point_label",
+    "render_state",
+    "progress_ticker",
+]

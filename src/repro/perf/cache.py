@@ -153,7 +153,11 @@ class RunCache:
                 dir=path.parent, prefix=".tmp-", suffix=".json"
             )
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(run_result_to_dict(result), fh)
+                # sort_keys: detail dicts accumulate in whatever order a
+                # simulator touched them; sorting makes the on-disk doc
+                # byte-stable for identical content (ledger rows and
+                # cache docs can be compared byte-for-byte).
+                json.dump(run_result_to_dict(result), fh, sort_keys=True)
             os.replace(tmp, path)
         except OSError:
             pass  # a read-only cache directory degrades to memory-only

@@ -43,7 +43,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..machine.config import MachineConfig
 from ..machine.params import MachineParams
 from ..machine.stats import RunResult
+from ..obs.ledger import LEDGER
 from ..obs.metrics import METRICS
+from ..obs.progress import PROGRESS, point_label
 from .phases import PHASES, measuring
 
 
@@ -57,7 +59,10 @@ class SweepPoint:
     picklable) lets workers consult and populate the shared on-disk
     run cache.  ``backend`` is a :mod:`repro.backends` registry name —
     workers resolve it locally, so points fan out for every simulator,
-    not just the grid.
+    not just the grid.  ``ledger_path`` routes the worker's durable
+    run-ledger rows (:mod:`repro.obs.ledger`) into the parent's
+    database; None leaves the worker's own configuration (usually the
+    inherited ``REPRO_LEDGER`` environment) in charge.
     """
 
     kernel: str                 # registry name (rebuilt in the worker)
@@ -67,6 +72,7 @@ class SweepPoint:
     workload_seed: Optional[int] = None
     cache_dir: Optional[str] = None
     backend: str = "grid"       # backend registry name
+    ledger_path: Optional[str] = None
 
 
 def simulate_point(point: SweepPoint) -> RunResult:
@@ -81,6 +87,10 @@ def simulate_point(point: SweepPoint) -> RunResult:
     from ..backends import dispatch, get
     from ..kernels.registry import spec
 
+    if point.ledger_path is not None and not LEDGER.enabled:
+        # Pool workers are fresh processes: adopt the parent's ledger
+        # so fan-out rows land in the same database as serial runs.
+        LEDGER.configure(point.ledger_path, mirror_env=False)
     s = spec(point.kernel)
     if point.workload_seed is None:
         records = s.workload(point.records)
@@ -101,8 +111,22 @@ def simulate_point(point: SweepPoint) -> RunResult:
         )
         cached = cache.get(fp)
         if cached is not None:
+            if LEDGER.enabled:
+                # Replays are runs too: a hit row keeps the ledger a
+                # complete account of what a sweep delivered (wall
+                # seconds ~0 distinguishes it from a simulation).
+                from ..machine.fastcore import active_core
+
+                LEDGER.record_run(
+                    cached, backend=backend.name,
+                    engine_core=active_core(), wall_seconds=0.0,
+                    params=point.params, fingerprint=fp, cache="hit",
+                )
             return cached
-    result = dispatch(backend, kernel, records, point.config, point.params)
+    result = dispatch(
+        backend, kernel, records, point.config, point.params,
+        fingerprint=fp, cache_status="miss" if fp is not None else None,
+    )
     if cache is not None:
         cache.put(fp, result)
     return result
@@ -200,6 +224,35 @@ def effective_workers(jobs: int, n_points: int) -> int:
     return max(1, min(jobs, os.cpu_count() or 1, n_points))
 
 
+def _progress_label(point: SweepPoint) -> str:
+    """The tracker label of one sweep point (``backend:kernel|config``)."""
+    return point_label(point.backend, point.kernel, point.config.name)
+
+
+def _drain_pool(mapped, points, order, window: int) -> List:
+    """Consume pool results, publishing live progress as they land.
+
+    ``pool.map`` yields in submission order as chunks complete, so each
+    consumed payload retires ``points[order[i]]``.  The in-flight set
+    models the pool's chunked scheduling: the first ``window``
+    (= workers × chunksize) submissions start immediately and each
+    completion admits the next — exact for the serial loop, a faithful
+    approximation for the pool (workers own whole chunks).
+    """
+    results: List = []
+    dispatched = min(window, len(order))
+    for j in range(dispatched):
+        PROGRESS.point_started(_progress_label(points[order[j]]))
+    for payload in mapped:
+        point = points[order[len(results)]]
+        results.append(payload)
+        PROGRESS.point_finished(_progress_label(point), backend=point.backend)
+        if dispatched < len(order):
+            PROGRESS.point_started(_progress_label(points[order[dispatched]]))
+            dispatched += 1
+    return results
+
+
 def run_points(
     points: Sequence[SweepPoint],
     jobs: int = 1,
@@ -218,12 +271,22 @@ def run_points(
     stay meaningful for parallel sweeps too (credited as worker time —
     the pool overlaps it with the parent's wall clock).  Dispatch
     accounting for the call is left in :data:`LAST_DISPATCH`.
+
+    When the live progress tracker
+    (:data:`repro.obs.progress.PROGRESS`) is enabled, the sweep
+    publishes per-point started/finished events as it advances, so
+    ``PROGRESS.get_current_state()`` (and the ``--progress`` ticker)
+    reports completed/total, rate, ETA and the points in flight
+    mid-sweep.
     """
     global LAST_DISPATCH
     worker = simulate_point_timed if timed else simulate_point
     points = list(points)
     workers = effective_workers(jobs, len(points))
     want_phases = PHASES.enabled
+    want_progress = PROGRESS.enabled
+    if want_progress:
+        PROGRESS.add_total(len(points))
     stats = DispatchStats(points=len(points))
     started = time.perf_counter()
     results: Optional[List] = None
@@ -238,18 +301,24 @@ def run_points(
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 if want_phases:
-                    shuffled = list(pool.map(
+                    mapped = pool.map(
                         _pool_worker_phased,
                         [points[i] for i in order],
                         itertools.repeat(timed),
                         chunksize=chunksize,
-                    ))
+                    )
                 else:
-                    shuffled = list(pool.map(
+                    mapped = pool.map(
                         worker,
                         [points[i] for i in order],
                         chunksize=chunksize,
-                    ))
+                    )
+                if want_progress:
+                    shuffled = _drain_pool(
+                        mapped, points, order, workers * chunksize
+                    )
+                else:
+                    shuffled = list(mapped)
         except (OSError, PermissionError, NotImplementedError,
                 BrokenProcessPool):
             # Pools that cannot spawn (sandboxes) or whose workers died
@@ -271,7 +340,15 @@ def run_points(
                         )
                 results[i] = payload
     if results is None:
-        results = [worker(point) for point in points]
+        if want_progress:
+            results = []
+            for point in points:
+                label = _progress_label(point)
+                PROGRESS.point_started(label)
+                results.append(worker(point))
+                PROGRESS.point_finished(label, backend=point.backend)
+        else:
+            results = [worker(point) for point in points]
     stats.wall_seconds = time.perf_counter() - started
     if timed:
         stats.busy_seconds = sum(seconds for _, seconds in results)

@@ -9,6 +9,27 @@ from repro.kernels import all_specs
 from repro.machine import GridProcessor, MachineParams
 
 
+@pytest.fixture(autouse=True)
+def _ledger_isolation(monkeypatch, tmp_path):
+    """Keep the durable run ledger out of every test's way.
+
+    The CLIs are ledger-default-on, so an in-process ``main()`` call
+    would otherwise grow ``.repro_ledger.sqlite`` in the repo root and
+    leave the global LEDGER enabled for whichever test runs next.
+    Point the environment default at a per-test temp database and
+    restore the handle's state afterwards.
+    """
+    from repro.obs.ledger import LEDGER, LEDGER_ENV
+
+    monkeypatch.setenv(LEDGER_ENV, str(tmp_path / "test_ledger.sqlite"))
+    enabled, path = LEDGER.enabled, LEDGER.path
+    yield
+    if enabled and path is not None:
+        LEDGER.configure(path, mirror_env=False)
+    else:
+        LEDGER.disable(mirror_env=False)
+
+
 @pytest.fixture(scope="session")
 def params() -> MachineParams:
     """The paper's 8x8 substrate."""

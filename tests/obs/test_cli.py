@@ -93,3 +93,31 @@ class TestShowAndDiff:
         out = capsys.readouterr().out
         assert "trace diff" in out
         assert "span:" in out
+
+    @pytest.mark.parametrize("bad_side", ["a", "b"])
+    def test_diff_exits_nonzero_when_either_input_invalid(
+        self, tmp_path, capsys, bad_side
+    ):
+        """Regression: a diff against a corrupt trace must fail whether
+        the bad file is the first or the second argument."""
+        _, good = record(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "?"}]}))
+        order = [str(bad), str(good)] if bad_side == "a" \
+            else [str(good), str(bad)]
+        capsys.readouterr()
+        assert cli.main(["diff", *order]) == 1
+        captured = capsys.readouterr()
+        assert f"{bad}: invalid Chrome trace" in captured.err
+        assert "trace diff" in captured.out  # the diff still prints
+
+    def test_diff_complains_about_both_invalid_inputs(self, tmp_path, capsys):
+        """No short-circuit: both sides' complaints reach stderr."""
+        bad_a = tmp_path / "bad_a.json"
+        bad_b = tmp_path / "bad_b.json"
+        bad_a.write_text(json.dumps({"traceEvents": [{"ph": "?"}]}))
+        bad_b.write_text(json.dumps({"traceEvents": [{"name": "x"}]}))
+        assert cli.main(["diff", str(bad_a), str(bad_b)]) == 1
+        err = capsys.readouterr().err
+        assert f"{bad_a}: invalid Chrome trace" in err
+        assert f"{bad_b}: invalid Chrome trace" in err

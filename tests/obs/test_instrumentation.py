@@ -108,6 +108,35 @@ class TestMetricsCollection:
         assert METRICS.enabled is False
         METRICS.reset()
 
+    def test_observability_paused_nests(self):
+        """The inner pause must restore to 'still paused', and the
+        outer one back to enabled — never flip the flags early."""
+        with collecting():
+            with observability_paused():
+                assert METRICS.enabled is False
+                with observability_paused():
+                    assert METRICS.enabled is False
+                assert METRICS.enabled is False
+            assert METRICS.enabled is True
+        assert METRICS.enabled is False
+        METRICS.reset()
+
+    def test_observability_paused_restores_on_exception(self):
+        with collecting():
+            with pytest.raises(RuntimeError):
+                with observability_paused():
+                    raise RuntimeError("unwind")
+            assert METRICS.enabled is True
+            assert TRACE.enabled is False  # was off before the pause
+        assert METRICS.enabled is False
+        METRICS.reset()
+
+    def test_observability_paused_noop_when_nothing_enabled(self):
+        assert not METRICS.enabled and not TRACE.enabled
+        with observability_paused():
+            assert not METRICS.enabled and not TRACE.enabled
+        assert not METRICS.enabled and not TRACE.enabled
+
 
 class TestTraceRecording:
     def test_block_trace_covers_three_subsystems(self):

@@ -1,0 +1,150 @@
+"""The ``repro-perf`` CLI: history, diff and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.machine import MachineConfig, MachineParams
+from repro.obs import perfcli
+from repro.obs.ledger import ledger_to
+from repro.perf import SweepPoint, run_points
+
+
+@pytest.fixture()
+def populated_ledger(tmp_path):
+    """A ledger holding a real 2-point sweep; yields its path."""
+    db = tmp_path / "ledger.sqlite"
+    params = MachineParams()
+    points = [
+        SweepPoint(kernel="convert", config=MachineConfig.S(),
+                   params=params, records=8, workload_seed=7),
+        SweepPoint(kernel="fft", config=MachineConfig.S_O(),
+                   params=params, records=8, workload_seed=7),
+    ]
+    with ledger_to(db) as handle:
+        run_points(points, jobs=1)
+        run_ids = [row["run_id"] for row in handle.ledger.rows()]
+    return str(db), run_ids
+
+
+class TestHistory:
+    def test_lists_recorded_runs(self, populated_ledger, capsys):
+        db, _ = populated_ledger
+        assert perfcli.main(["--ledger", db, "history"]) == 0
+        out = capsys.readouterr().out
+        assert "run ledger (newest first)" in out
+        assert "convert" in out and "fft" in out
+        assert "2 row(s) shown" in out
+
+    def test_filters_by_kernel(self, populated_ledger, capsys):
+        db, _ = populated_ledger
+        assert perfcli.main(["--ledger", db, "history",
+                             "--kernel", "fft"]) == 0
+        out = capsys.readouterr().out
+        assert "fft" in out and "convert" not in out
+
+    def test_missing_ledger_fails(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.sqlite")
+        assert perfcli.main(["--ledger", missing, "history"]) == 2
+        assert "no ledger at" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_diff_by_prefix(self, populated_ledger, capsys):
+        db, run_ids = populated_ledger
+        a, b = run_ids[0][:8], run_ids[1][:8]
+        assert perfcli.main(["--ledger", db, "diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "run diff" in out
+        assert "cycles:" in out
+        assert "phase seconds:" in out
+
+    def test_unknown_run_fails(self, populated_ledger, capsys):
+        db, run_ids = populated_ledger
+        code = perfcli.main(
+            ["--ledger", db, "diff", run_ids[0][:8], "zzzzzz"]
+        )
+        assert code == 2
+        assert "no ledger row matches" in capsys.readouterr().err
+
+
+def report(**overrides):
+    doc = {
+        "schema": 1,
+        "records": 128,
+        "backend": "grid",
+        "engine_core": "array",
+        "phases_seconds": {
+            "cold_serial": 1.0,
+            "warm_memory": 0.002,  # below the noise floor
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestCompareReports:
+    def test_within_tolerance_passes(self):
+        fresh = report(phases_seconds={"cold_serial": 1.1,
+                                       "warm_memory": 0.002})
+        _, regressions = perfcli.compare_reports(report(), fresh, 25.0)
+        assert regressions == []
+
+    def test_regression_detected(self):
+        fresh = report(phases_seconds={"cold_serial": 2.0,
+                                       "warm_memory": 0.002})
+        _, regressions = perfcli.compare_reports(report(), fresh, 25.0)
+        assert len(regressions) == 1
+        assert "cold_serial" in regressions[0]
+
+    def test_noise_floor_skips_tiny_phases(self):
+        """A 10x blowup of a 2ms phase is scheduler noise, not signal."""
+        fresh = report(phases_seconds={"cold_serial": 1.0,
+                                       "warm_memory": 0.02})
+        lines, regressions = perfcli.compare_reports(report(), fresh, 25.0)
+        assert regressions == []
+        assert any("noise floor" in line for line in lines)
+
+    def test_no_shared_phases_is_a_failure(self):
+        fresh = report(phases_seconds={"other": 1.0})
+        _, regressions = perfcli.compare_reports(report(), fresh, 25.0)
+        assert regressions and "no comparable phases" in regressions[0]
+
+    def test_workload_mismatch_noted(self):
+        lines, _ = perfcli.compare_reports(
+            report(), report(records=32), 25.0
+        )
+        assert any("records differs" in line for line in lines)
+
+
+class TestRegressCommand:
+    def test_identical_reports_pass(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(report()))
+        code = perfcli.main([
+            "regress", "--baseline", str(baseline),
+            "--fresh", str(baseline), "--tolerance", "10",
+        ])
+        assert code == 0
+        assert "no phase regressed" in capsys.readouterr().out
+
+    def test_slow_fresh_report_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(report()))
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(
+            report(phases_seconds={"cold_serial": 3.0})
+        ))
+        code = perfcli.main([
+            "regress", "--baseline", str(baseline),
+            "--fresh", str(slow), "--tolerance", "25",
+        ])
+        assert code == 1
+        assert "REGRESSION: cold_serial" in capsys.readouterr().err
+
+    def test_missing_baseline_fails(self, tmp_path, capsys):
+        code = perfcli.main([
+            "regress", "--baseline", str(tmp_path / "nope.json"),
+        ])
+        assert code == 2
+        assert "cannot read baseline" in capsys.readouterr().err

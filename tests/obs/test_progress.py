@@ -1,0 +1,137 @@
+"""Live sweep progress: tracker state machine, sweep integration,
+snapshot shape, rendering and the stderr ticker."""
+
+import io
+
+from repro.machine import MachineConfig, MachineParams
+from repro.obs.progress import (
+    PROGRESS,
+    ProgressTracker,
+    point_label,
+    progress_ticker,
+    render_state,
+    tracking,
+)
+from repro.perf import SweepPoint, run_points
+
+
+def sweep(n=2, jobs=1):
+    params = MachineParams()
+    names = ["convert", "fft", "lu"]
+    points = [
+        SweepPoint(kernel=names[i % len(names)], config=MachineConfig.S(),
+                   params=params, records=8, workload_seed=7)
+        for i in range(n)
+    ]
+    return run_points(points, jobs=jobs)
+
+
+class TestTracker:
+    def test_state_machine(self):
+        tracker = ProgressTracker()
+        tracker.add_total(3)
+        tracker.point_started("grid:a|S")
+        tracker.point_started("grid:b|S")
+        state = tracker.get_current_state()
+        assert state["completed"] == 0 and state["total"] == 3
+        assert state["in_flight"] == ["grid:a|S", "grid:b|S"]
+        tracker.point_finished("grid:a|S", backend="grid")
+        state = tracker.get_current_state()
+        assert state["completed"] == 1
+        assert state["in_flight"] == ["grid:b|S"]
+        assert state["per_backend"] == {"grid": 1}
+        assert state["last_point"] == "grid:a|S"
+
+    def test_finish_tolerates_missing_start(self):
+        tracker = ProgressTracker()
+        tracker.add_total(1)
+        tracker.point_finished("grid:x|S")
+        assert tracker.get_current_state()["completed"] == 1
+
+    def test_eta_appears_once_rate_is_known(self):
+        tracker = ProgressTracker()
+        tracker.add_total(2)
+        assert tracker.get_current_state()["eta_seconds"] is None
+        tracker.point_finished("grid:x|S")
+        state = tracker.get_current_state()
+        assert state["points_per_second"] > 0
+        assert state["eta_seconds"] is not None and state["eta_seconds"] >= 0
+
+    def test_reset_forgets_everything(self):
+        tracker = ProgressTracker()
+        tracker.add_total(5)
+        tracker.point_finished("grid:x|S", backend="grid")
+        tracker.reset()
+        state = tracker.get_current_state()
+        assert state["completed"] == 0 and state["total"] == 0
+        assert state["per_backend"] == {} and state["last_point"] is None
+
+    def test_point_label(self):
+        assert point_label("grid", "fft", "S-O") == "grid:fft|S-O"
+
+
+class TestSweepIntegration:
+    def test_serial_sweep_publishes_counts(self):
+        with tracking() as progress:
+            sweep(3, jobs=1)
+            state = progress.get_current_state()
+        assert state["completed"] == 3 and state["total"] == 3
+        assert state["in_flight"] == []
+        assert state["per_backend"] == {"grid": 3}
+
+    def test_mid_sweep_state_shows_in_flight(self):
+        """While a point runs, the snapshot reports it in flight."""
+        observed = {}
+
+        with tracking() as progress:
+            progress.add_total(2)
+            progress.point_started("grid:convert|S")
+            observed.update(progress.get_current_state())
+            progress.point_finished("grid:convert|S", backend="grid")
+        assert observed["completed"] == 0
+        assert observed["in_flight"] == ["grid:convert|S"]
+
+    def test_pool_sweep_matches_serial_totals(self):
+        with tracking() as progress:
+            sweep(3, jobs=2)
+            state = progress.get_current_state()
+        assert state["completed"] == 3 and state["total"] == 3
+
+    def test_disabled_by_default(self):
+        assert not PROGRESS.enabled
+        PROGRESS.reset()  # previous scopes leave their final state readable
+        sweep(1)
+        assert PROGRESS.get_current_state()["total"] == 0
+
+    def test_tracking_restores_enabled_flag(self):
+        with tracking():
+            assert PROGRESS.enabled
+            with tracking(reset=False):
+                assert PROGRESS.enabled
+            assert PROGRESS.enabled
+        assert not PROGRESS.enabled
+
+
+class TestRendering:
+    def test_render_state_mentions_counts_and_inflight(self):
+        tracker = ProgressTracker()
+        tracker.add_total(4)
+        tracker.point_finished("grid:a|S", backend="grid")
+        tracker.point_started("grid:b|S")
+        line = render_state(tracker.get_current_state())
+        assert "1/4 points" in line
+        assert "in flight: grid:b|S" in line
+
+    def test_render_state_truncates_long_inflight_lists(self):
+        tracker = ProgressTracker()
+        tracker.add_total(9)
+        for i in range(5):
+            tracker.point_started(f"grid:k{i}|S")
+        assert "+2 more" in render_state(tracker.get_current_state())
+
+    def test_ticker_prints_final_line(self):
+        stream = io.StringIO()
+        with progress_ticker(interval=30.0, stream=stream):
+            sweep(2, jobs=1)
+        output = stream.getvalue()
+        assert "progress: 2/2 points" in output

@@ -130,3 +130,34 @@ class TestDiskTier:
         assert len(cache) == 0
         assert cache.get(key) == result
         assert cache.stats.disk_hits == 1
+
+
+class TestSerializationDeterminism:
+    def test_disk_doc_bytes_stable_across_detail_order(self, tmp_path):
+        """Two results identical up to ``detail`` insertion order must
+        serialize byte-for-byte identically (sorted-key JSON) — ledger
+        rows and cache entries are comparable as bytes."""
+        import dataclasses
+
+        key, result = simulate()
+        assert len(result.detail) > 1
+        shuffled = dataclasses.replace(
+            result, detail=dict(reversed(list(result.detail.items())))
+        )
+        assert shuffled == result  # dict equality ignores order
+
+        cache_a = RunCache(tmp_path / "a")
+        cache_b = RunCache(tmp_path / "b")
+        cache_a.put(key, result)
+        cache_b.put(key, shuffled)
+        bytes_a = cache_a._path(key).read_bytes()
+        bytes_b = cache_b._path(key).read_bytes()
+        assert bytes_a == bytes_b
+
+    def test_disk_doc_keys_sorted(self, tmp_path):
+        key, result = simulate()
+        cache = RunCache(tmp_path)
+        cache.put(key, result)
+        doc = json.loads(cache._path(key).read_text(encoding="utf-8"))
+        assert list(doc) == sorted(doc)
+        assert list(doc["detail"]) == sorted(doc["detail"])
