@@ -58,6 +58,38 @@ PAPER_TABLE4 = {
     "vertex-reflection": 5.2, "vertex-simple": 3.6, "vertex-skinning": 5.6,
 }
 
+#: Kernels at or above this instruction count are "large": sweeps give
+#: them a reduced record budget so one heavyweight kernel cannot
+#: dominate a sweep's wall time.
+LARGE_KERNEL_INSTRUCTIONS = 600
+
+
+def effective_record_count(
+    kernel, records: int, large_kernel_records: int
+) -> int:
+    """Records a sweep simulates for ``kernel`` (large kernels run fewer).
+
+    The one rule shared by :class:`ExperimentContext` and the service
+    layer's sweep specs (:mod:`repro.service.spec`): a sweep submitted
+    over HTTP must address the exact same cache entries as the
+    ``repro-experiments`` CLI, so both sides size workloads here.
+    """
+    return (
+        large_kernel_records
+        if len(kernel) >= LARGE_KERNEL_INSTRUCTIONS else records
+    )
+
+
+def sweep_workload_seed(seed: int) -> int:
+    """The workload seed a sweep derives from a user-facing seed.
+
+    The harness has always offset user seeds by 100 (seed 0 means
+    workload seed 100); the service layer reuses the rule for the same
+    cache-compatibility reason as :func:`effective_record_count`.
+    """
+    return 100 + seed
+
+
 #: Paper Figure 5 grouping: each benchmark's preferred configuration.
 PAPER_PREFERRED = {
     "fft": "S", "lu": "S",
@@ -133,16 +165,15 @@ class ExperimentContext:
 
     def record_count(self, name: str) -> int:
         """Records simulated for a kernel (large kernels use fewer)."""
-        return (
-            self.large_kernel_records
-            if len(self.kernel(name)) >= 600 else self.records
+        return effective_record_count(
+            self.kernel(name), self.records, self.large_kernel_records
         )
 
     def workload(self, name: str) -> list:
         """The (cached) seeded record stream for a benchmark."""
         if name not in self._workloads:
             self._workloads[name] = spec(name).workload(
-                self.record_count(name), 100 + self.seed
+                self.record_count(name), sweep_workload_seed(self.seed)
             )
         return self._workloads[name]
 
@@ -209,7 +240,7 @@ class ExperimentContext:
             config=config,
             params=self.params,
             records=self.record_count(name),
-            workload_seed=100 + self.seed,
+            workload_seed=sweep_workload_seed(self.seed),
             cache_dir=str(cache_dir) if cache_dir is not None else None,
             backend=self._backend(backend).name,
             ledger_path=LEDGER.path if LEDGER.enabled else None,

@@ -222,19 +222,31 @@ class RunLedger:
     def find(self, run_id_prefix: str) -> Optional[Dict[str, Any]]:
         """The unique row whose run_id starts with the prefix, or None.
 
-        Raises :class:`LookupError` when the prefix is ambiguous.
+        Raises :class:`LookupError` naming the candidate run ids when
+        the prefix is ambiguous — never silently picks one of them.  An
+        exact full-length match always wins (it cannot be a typo for a
+        longer id: run ids share one fixed length).
         """
         with self._lock:
             cursor = self._connect().execute(
                 f'SELECT {", ".join(_quoted(c) for c in ROW_COLUMNS)} '
-                "FROM runs WHERE run_id LIKE ? LIMIT 2",
+                "FROM runs WHERE run_id LIKE ? ORDER BY run_id LIMIT 9",
                 (run_id_prefix + "%",),
             )
             raw = cursor.fetchall()
         if not raw:
             return None
         if len(raw) > 1:
-            raise LookupError(f"run id prefix {run_id_prefix!r} is ambiguous")
+            exact = [r for r in raw if r[0] == run_id_prefix]
+            if len(exact) == 1:
+                return self._decode(exact[0])
+            candidates = ", ".join(r[0][:12] for r in raw[:8])
+            if len(raw) > 8:
+                candidates += ", ..."
+            raise LookupError(
+                f"run id prefix {run_id_prefix!r} is ambiguous; "
+                f"candidates: {candidates} (give more characters)"
+            )
         return self._decode(raw[0])
 
     def count(self) -> int:
@@ -242,6 +254,27 @@ class RunLedger:
         with self._lock:
             cursor = self._connect().execute("SELECT COUNT(*) FROM runs")
             return int(cursor.fetchone()[0])
+
+    def cache_counts(self, since: Optional[float] = None) -> Dict[str, int]:
+        """Rows per cache verdict (``hit``/``miss``/``uncached``).
+
+        ``since`` restricts to rows stamped at or after the given
+        ``time.time()`` — how the service layer attributes replay
+        traffic to one job's execution window.
+        """
+        query = "SELECT cache, COUNT(*) FROM runs"
+        args: List[float] = []
+        if since is not None:
+            query += " WHERE created_at >= ?"
+            args.append(float(since))
+        query += " GROUP BY cache"
+        with self._lock:
+            cursor = self._connect().execute(query, args)
+            raw = cursor.fetchall()
+        return {
+            (verdict if verdict is not None else "unknown"): int(n)
+            for verdict, n in raw
+        }
 
     @staticmethod
     def _decode(raw: tuple) -> Dict[str, Any]:
@@ -305,8 +338,15 @@ class LedgerHandle:
             os.environ[LEDGER_ENV] = path
 
     def disable(self, mirror_env: bool = True) -> None:
-        """Turn recording off (the database file is left in place)."""
+        """Turn recording off (the database file is left in place).
+
+        Clears ``path`` as well: a disabled handle must not keep
+        pointing at its last database — service jobs scope the ledger
+        to short-lived per-job paths, and a stale pointer could be
+        re-mirrored into ``REPRO_LEDGER`` after the file is gone.
+        """
         self.enabled = False
+        self.path = None
         if self._ledger is not None:
             self._ledger.close()
         if mirror_env:
@@ -442,24 +482,33 @@ def ledger_to(path: Optional[str]):
 
     Restores the previous enabled/path state — and the ``REPRO_LEDGER``
     mirror — on exit, so tests and nested tools cannot leak a redirect.
+    The restore is exception-safe end to end: entry failures unwind
+    through the same ``finally``, and the environment mirror is put
+    back even if restoring the handle itself raises — nested service
+    jobs must never leave ``REPRO_LEDGER`` pointing at a dead per-job
+    database (the scope's path, not the caller's), no matter how the
+    scope exits.  Entering with ``REPRO_LEDGER`` already naming the
+    same path is fine too: the pre-scope value is what comes back.
     """
     prev_enabled, prev_path = LEDGER.enabled, LEDGER.path
     prev_env = os.environ.get(LEDGER_ENV)
-    if path is None:
-        LEDGER.disable()
-    else:
-        LEDGER.configure(str(path))
     try:
+        if path is None:
+            LEDGER.disable()
+        else:
+            LEDGER.configure(str(path))
         yield LEDGER
     finally:
-        if prev_enabled and prev_path is not None:
-            LEDGER.configure(prev_path, mirror_env=False)
-        else:
-            LEDGER.disable(mirror_env=False)
-        if prev_env is None:
-            os.environ.pop(LEDGER_ENV, None)
-        else:
-            os.environ[LEDGER_ENV] = prev_env
+        try:
+            if prev_enabled and prev_path is not None:
+                LEDGER.configure(prev_path, mirror_env=False)
+            else:
+                LEDGER.disable(mirror_env=False)
+        finally:
+            if prev_env is None:
+                os.environ.pop(LEDGER_ENV, None)
+            else:
+                os.environ[LEDGER_ENV] = prev_env
 
 
 __all__ = [

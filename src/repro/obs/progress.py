@@ -71,8 +71,16 @@ class ProgressTracker:
             self._in_flight[label] = perf_counter()
 
     def point_finished(self, label: str, backend: Optional[str] = None) -> None:
-        """Mark one point complete (tolerates a missing start event)."""
+        """Mark one point complete (tolerates a missing start event).
+
+        A finish without any prior ``add_total``/``point_started`` —
+        cache-hit replays publish exactly that — still starts the
+        clock, so the first snapshot after it reports a real rate
+        instead of a frozen ``0.0/s``.
+        """
         with self._lock:
+            if self._started_at is None:
+                self._started_at = perf_counter()
             self._in_flight.pop(label, None)
             self._completed += 1
             self._last_label = label
@@ -91,16 +99,23 @@ class ProgressTracker:
         service layer's ``get_current_state()`` status endpoint serves.
         """
         with self._lock:
+            # Clamp against every publication-order edge case: elapsed
+            # can be exactly zero on the first snapshot (coarse clocks,
+            # finish-before-start), and a resubmitted job replays
+            # finishes without announcing totals, so completed may
+            # overtake total.  Neither may yield a negative remaining
+            # count, an infinite rate, nor a negative ETA.
             elapsed = (
-                perf_counter() - self._started_at
+                max(0.0, perf_counter() - self._started_at)
                 if self._started_at is not None else 0.0
             )
             rate = self._completed / elapsed if elapsed > 0 else 0.0
-            remaining = max(0, self._total - self._completed)
+            total = max(self._total, self._completed)
+            remaining = max(0, total - self._completed)
             eta = remaining / rate if rate > 0 else None
             return {
                 "completed": self._completed,
-                "total": self._total,
+                "total": total,
                 "in_flight": sorted(self._in_flight),
                 "elapsed_seconds": elapsed,
                 "points_per_second": rate,

@@ -62,7 +62,11 @@ class SweepPoint:
     not just the grid.  ``ledger_path`` routes the worker's durable
     run-ledger rows (:mod:`repro.obs.ledger`) into the parent's
     database; None leaves the worker's own configuration (usually the
-    inherited ``REPRO_LEDGER`` environment) in charge.
+    inherited ``REPRO_LEDGER`` environment) in charge.  ``engine_core``
+    pins the :mod:`repro.machine.fastcore` selection for this one point
+    (fingerprint and simulation alike); None defers to the ambient
+    process-wide choice — service jobs pin it so a queued request runs
+    on the core it asked for no matter which process picks it up.
     """
 
     kernel: str                 # registry name (rebuilt in the worker)
@@ -73,6 +77,7 @@ class SweepPoint:
     cache_dir: Optional[str] = None
     backend: str = "grid"       # backend registry name
     ledger_path: Optional[str] = None
+    engine_core: Optional[str] = None
 
 
 def simulate_point(point: SweepPoint) -> RunResult:
@@ -82,6 +87,18 @@ def simulate_point(point: SweepPoint) -> RunResult:
     first and populated after a miss, so concurrent workers (and later
     runs) share results through the filesystem.
     """
+    if point.engine_core is not None:
+        # Pin the whole point — fingerprinting reads the active core,
+        # so the address and the simulation must agree on it.
+        from ..machine.fastcore import using_core
+
+        with using_core(point.engine_core):
+            return _simulate_pinned(point)
+    return _simulate_pinned(point)
+
+
+def _simulate_pinned(point: SweepPoint) -> RunResult:
+    """:func:`simulate_point` body, engine core already resolved."""
     # Lazy imports: repro.backends imports this package back (for the
     # fingerprint helpers), so resolving at call time avoids the cycle.
     from ..backends import dispatch, get

@@ -1,0 +1,116 @@
+"""Thin HTTP client for the service API (urllib-only, no dependency).
+
+:class:`ServiceClient` is what the tests and the ``repro-submit`` CLI
+drive the server with.  Every method returns the decoded JSON
+document; :meth:`ServiceClient.results_bytes` additionally returns the
+raw payload bytes, because the service's contract is *byte-identical*
+results for identical specs and the tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Tuple
+
+from .jobs import JobState
+
+
+class ServiceError(RuntimeError):
+    """An API-level error (non-2xx with a JSON error document)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """One service endpoint (``http://host:port``), request helpers."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ---- plumbing -----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, bytes]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as rsp:
+                return rsp.status, rsp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace") or exc.reason
+            raise ServiceError(exc.code, message) from None
+
+    def _json(self, method: str, path: str,
+              body: Optional[dict] = None) -> dict:
+        _, raw = self._request(method, path, body)
+        return json.loads(raw.decode("utf-8"))
+
+    # ---- API ----------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """POST the spec; returns the acceptance doc (``job_id``, urls)."""
+        return self._json("POST", "/jobs", body=spec)
+
+    def jobs(self) -> dict:
+        return self._json("GET", "/jobs")
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def results(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}/results")
+
+    def results_bytes(self, job_id: str) -> bytes:
+        """The raw results payload (the byte-identity contract)."""
+        _, raw = self._request("GET", f"/jobs/{job_id}/results")
+        return raw
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.05,
+    ) -> dict:
+        """Poll ``GET /jobs/{id}`` until the job reaches a terminal state.
+
+        Returns the final status document; raises :class:`TimeoutError`
+        if the job is still queued/running when the deadline passes.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in JobState.TERMINAL:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,351 @@
+"""The service job queue: run IDs, a background worker, cancellation.
+
+:class:`JobQueue` is the layer between the HTTP API and the existing
+sweep machinery.  A submission (:class:`~repro.service.spec.SweepSpec`)
+becomes a :class:`Job` with a queue-assigned id; one background worker
+thread drains the queue, building each job's
+:class:`~repro.perf.parallel.SweepPoint` batch and fanning it out
+through :func:`~repro.perf.parallel.run_points` in cancellation-sized
+chunks.  Every dispatched point records through the durable ledger
+(scoped with :func:`~repro.obs.ledger.ledger_to` so nested jobs can
+never leak the ``REPRO_LEDGER`` mirror) and publishes into the live
+progress tracker, whose ``get_current_state()`` snapshot is exactly
+what ``GET /jobs/{id}`` serves.
+
+Job lifecycle state machine::
+
+    QUEUED ──▶ RUNNING ──▶ DONE
+       │          ├──────▶ FAILED
+       └──────────┴──────▶ CANCELLED
+
+* ``QUEUED -> CANCELLED``: a ``DELETE`` before the worker picks the
+  job up; nothing ever simulates.
+* ``RUNNING -> CANCELLED``: the cancel event is checked between
+  chunks, so a running sweep stops within one chunk of points; points
+  already simulated stay in the run cache (a resubmission replays
+  them) but the job serves no results.
+* Terminal states never transition again; cancelling a terminal job
+  is a no-op returning False.
+
+The queue itself is single-worker by design — sweeps parallelize
+*inside* a job via ``run_points(jobs=N)``, and serializing jobs keeps
+the process-wide progress tracker an unambiguous account of the one
+running job.  Repeat submissions of an identical spec are the cheap
+path: every point hits the on-disk run cache, so the "sweep" collapses
+into ledger-recorded replays.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.ledger import RunLedger, ledger_to
+from ..obs.metrics import METRICS
+from ..obs.progress import PROGRESS, tracking
+from ..perf.parallel import effective_workers, run_points
+from .spec import SweepSpec, point_rows
+
+
+class JobState:
+    """Lifecycle states (plain strings — they serialize as-is)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job never leaves.
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class Job:
+    """One submission's mutable record (guarded by the queue's lock)."""
+
+    def __init__(self, job_id: str, spec: SweepSpec):
+        self.job_id = job_id
+        self.spec = spec
+        self.spec_fingerprint = spec.fingerprint()
+        self.state = JobState.QUEUED
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.cancel_event = threading.Event()
+        self.points_total = 0
+        self.skipped: List[Tuple[str, str]] = []
+        #: final progress snapshot (live snapshots come from PROGRESS)
+        self.progress: Optional[dict] = None
+        #: deterministic results payload, set only on DONE
+        self.results: Optional[dict] = None
+        #: ledger cache-verdict counts for this job's window
+        self.cache_counts: Dict[str, int] = {}
+
+
+class JobQueue:
+    """Accepts sweep specs, runs them on a worker thread, serves state.
+
+    ``cache_dir`` is the shared on-disk run cache every job's points
+    consult (the cache-hit fast path for repeat submissions);
+    ``ledger_path`` the durable ledger database each job's points
+    record into; ``jobs`` the per-sweep worker-process fan-out passed
+    to :func:`run_points`.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        ledger_path: Optional[str] = None,
+        jobs: int = 1,
+    ):
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.ledger_path = (
+            str(ledger_path) if ledger_path is not None else None
+        )
+        self.jobs = max(1, int(jobs))
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._stop = threading.Event()
+        self._worker: Optional[threading.Thread] = None
+
+    # ---- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "JobQueue":
+        """Start the background worker (idempotent)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._stop.clear()
+            self._worker = threading.Thread(
+                target=self._work, name="repro-service-worker", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop draining the queue; optionally join the worker."""
+        self._stop.set()
+        self._queue.put(None)  # wake the worker if it is blocked
+        if wait and self._worker is not None and self._worker.is_alive():
+            self._worker.join(timeout=timeout)
+
+    # ---- submission / control ----------------------------------------------
+
+    def submit(self, spec: SweepSpec) -> Job:
+        """Enqueue one sweep; returns its :class:`Job` immediately."""
+        job = Job(uuid.uuid4().hex, spec)
+        with self._lock:
+            self._jobs[job.job_id] = job
+        self._queue.put(job.job_id)
+        if METRICS.enabled:
+            METRICS.inc("service.jobs.submitted")
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True if the job was still cancellable.
+
+        A queued job is cancelled on the spot; a running job stops at
+        the next chunk boundary.  Terminal jobs return False.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            if job.state in JobState.TERMINAL:
+                return False
+            job.cancel_event.set()
+            if job.state == JobState.QUEUED:
+                self._finish(job, JobState.CANCELLED)
+        if METRICS.enabled:
+            METRICS.inc("service.jobs.cancel_requested")
+        return True
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        return job
+
+    def job_ids(self) -> List[str]:
+        """Submission order is not preserved; sort by submit stamp."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        jobs.sort(key=lambda j: (j.submitted_at, j.job_id))
+        return [j.job_id for j in jobs]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle state (the ``/healthz`` summary)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        counts: Dict[str, int] = {}
+        for job in jobs:
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # ---- views --------------------------------------------------------------
+
+    def status(self, job_id: str) -> dict:
+        """The ``GET /jobs/{id}`` document for one job.
+
+        While the job runs, ``progress`` is composed live from the
+        process-wide tracker (the queue is single-worker, so the
+        tracker's state *is* this job's state), with the total and ETA
+        recomputed against the job's known point count — chunked
+        dispatch announces totals incrementally, the job knows the
+        real denominator up front.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            state = job.state
+            progress = job.progress
+            if state == JobState.RUNNING:
+                progress = self._live_progress(job)
+            doc = {
+                "job_id": job.job_id,
+                "state": state,
+                "spec": job.spec.to_dict(),
+                "spec_fingerprint": job.spec_fingerprint,
+                "submitted_at": job.submitted_at,
+                "started_at": job.started_at,
+                "finished_at": job.finished_at,
+                "duration_seconds": (
+                    job.finished_at - job.started_at
+                    if job.finished_at is not None
+                    and job.started_at is not None else None
+                ),
+                "points_total": job.points_total,
+                "skipped": [list(pair) for pair in job.skipped],
+                "error": job.error,
+                "progress": progress,
+                "cache": dict(job.cache_counts),
+            }
+        return doc
+
+    def _live_progress(self, job: Job) -> dict:
+        state = PROGRESS.get_current_state()
+        total = max(job.points_total, state["completed"])
+        remaining = max(0, total - state["completed"])
+        rate = state["points_per_second"]
+        state["total"] = total
+        state["eta_seconds"] = remaining / rate if rate > 0 else None
+        return state
+
+    def results(self, job_id: str) -> dict:
+        """The deterministic results payload of a DONE job.
+
+        Raises :class:`KeyError` for unknown ids and
+        :class:`LookupError` while the job is not (or never will be)
+        done — the HTTP layer maps these to 404/409.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.state != JobState.DONE or job.results is None:
+                raise LookupError(
+                    f"job {job_id} has no results (state: {job.state})"
+                )
+            return job.results
+
+    # ---- the worker ---------------------------------------------------------
+
+    def _work(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if job_id is None:  # shutdown sentinel
+                continue
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != JobState.QUEUED:
+                    continue  # cancelled while queued, or stale
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+            try:
+                self._run_job(job)
+            except Exception as exc:  # the queue must survive any job
+                with self._lock:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    self._finish(job, JobState.FAILED)
+
+    def _chunk_size(self, n_points: int) -> int:
+        """Cancellation granularity: small enough to stop promptly,
+        large enough that pooled sweeps amortize worker startup."""
+        workers = effective_workers(self.jobs, n_points)
+        return 1 if workers <= 1 else workers * 4
+
+    def _run_job(self, job: Job) -> None:
+        points, skipped = job.spec.build_points(
+            cache_dir=self.cache_dir, ledger_path=self.ledger_path
+        )
+        with self._lock:
+            job.points_total = len(points)
+            job.skipped = skipped
+        ledger_scope = (
+            ledger_to(self.ledger_path)
+            if self.ledger_path is not None else nullcontext()
+        )
+        results: list = []
+        cancelled = False
+        with ledger_scope, tracking() as tracker:
+            chunk = self._chunk_size(len(points))
+            for start in range(0, len(points), chunk):
+                if job.cancel_event.is_set() or self._stop.is_set():
+                    cancelled = True
+                    break
+                results.extend(
+                    run_points(points[start:start + chunk], jobs=self.jobs)
+                )
+            snapshot = tracker.get_current_state()
+        with self._lock:
+            job.progress = snapshot
+            job.cache_counts = self._cache_counts(job)
+            if cancelled:
+                self._finish(job, JobState.CANCELLED)
+                return
+            job.results = {
+                "spec_fingerprint": job.spec_fingerprint,
+                "backend": job.spec.backend,
+                "num_points": len(points),
+                "skipped": [list(pair) for pair in skipped],
+                "rows": point_rows(points, results),
+            }
+            self._finish(job, JobState.DONE)
+        if METRICS.enabled:
+            METRICS.inc("service.points.simulated", len(points))
+            hits = job.cache_counts.get("hit", 0)
+            if hits:
+                METRICS.inc("service.cache_hits", hits)
+
+    def _finish(self, job: Job, state: str) -> None:
+        """Terminal transition (caller holds the lock)."""
+        job.state = state
+        job.finished_at = time.time()
+        if METRICS.enabled:
+            METRICS.inc(f"service.jobs.{state}")
+
+    def _cache_counts(self, job: Job) -> Dict[str, int]:
+        """Ledger cache-verdict counts in this job's execution window.
+
+        The queue is single-worker, so rows stamped between the job's
+        start and now belong to this job (including its pool workers').
+        Returns {} when no ledger is configured or the query fails —
+        accounting must never fail a job.
+        """
+        if self.ledger_path is None or job.started_at is None:
+            return {}
+        try:
+            return RunLedger(self.ledger_path).cache_counts(
+                since=job.started_at
+            )
+        except Exception:
+            return {}
+
+
+__all__ = ["Job", "JobQueue", "JobState"]

@@ -1,0 +1,223 @@
+"""The stdlib-only threaded HTTP API over the job queue.
+
+No new dependency: :class:`http.server.ThreadingHTTPServer` answers
+each request on its own thread while the :class:`~.jobs.JobQueue`
+worker simulates in the background, so submission and status polling
+stay responsive mid-sweep.  Routes:
+
+==========================  ==================================================
+``POST /jobs``              submit a sweep spec (JSON body); 202 + job id
+``GET /jobs``               list job ids and states
+``GET /jobs/{id}``          lifecycle + live progress snapshot
+``GET /jobs/{id}/results``  deterministic results payload (409 until done)
+``DELETE /jobs/{id}``       request cancellation
+``GET /healthz``            liveness + per-state job counts
+==========================  ==================================================
+
+Results are serialized with sorted keys and fixed separators, so the
+same spec always serves the same bytes — the contract the cache-hit
+fast path is tested against.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..obs.metrics import METRICS
+from .jobs import JobQueue
+from .spec import SweepSpec
+
+#: Largest accepted request body; a sweep spec is a few hundred bytes,
+#: so anything beyond this is a client error, not a bigger sweep.
+MAX_BODY_BYTES = 1 << 20
+
+
+def _encode(doc: dict) -> bytes:
+    """Canonical JSON bytes (sorted keys, fixed separators)."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """One bound server; requests resolve against ``job_queue``."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], job_queue: JobQueue,
+                 quiet: bool = True):
+        self.job_queue = job_queue
+        self.quiet = quiet
+        super().__init__(address, ServiceRequestHandler)
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (meaningful after ``port=0``)."""
+        return self.server_address[1]
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request to the server's job queue (see the
+    module docstring's route table); every reply is canonical JSON."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ---- plumbing -----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _reply(self, code: int, doc: dict) -> None:
+        body = _encode(doc)
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._reply(code, {"error": message})
+
+    def _queue(self) -> JobQueue:
+        return self.server.job_queue
+
+    def _job_segments(self) -> Optional[Tuple[str, Optional[str]]]:
+        """``(job_id, subresource)`` for ``/jobs/...`` paths, else None."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) >= 2 and parts[0] == "jobs":
+            return parts[1], parts[2] if len(parts) > 2 else None
+        return None
+
+    def _count_request(self) -> None:
+        if METRICS.enabled:
+            METRICS.inc("service.requests")
+            METRICS.inc(f"service.requests.{self.command.lower()}")
+
+    # ---- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._count_request()
+        path = self.path.split("?")[0].rstrip("/") or "/"
+        if path == "/healthz":
+            queue = self._queue()
+            self._reply(200, {
+                "status": "ok",
+                "jobs": queue.counts(),
+                "uptime_seconds": round(time.time() - queue.started_at, 3),
+            })
+            return
+        if path == "/jobs":
+            queue = self._queue()
+            self._reply(200, {"jobs": [
+                {"job_id": jid, "state": queue.get(jid).state}
+                for jid in queue.job_ids()
+            ]})
+            return
+        segments = self._job_segments()
+        if segments is None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        job_id, sub = segments
+        try:
+            if sub is None:
+                self._reply(200, self._queue().status(job_id))
+            elif sub == "results":
+                self._reply(200, self._queue().results(job_id))
+            else:
+                self._error(404, f"unknown job subresource {sub!r}")
+        except KeyError:
+            self._error(404, f"unknown job {job_id!r}")
+        except LookupError as exc:
+            self._error(409, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._count_request()
+        path = self.path.split("?")[0].rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, f"body must be 1..{MAX_BODY_BYTES} bytes")
+            return
+        raw = self.rfile.read(length)
+        try:
+            spec = SweepSpec.from_dict(json.loads(raw.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"bad sweep spec: {exc}")
+            return
+        job = self._queue().submit(spec)
+        self._reply(202, {
+            "job_id": job.job_id,
+            "state": job.state,
+            "spec_fingerprint": job.spec_fingerprint,
+            "status_url": f"/jobs/{job.job_id}",
+            "results_url": f"/jobs/{job.job_id}/results",
+        })
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._count_request()
+        segments = self._job_segments()
+        if segments is None or segments[1] is not None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        job_id = segments[0]
+        try:
+            cancelled = self._queue().cancel(job_id)
+        except KeyError:
+            self._error(404, f"unknown job {job_id!r}")
+            return
+        self._reply(200, {
+            "job_id": job_id,
+            "cancelled": cancelled,
+            "state": self._queue().get(job_id).state,
+        })
+
+
+def start_server(
+    job_queue: JobQueue,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind (``port=0`` picks a free one) and start the queue worker.
+
+    The caller owns the accept loop: run ``server.serve_forever()``
+    inline (the CLI) or on a thread (:func:`serve_in_thread`, tests).
+    """
+    job_queue.start()
+    return ServiceHTTPServer((host, port), job_queue, quiet=quiet)
+
+
+def serve_in_thread(
+    job_queue: JobQueue,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """A running server on a daemon thread (the test harness's path)."""
+    server = start_server(job_queue, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServiceHTTPServer",
+    "ServiceRequestHandler",
+    "serve_in_thread",
+    "start_server",
+]

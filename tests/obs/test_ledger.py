@@ -166,6 +166,56 @@ class TestScopeRestoration:
                 raise RuntimeError("boom")
         assert not LEDGER.enabled
 
+    def test_nested_job_scope_exception_restores_outer(self, tmp_path):
+        """A service-style per-job scope dying mid-sweep must hand the
+        outer ledger back — handle AND env mirror — or later pool
+        workers would record into a dead per-job database."""
+        outer = str(tmp_path / "outer.sqlite")
+        per_job = str(tmp_path / "job" / "ledger.sqlite")
+        with ledger_to(outer):
+            with pytest.raises(RuntimeError):
+                with ledger_to(per_job):
+                    assert os.environ[LEDGER_ENV] == per_job
+                    raise RuntimeError("job failed mid-sweep")
+            assert LEDGER.enabled and LEDGER.path == outer
+            assert os.environ[LEDGER_ENV] == outer
+            run_convert()
+            assert LEDGER.ledger.count() == 1
+
+    def test_env_already_pointing_at_scope_target(self, tmp_path,
+                                                  monkeypatch):
+        """Entering a scope whose path equals the pre-set env var must
+        restore that env value on exit even though the handle itself
+        was disabled before the scope."""
+        path = str(tmp_path / "same.sqlite")
+        monkeypatch.setenv(LEDGER_ENV, path)
+        assert not LEDGER.enabled
+        with ledger_to(path):
+            assert LEDGER.path == path
+        assert not LEDGER.enabled
+        assert os.environ[LEDGER_ENV] == path
+
+    def test_unwritable_database_failure_restores_env(self, tmp_path,
+                                                      monkeypatch):
+        """The database opens lazily, so an unwritable path blows up on
+        the first append *inside* the scope; the unwind must not leave
+        the env mirror pointing at the never-created database."""
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        bad = tmp_path / "not-a-dir"
+        bad.write_text("file, not directory")
+        with pytest.raises(OSError):
+            with ledger_to(bad / "ledger.sqlite"):
+                LEDGER.ledger.append({"run_id": "x", "created_at": 0.0})
+        assert not LEDGER.enabled
+        assert LEDGER_ENV not in os.environ
+
+    def test_disable_clears_the_stale_path(self, tmp_path):
+        LEDGER.configure(str(tmp_path / "l.sqlite"), mirror_env=False)
+        assert LEDGER.path is not None
+        LEDGER.disable(mirror_env=False)
+        assert not LEDGER.enabled
+        assert LEDGER.path is None
+
 
 class TestConcurrentWriters:
     def test_threaded_appends_all_land(self, tmp_path):
@@ -237,6 +287,44 @@ class TestReadBack:
         assert ledger.find("zzz") is None
         with pytest.raises(LookupError):
             ledger.find("")  # matches every row
+
+    def test_find_ambiguous_prefix_names_candidates(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "amb.sqlite"))
+        for suffix in ("01", "02"):
+            ledger.append({
+                "run_id": f"feedc0de{suffix}", "created_at": 0.0,
+            })
+        with pytest.raises(LookupError) as exc_info:
+            ledger.find("feedc0de")
+        message = str(exc_info.value)
+        assert "feedc0de01" in message and "feedc0de02" in message
+        assert "more characters" in message
+
+    def test_find_exact_match_beats_longer_siblings(self, tmp_path):
+        """A full run id is never 'ambiguous' with ids it prefixes."""
+        ledger = RunLedger(str(tmp_path / "exact.sqlite"))
+        ledger.append({"run_id": "cafe", "created_at": 0.0,
+                       "kernel": "convert"})
+        ledger.append({"run_id": "cafe99", "created_at": 1.0,
+                       "kernel": "fft"})
+        assert ledger.find("cafe")["kernel"] == "convert"
+        assert ledger.find("cafe9")["kernel"] == "fft"
+
+    def test_cache_counts_with_and_without_since(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "cc.sqlite"))
+        for stamp, verdict in enumerate(
+            ["miss", "miss", "hit", "hit", "hit", "uncached"]
+        ):
+            ledger.append({
+                "run_id": f"r{stamp}", "created_at": float(stamp),
+                "cache": verdict,
+            })
+        assert ledger.cache_counts() == {"hit": 3, "miss": 2,
+                                         "uncached": 1}
+        # `since` keeps only rows stamped in the window (the service
+        # uses a job's started_at here)
+        assert ledger.cache_counts(since=2.0) == {"hit": 3, "uncached": 1}
+        assert ledger.cache_counts(since=99.0) == {}
 
     def test_schema_version_stamped(self, tmp_path):
         ledger = self.seed(tmp_path)

@@ -67,6 +67,43 @@ class TestDiff:
         assert code == 2
         assert "no ledger row matches" in capsys.readouterr().err
 
+    def test_ambiguous_prefix_fails_with_candidates(self, tmp_path,
+                                                    capsys):
+        """A prefix matching several runs must error and list them,
+        never silently diff whichever row sorted first."""
+        from repro.obs.ledger import RunLedger
+
+        db = str(tmp_path / "amb.sqlite")
+        ledger = RunLedger(db)
+        for suffix in ("aaa", "bbb"):
+            ledger.append({
+                "run_id": f"feedc0de{suffix}", "created_at": 0.0,
+                "kernel": "convert", "backend": "grid", "config": "S",
+            })
+        code = perfcli.main(
+            ["--ledger", db, "diff", "feedc0de", "feedc0debbb"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "feedc0deaaa" in err and "feedc0debbb" in err
+        assert "more characters" in err
+
+    def test_exact_id_wins_over_longer_siblings(self, tmp_path, capsys):
+        """A full run id that also prefixes another id is not ambiguous."""
+        from repro.obs.ledger import RunLedger
+
+        db = str(tmp_path / "exact.sqlite")
+        ledger = RunLedger(db)
+        for run_id in ("cafe", "cafe99"):
+            ledger.append({
+                "run_id": run_id, "created_at": 0.0,
+                "kernel": "convert", "backend": "grid", "config": "S",
+                "engine_core": "array", "cycles": 100,
+                "wall_seconds": 0.1, "metrics": json.dumps({}),
+            })
+        assert perfcli.main(["--ledger", db, "diff", "cafe", "cafe99"]) == 0
+        assert "run diff" in capsys.readouterr().out
+
 
 def report(**overrides):
     doc = {

@@ -70,6 +70,75 @@ class TestTracker:
         assert point_label("grid", "fft", "S-O") == "grid:fft|S-O"
 
 
+class TestSnapshotEdges:
+    """Regressions for the ETA/rate clamps: no publication order may
+    yield a negative remaining count, an infinite rate or a negative
+    ETA (the service serves these snapshots verbatim)."""
+
+    def assert_sane(self, state):
+        assert state["elapsed_seconds"] >= 0.0
+        assert 0.0 <= state["points_per_second"] < float("inf")
+        assert state["total"] >= state["completed"]
+        if state["eta_seconds"] is not None:
+            assert state["eta_seconds"] >= 0.0
+
+    def test_finish_before_any_start_starts_the_clock(self):
+        tracker = ProgressTracker()
+        tracker.point_finished("grid:x|S", backend="grid")
+        state = tracker.get_current_state()
+        self.assert_sane(state)
+        assert state["completed"] == 1
+        # the finish started the clock, so the rate is real, not 0.0/s
+        assert state["points_per_second"] > 0
+
+    def test_zero_elapsed_first_snapshot_has_no_inf_rate(self, monkeypatch):
+        """A coarse clock can return the same stamp twice; the rate
+        must degrade to 0.0 (and ETA to None), never ZeroDivisionError
+        or inf."""
+        import repro.obs.progress as progress_mod
+
+        monkeypatch.setattr(progress_mod, "perf_counter", lambda: 1000.0)
+        tracker = ProgressTracker()
+        tracker.add_total(2)
+        tracker.point_finished("grid:x|S")
+        state = tracker.get_current_state()
+        assert state["elapsed_seconds"] == 0.0
+        assert state["points_per_second"] == 0.0
+        assert state["eta_seconds"] is None
+
+    def test_clock_going_backwards_clamps_elapsed(self, monkeypatch):
+        import repro.obs.progress as progress_mod
+
+        stamps = iter([1000.0, 999.5])  # start, then snapshot earlier
+        monkeypatch.setattr(
+            progress_mod, "perf_counter", lambda: next(stamps)
+        )
+        tracker = ProgressTracker()
+        tracker.add_total(1)
+        self.assert_sane(tracker.get_current_state())
+
+    def test_replayed_finishes_overtaking_total_clamp(self):
+        """An identical-job resubmission replays finishes without
+        announcing totals first: completed may overtake total, which
+        must clamp (total rises, remaining pins at 0) instead of going
+        negative."""
+        tracker = ProgressTracker()
+        tracker.add_total(1)
+        for i in range(3):
+            tracker.point_finished(f"grid:k{i}|S", backend="grid")
+        state = tracker.get_current_state()
+        self.assert_sane(state)
+        assert state["completed"] == 3
+        assert state["total"] == 3
+        assert state["eta_seconds"] == 0.0
+
+    def test_render_survives_every_edge_state(self):
+        tracker = ProgressTracker()
+        assert "0/0 points" in render_state(tracker.get_current_state())
+        tracker.point_finished("grid:x|S")
+        assert "1/1 points" in render_state(tracker.get_current_state())
+
+
 class TestSweepIntegration:
     def test_serial_sweep_publishes_counts(self):
         with tracking() as progress:
