@@ -234,6 +234,7 @@ class ExperimentContext:
         config: MachineConfig,
         backend: Union[str, Backend, None] = None,
     ) -> SweepPoint:
+        b = self._backend(backend)
         cache_dir = self.cache.cache_dir
         return SweepPoint(
             kernel=name,
@@ -242,8 +243,11 @@ class ExperimentContext:
             records=self.record_count(name),
             workload_seed=sweep_workload_seed(self.seed),
             cache_dir=str(cache_dir) if cache_dir is not None else None,
-            backend=self._backend(backend).name,
+            backend=b.name,
             ledger_path=LEDGER.path if LEDGER.enabled else None,
+            # The context's memoized fingerprint — so the scheduler
+            # never re-hashes what this sweep already addressed.
+            fingerprint=self.fingerprint(name, config, b),
         )
 
     def run(
@@ -302,27 +306,84 @@ class ExperimentContext:
             # (same seed, records, params), minus its per-point rebuild
             # of workloads and fingerprints.  The scan above already
             # charged the cache miss, so simulate and store directly
-            # rather than re-probing through :meth:`run`.
+            # rather than re-probing through :meth:`run`.  Like the
+            # pool path, this runs as a claim consumer: with a ledger
+            # configured the points become claim rows, so concurrent
+            # workers on the same database split the sweep and rows
+            # they finish are adopted instead of re-simulated.
+            from ..sched import session_for_points
+
             sweep_started = time.perf_counter()
             want_progress = PROGRESS.enabled
             if want_progress:
                 PROGRESS.add_total(len(missing))
-            for name, config, fp in missing:
+            points = [
+                self._point(name, config, b) for name, config, _ in missing
+            ]
+            session = session_for_points(points)
+            payloads: Dict[int, RunResult] = {}
+            ran = set()
+
+            def _run_seq(seq: int) -> RunResult:
+                name, config, fp = missing[seq]
                 kernel = self.kernel(name)
+                label = point_label(b.name, name, config.name)
                 if want_progress:
-                    label = point_label(b.name, name, config.name)
                     PROGRESS.point_started(label)
                 started = time.perf_counter()
                 result = backend_dispatch(
                     b, kernel, self.workload(name), config, self.params,
                     fingerprint=fp, cache_status="miss",
                 )
+                seconds = time.perf_counter() - started
                 self.point_seconds[(self._label(b, name), config.name)] = (
-                    time.perf_counter() - started
+                    seconds
+                )
+                session.complete(
+                    seq, result, wall_seconds=seconds, cache="miss"
                 )
                 if want_progress:
                     PROGRESS.point_finished(label, backend=b.name)
                 self.cache.put(fp, result)
+                ran.add(seq)
+                return result
+
+            def _adopted(seq: int, row: dict) -> None:
+                # Another worker ran it; keep the bench accounting and
+                # progress stream complete anyway.
+                name, config, _ = missing[seq]
+                wall = row.get("wall_seconds")
+                if wall is not None:
+                    self.point_seconds[
+                        (self._label(b, name), config.name)
+                    ] = float(wall)
+                if want_progress:
+                    PROGRESS.point_finished(
+                        point_label(b.name, name, config.name),
+                        backend=b.name,
+                    )
+
+            try:
+                session.enqueue(points)
+                chunk = 1 if session.store.durable else None
+                while True:
+                    batch = session.claim(limit=chunk)
+                    if not batch:
+                        break
+                    for seq in batch:
+                        payloads[seq] = _run_seq(seq)
+                if len(payloads) < len(missing):
+                    session.wait_remaining(
+                        payloads, runner=_run_seq, on_adopted=_adopted
+                    )
+            finally:
+                session.close()
+            for seq, (name, config, fp) in enumerate(missing):
+                result = payloads[seq]
+                if seq not in ran:
+                    # Adopted from another worker's DONE row: it still
+                    # lands in this context's cache tiers.
+                    self.cache.put(fp, result)
                 results[(name, config.name)] = result
             wall = time.perf_counter() - sweep_started
             parallel_mod.LAST_DISPATCH = parallel_mod.DispatchStats(

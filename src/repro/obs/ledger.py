@@ -49,10 +49,10 @@ import threading
 import time
 import uuid
 from contextlib import contextmanager
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 #: Ledger schema version (bump on incompatible table changes).
-LEDGER_SCHEMA = 1
+LEDGER_SCHEMA = 2
 
 #: Environment variable naming the ledger database path; empty or
 #: ``0``/``off``/``none`` (any case) leave the ledger disabled.
@@ -89,7 +89,62 @@ CREATE TABLE IF NOT EXISTS runs (
 CREATE INDEX IF NOT EXISTS runs_created ON runs (created_at);
 CREATE INDEX IF NOT EXISTS runs_point ON runs (kernel, config, backend);
 CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT);
+CREATE TABLE IF NOT EXISTS points (
+    job_id       TEXT NOT NULL,
+    seq          INTEGER NOT NULL,
+    fingerprint  TEXT,
+    label        TEXT,
+    backend      TEXT,
+    status       TEXT NOT NULL DEFAULT 'pending',
+    worker       TEXT,
+    lease_until  REAL,
+    claims       INTEGER NOT NULL DEFAULT 0,
+    enqueued_at  REAL,
+    finished_at  REAL,
+    wall_seconds REAL,
+    cache        TEXT,
+    error        TEXT,
+    spec         TEXT,
+    result       TEXT,
+    PRIMARY KEY (job_id, seq)
+);
+CREATE INDEX IF NOT EXISTS points_status ON points (status, job_id);
+CREATE INDEX IF NOT EXISTS points_fingerprint ON points (fingerprint);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    spec         TEXT,
+    source       TEXT,
+    state        TEXT,
+    submitted_at REAL,
+    started_at   REAL,
+    finished_at  REAL,
+    error        TEXT,
+    points_total INTEGER
+);
 """
+
+#: Point lifecycle states (the claim-and-run state machine).
+POINT_PENDING = "pending"
+POINT_CLAIMED = "claimed"
+POINT_DONE = "done"
+POINT_FAILED = "failed"
+POINT_CANCELLED = "cancelled"
+
+#: States a point row never leaves.
+POINT_TERMINAL = (POINT_DONE, POINT_FAILED, POINT_CANCELLED)
+
+#: Column order of one ``points`` row.
+POINT_COLUMNS = (
+    "job_id", "seq", "fingerprint", "label", "backend", "status",
+    "worker", "lease_until", "claims", "enqueued_at", "finished_at",
+    "wall_seconds", "cache", "error", "spec", "result",
+)
+
+#: Column order of one ``jobs`` row.
+JOB_COLUMNS = (
+    "job_id", "spec", "source", "state", "submitted_at", "started_at",
+    "finished_at", "error", "points_total",
+)
 
 #: Column order of one ``runs`` row (INSERT and SELECT share it).
 ROW_COLUMNS = (
@@ -275,6 +330,410 @@ class RunLedger:
             (verdict if verdict is not None else "unknown"): int(n)
             for verdict, n in raw
         }
+
+    # ---- point claim table (the scheduler's source of truth) ---------------
+    #
+    # One row per enqueued sweep point, keyed (job_id, seq) and carrying
+    # the point's content fingerprint, a serialized SweepPoint ("spec")
+    # any worker can rebuild the simulation from, and — once done — the
+    # serialized RunResult.  The lifecycle is pending -> claimed ->
+    # done/failed, with leases so a crashed worker's claims expire and
+    # get re-claimed, and "cancelled" for revoked pending rows.  All
+    # transitions are guarded UPDATEs inside one immediate transaction,
+    # so two claimers (threads, processes or hosts sharing the database
+    # file) can never both win the same row.
+
+    #: Claim stores backed by this class survive the process (the
+    #: in-memory store in :mod:`repro.sched.store` reports False).
+    durable = True
+
+    @contextmanager
+    def _txn(self):
+        """One immediate (write-locked) transaction under the lock."""
+        with self._lock:
+            conn = self._connect()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield conn
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+
+    def enqueue_points(self, job_id: str, rows: List[Dict[str, Any]]) -> int:
+        """Insert pending rows for a job; returns how many were new.
+
+        ``INSERT OR IGNORE`` keyed on (job_id, seq) makes enqueueing
+        idempotent: re-enqueueing an interrupted job adopts the
+        existing rows (done points stay done, pending points stay
+        claimable) instead of double-scheduling anything.
+        """
+        now = time.time()
+        inserted = 0
+        with self._txn() as conn:
+            for row in rows:
+                cursor = conn.execute(
+                    "INSERT OR IGNORE INTO points "
+                    "(job_id, seq, fingerprint, label, backend, status, "
+                    " claims, enqueued_at, spec) "
+                    "VALUES (?, ?, ?, ?, ?, 'pending', 0, ?, ?)",
+                    (
+                        job_id, int(row["seq"]), row.get("fingerprint"),
+                        row.get("label"), row.get("backend"),
+                        row.get("enqueued_at", now), row.get("spec"),
+                    ),
+                )
+                inserted += cursor.rowcount
+        return inserted
+
+    def claim_points(
+        self,
+        worker: str,
+        limit: Optional[int] = None,
+        lease_seconds: float = 120.0,
+        job_id: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Atomically claim up to ``limit`` runnable rows for ``worker``.
+
+        Runnable means PENDING, or CLAIMED with an expired lease (a
+        crashed worker's points come back automatically).  Each win is
+        a guarded ``UPDATE ... WHERE status='pending' OR (claimed AND
+        expired)`` checked by rowcount inside one immediate
+        transaction, so concurrent claimers split the table without
+        overlap.  Returns the claimed rows (spec included), ordered by
+        (enqueued_at, job_id, seq).
+        """
+        now = time.time() if now is None else now
+        guard = (
+            "(status = 'pending' OR "
+            "(status = 'claimed' AND lease_until IS NOT NULL "
+            "AND lease_until < ?))"
+        )
+        claimed: List[tuple] = []
+        with self._txn() as conn:
+            query = (
+                f"SELECT job_id, seq FROM points WHERE {guard}"
+            )
+            args: List[Any] = [now]
+            if job_id is not None:
+                query += " AND job_id = ?"
+                args.append(job_id)
+            query += " ORDER BY enqueued_at, job_id, seq"
+            if limit is not None:
+                query += " LIMIT ?"
+                args.append(int(limit))
+            candidates = conn.execute(query, args).fetchall()
+            for jid, seq in candidates:
+                cursor = conn.execute(
+                    "UPDATE points SET status = 'claimed', worker = ?, "
+                    "lease_until = ?, claims = claims + 1 "
+                    f"WHERE job_id = ? AND seq = ? AND {guard}",
+                    (worker, now + float(lease_seconds), jid, seq, now),
+                )
+                if cursor.rowcount:
+                    claimed.append((jid, seq))
+            rows = []
+            for jid, seq in claimed:
+                raw = conn.execute(
+                    f"SELECT {', '.join(POINT_COLUMNS)} FROM points "
+                    "WHERE job_id = ? AND seq = ?",
+                    (jid, seq),
+                ).fetchone()
+                rows.append(dict(zip(POINT_COLUMNS, raw)))
+        return rows
+
+    def complete_point(
+        self,
+        job_id: str,
+        seq: int,
+        worker: str,
+        result_doc: Optional[Dict[str, Any]] = None,
+        wall_seconds: Optional[float] = None,
+        cache: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> bool:
+        """CLAIMED -> DONE for the worker holding the claim.
+
+        Returns False when the row is no longer this worker's (its
+        lease expired and another claimer won it) — the caller's local
+        result is still correct, the other worker's row stands.
+        """
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE points SET status = 'done', result = ?, "
+                "wall_seconds = ?, cache = ?, finished_at = ?, "
+                "lease_until = NULL, error = NULL "
+                "WHERE job_id = ? AND seq = ? AND worker = ? "
+                "AND status = 'claimed'",
+                (
+                    _json_or_none(result_doc), wall_seconds, cache, now,
+                    job_id, int(seq), worker,
+                ),
+            )
+            return cursor.rowcount == 1
+
+    def fail_point(
+        self,
+        job_id: str,
+        seq: int,
+        worker: str,
+        error: str,
+        now: Optional[float] = None,
+    ) -> bool:
+        """CLAIMED -> FAILED with the stored error message."""
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE points SET status = 'failed', error = ?, "
+                "finished_at = ?, lease_until = NULL "
+                "WHERE job_id = ? AND seq = ? AND worker = ? "
+                "AND status = 'claimed'",
+                (str(error), now, job_id, int(seq), worker),
+            )
+            return cursor.rowcount == 1
+
+    def release_points(
+        self, worker: str, job_id: Optional[str] = None
+    ) -> int:
+        """This worker's CLAIMED rows back to PENDING (clean handoff)."""
+        query = (
+            "UPDATE points SET status = 'pending', worker = NULL, "
+            "lease_until = NULL WHERE worker = ? AND status = 'claimed'"
+        )
+        args: List[Any] = [worker]
+        if job_id is not None:
+            query += " AND job_id = ?"
+            args.append(job_id)
+        with self._txn() as conn:
+            return conn.execute(query, args).rowcount
+
+    def reclaim_expired(
+        self, now: Optional[float] = None, job_id: Optional[str] = None
+    ) -> int:
+        """Expired CLAIMED rows back to PENDING; returns how many.
+
+        :meth:`claim_points` already treats expired claims as
+        claimable; this is the explicit sweep a monitoring loop (or
+        ``repro-worker``) runs so progress counts reflect the
+        reclamation immediately.
+        """
+        now = time.time() if now is None else now
+        query = (
+            "UPDATE points SET status = 'pending', worker = NULL, "
+            "lease_until = NULL WHERE status = 'claimed' "
+            "AND lease_until IS NOT NULL AND lease_until < ?"
+        )
+        args: List[Any] = [now]
+        if job_id is not None:
+            query += " AND job_id = ?"
+            args.append(job_id)
+        with self._txn() as conn:
+            return conn.execute(query, args).rowcount
+
+    def renew_leases(
+        self,
+        worker: str,
+        lease_seconds: float,
+        job_id: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Heartbeat: push this worker's lease deadlines forward."""
+        now = time.time() if now is None else now
+        query = (
+            "UPDATE points SET lease_until = ? "
+            "WHERE worker = ? AND status = 'claimed'"
+        )
+        args: List[Any] = [now + float(lease_seconds), worker]
+        if job_id is not None:
+            query += " AND job_id = ?"
+            args.append(job_id)
+        with self._txn() as conn:
+            return conn.execute(query, args).rowcount
+
+    def revoke_pending(self, job_id: str) -> int:
+        """PENDING -> CANCELLED for a job (claim revocation on cancel)."""
+        with self._txn() as conn:
+            return conn.execute(
+                "UPDATE points SET status = 'cancelled', "
+                "finished_at = ? WHERE job_id = ? AND status = 'pending'",
+                (time.time(), job_id),
+            ).rowcount
+
+    def point_counts(self, job_id: Optional[str] = None) -> Dict[str, int]:
+        """Point rows per status (one job, or the whole table)."""
+        query = "SELECT status, COUNT(*) FROM points"
+        args: List[Any] = []
+        if job_id is not None:
+            query += " WHERE job_id = ?"
+            args.append(job_id)
+        query += " GROUP BY status"
+        with self._lock:
+            raw = self._connect().execute(query, args).fetchall()
+        return {status: int(n) for status, n in raw}
+
+    def point_rows(
+        self,
+        job_id: str,
+        status: Optional[str] = None,
+        with_result: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """One job's point rows in seq order.
+
+        ``with_result=False`` (the default) skips the ``result`` and
+        ``spec`` columns — progress snapshots poll this, and dragging
+        every serialized RunResult through each poll would swamp it.
+        """
+        columns = (
+            POINT_COLUMNS if with_result
+            else tuple(c for c in POINT_COLUMNS
+                       if c not in ("result", "spec"))
+        )
+        query = (
+            f"SELECT {', '.join(columns)} FROM points WHERE job_id = ?"
+        )
+        args: List[Any] = [job_id]
+        if status is not None:
+            query += " AND status = ?"
+            args.append(status)
+        query += " ORDER BY seq"
+        with self._lock:
+            raw = self._connect().execute(query, args).fetchall()
+        return [dict(zip(columns, r)) for r in raw]
+
+    # ---- service job persistence -------------------------------------------
+
+    def upsert_job(self, row: Dict[str, Any]) -> None:
+        """Insert or replace one service job row (restart adoption)."""
+        values = tuple(row.get(c) for c in JOB_COLUMNS)
+        with self._txn() as conn:
+            conn.execute(
+                f"INSERT OR REPLACE INTO jobs ({', '.join(JOB_COLUMNS)}) "
+                f"VALUES ({', '.join('?' for _ in JOB_COLUMNS)})",
+                values,
+            )
+
+    def update_job(self, job_id: str, **fields: Any) -> None:
+        """Update named columns of one job row."""
+        keys = [k for k in fields if k in JOB_COLUMNS and k != "job_id"]
+        if not keys:
+            return
+        assignments = ", ".join(f"{k} = ?" for k in keys)
+        with self._txn() as conn:
+            conn.execute(
+                f"UPDATE jobs SET {assignments} WHERE job_id = ?",
+                [fields[k] for k in keys] + [job_id],
+            )
+
+    def job_rows(
+        self, states: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, Any]]:
+        """Service job rows (optionally filtered), oldest first."""
+        query = f"SELECT {', '.join(JOB_COLUMNS)} FROM jobs"
+        args: List[Any] = []
+        if states:
+            query += (
+                f" WHERE state IN ({', '.join('?' for _ in states)})"
+            )
+            args.extend(states)
+        query += " ORDER BY submitted_at, job_id"
+        with self._lock:
+            raw = self._connect().execute(query, args).fetchall()
+        return [dict(zip(JOB_COLUMNS, r)) for r in raw]
+
+    # ---- retention ----------------------------------------------------------
+
+    def prune(
+        self,
+        keep_last: Optional[int] = None,
+        before: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, int]:
+        """Trim old rows; returns per-table deleted-row counts.
+
+        ``keep_last`` keeps the N newest run rows; ``before`` (a
+        ``time.time()`` stamp) deletes runs created earlier.  Given
+        both, a run survives only if it is among the N newest *and*
+        not older than the cutoff.  Terminal point rows and finished
+        job rows older than the effective cutoff are trimmed with the
+        runs they accompanied; pending/claimed points are never
+        touched (a prune must not eat a live sweep).
+        """
+        if keep_last is None and before is None:
+            raise ValueError("prune needs keep_last and/or before")
+        predicates: List[str] = []
+        args: List[Any] = []
+        if keep_last is not None:
+            predicates.append(
+                "run_id NOT IN (SELECT run_id FROM runs "
+                "ORDER BY created_at DESC, run_id LIMIT ?)"
+            )
+            args.append(max(0, int(keep_last)))
+        if before is not None:
+            predicates.append("created_at < ?")
+            args.append(float(before))
+        run_where = " OR ".join(f"({p})" for p in predicates)
+        counts: Dict[str, int] = {}
+        with self._txn() as conn:
+            # The effective cutoff for the points/jobs tables: the
+            # explicit date, or the stamp of the oldest run kept.
+            cutoff = before
+            if keep_last is not None:
+                row = conn.execute(
+                    "SELECT MIN(created_at) FROM (SELECT created_at "
+                    "FROM runs ORDER BY created_at DESC, run_id "
+                    "LIMIT ?)",
+                    (max(0, int(keep_last)),),
+                ).fetchone()
+                if row and row[0] is not None:
+                    cutoff = (
+                        row[0] if cutoff is None else max(cutoff, row[0])
+                    )
+            terminal = ", ".join(f"'{s}'" for s in POINT_TERMINAL)
+            point_where = (
+                f"status IN ({terminal}) AND enqueued_at IS NOT NULL "
+                "AND enqueued_at < ?"
+            )
+            job_where = (
+                "state IN ('done', 'failed', 'cancelled') "
+                "AND submitted_at IS NOT NULL AND submitted_at < ? "
+                "AND job_id NOT IN (SELECT DISTINCT job_id FROM points)"
+            )
+            if dry_run:
+                counts["runs"] = conn.execute(
+                    f"SELECT COUNT(*) FROM runs WHERE {run_where}", args
+                ).fetchone()[0]
+                counts["points"] = counts["jobs"] = 0
+                if cutoff is not None:
+                    counts["points"] = conn.execute(
+                        f"SELECT COUNT(*) FROM points WHERE {point_where}",
+                        (cutoff,),
+                    ).fetchone()[0]
+                    # Count jobs as a real prune would see them: a job
+                    # goes when its remaining points would all go too.
+                    counts["jobs"] = conn.execute(
+                        "SELECT COUNT(*) FROM jobs WHERE "
+                        "state IN ('done', 'failed', 'cancelled') "
+                        "AND submitted_at IS NOT NULL AND submitted_at < ? "
+                        "AND job_id NOT IN (SELECT DISTINCT job_id FROM "
+                        f"points WHERE NOT ({point_where}))",
+                        (cutoff, cutoff),
+                    ).fetchone()[0]
+            else:
+                counts["runs"] = conn.execute(
+                    f"DELETE FROM runs WHERE {run_where}", args
+                ).rowcount
+                counts["points"] = counts["jobs"] = 0
+                if cutoff is not None:
+                    counts["points"] = conn.execute(
+                        f"DELETE FROM points WHERE {point_where}",
+                        (cutoff,),
+                    ).rowcount
+                    counts["jobs"] = conn.execute(
+                        f"DELETE FROM jobs WHERE {job_where}", (cutoff,)
+                    ).rowcount
+        return counts
 
     @staticmethod
     def _decode(raw: tuple) -> Dict[str, Any]:
@@ -516,6 +975,14 @@ __all__ = [
     "LEDGER_ENV",
     "LEDGER_SCHEMA",
     "DEFAULT_LEDGER",
+    "JOB_COLUMNS",
+    "POINT_CANCELLED",
+    "POINT_CLAIMED",
+    "POINT_COLUMNS",
+    "POINT_DONE",
+    "POINT_FAILED",
+    "POINT_PENDING",
+    "POINT_TERMINAL",
     "ROW_COLUMNS",
     "LedgerHandle",
     "RunLedger",

@@ -12,7 +12,11 @@ regression gate.  Subcommands:
   fresh benchmark (or load one with ``--fresh``) and compare its phase
   wall times against the committed baseline, exiting non-zero when any
   phase regressed past the tolerance — a real perf gate for CI instead
-  of a fixed-budget tripwire.
+  of a fixed-budget tripwire;
+* ``prune --keep-last N`` / ``--before DATE`` — trim old run rows (and
+  the terminal claim/job rows that accompanied them) so the default-on
+  ledger does not grow without bound; ``--dry-run`` reports what would
+  go without deleting anything.
 
 The ledger path resolves ``--ledger`` > ``$REPRO_LEDGER`` >
 ``.repro_ledger.sqlite`` (the CLIs' default-on database).
@@ -288,6 +292,45 @@ def _regress(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---- prune ------------------------------------------------------------------
+
+
+def _parse_before(value: str) -> float:
+    """``YYYY-MM-DD`` (or ISO datetime) to a ``time.time()`` stamp."""
+    try:
+        when = datetime.datetime.fromisoformat(value)
+    except ValueError:
+        raise ValueError(
+            f"--before wants YYYY-MM-DD (or an ISO datetime), got "
+            f"{value!r}"
+        ) from None
+    return when.timestamp()
+
+
+def _prune(args: argparse.Namespace) -> int:
+    if args.keep_last is None and args.before is None:
+        print("prune needs --keep-last N and/or --before DATE",
+              file=sys.stderr)
+        return 2
+    try:
+        before = None if args.before is None else _parse_before(args.before)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    ledger = _open_ledger(args.ledger)
+    if ledger is None:
+        return 2
+    counts = ledger.prune(
+        keep_last=args.keep_last, before=before, dry_run=args.dry_run
+    )
+    verb = "would prune" if args.dry_run else "pruned"
+    print(
+        f"{verb} {counts['runs']} run row(s), {counts['points']} point "
+        f"row(s), {counts['jobs']} job row(s) from {ledger.path}"
+    )
+    return 0
+
+
 # ---- entry point ------------------------------------------------------------
 
 
@@ -354,6 +397,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=1, metavar="N",
         help="cold-phase repeats for the fresh bench (default 1)",
     )
+
+    prune = sub.add_parser(
+        "prune",
+        help="trim old ledger rows (runs + terminal points/jobs)",
+    )
+    prune.add_argument(
+        "--keep-last", type=int, default=None, metavar="N",
+        help="keep only the N newest run rows",
+    )
+    prune.add_argument(
+        "--before", default=None, metavar="DATE",
+        help="delete rows created before this date (YYYY-MM-DD or ISO "
+             "datetime, local time)",
+    )
+    prune.add_argument(
+        "--dry-run", action="store_true",
+        help="report row counts without deleting anything",
+    )
     return parser
 
 
@@ -365,6 +426,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _history(args)
         if args.command == "diff":
             return _diff(args)
+        if args.command == "prune":
+            return _prune(args)
         return _regress(args)
     except BrokenPipeError:  # e.g. `repro-perf history | head`
         return 0

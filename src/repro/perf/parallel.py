@@ -10,6 +10,18 @@ returns results in input order; with one effective worker (``jobs <= 1``,
 a single-CPU host, or a single point) it degrades to an identical
 deterministic serial loop.
 
+Since the scheduler refactor, :func:`run_points` is a *claim consumer*
+over :mod:`repro.sched`: points are enqueued as rows in a claim store
+(the WAL-mode sqlite ledger when one is configured, an in-memory
+equivalent otherwise), the pool and serial paths only run points they
+atomically claimed, and every finished point is recorded back as a
+DONE row.  With a shared ledger that makes a sweep shardable — another
+process (``repro-worker``, a second service, another host) claiming
+rows of the same job never double-runs a fingerprint, and whatever it
+finishes is adopted here instead of re-simulated.  Without a ledger
+the store is process-local and behavior is byte-identical to the old
+direct dispatch.
+
 Dispatch is adaptive rather than naive:
 
 * the worker count is clamped to ``min(jobs, os.cpu_count(), points)``
@@ -34,6 +46,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -67,6 +80,10 @@ class SweepPoint:
     (fingerprint and simulation alike); None defers to the ambient
     process-wide choice — service jobs pin it so a queued request runs
     on the core it asked for no matter which process picks it up.
+    ``fingerprint`` optionally carries the point's precomputed content
+    address (the scheduler fills it at enqueue time so claim rows are
+    keyed before any worker runs); it is derived state, excluded from
+    equality, and recomputed on demand when absent.
     """
 
     kernel: str                 # registry name (rebuilt in the worker)
@@ -78,6 +95,15 @@ class SweepPoint:
     backend: str = "grid"       # backend registry name
     ledger_path: Optional[str] = None
     engine_core: Optional[str] = None
+    fingerprint: Optional[str] = field(default=None, compare=False)
+
+
+#: Thread-local out-param slot for :func:`simulate_point_meta`.  The
+#: meta wrapper must call :func:`simulate_point` through its *module
+#: global* (so fault injection and tests that monkeypatch it keep
+#: working), yet still receive the cache verdict — the slot carries the
+#: dict past whatever wrapper is installed.
+_META_SLOT = threading.local()
 
 
 def simulate_point(point: SweepPoint) -> RunResult:
@@ -87,18 +113,30 @@ def simulate_point(point: SweepPoint) -> RunResult:
     first and populated after a miss, so concurrent workers (and later
     runs) share results through the filesystem.
     """
+    return _simulate(point, getattr(_META_SLOT, "meta", None))
+
+
+def _simulate(point: SweepPoint, meta: Optional[dict]) -> RunResult:
+    """:func:`simulate_point` with an optional metadata out-param."""
     if point.engine_core is not None:
         # Pin the whole point — fingerprinting reads the active core,
         # so the address and the simulation must agree on it.
         from ..machine.fastcore import using_core
 
         with using_core(point.engine_core):
-            return _simulate_pinned(point)
-    return _simulate_pinned(point)
+            return _simulate_pinned(point, meta)
+    return _simulate_pinned(point, meta)
 
 
-def _simulate_pinned(point: SweepPoint) -> RunResult:
-    """:func:`simulate_point` body, engine core already resolved."""
+def _simulate_pinned(
+    point: SweepPoint, meta: Optional[dict] = None
+) -> RunResult:
+    """:func:`simulate_point` body, engine core already resolved.
+
+    When ``meta`` is a dict, ``meta["cache"]`` is set to the point's
+    cache verdict (``"hit"``/``"miss"``/``"uncached"``) — what the
+    claim consumers record on the DONE row.
+    """
     # Lazy imports: repro.backends imports this package back (for the
     # fingerprint helpers), so resolving at call time avoids the cycle.
     from ..backends import dispatch, get
@@ -122,12 +160,16 @@ def _simulate_pinned(point: SweepPoint) -> RunResult:
         from .fingerprint import run_fingerprint
 
         cache = RunCache(point.cache_dir)
-        fp = run_fingerprint(
-            kernel, point.config, point.params, records,
-            backend=backend.fingerprint_part(),
-        )
+        fp = point.fingerprint
+        if fp is None:
+            fp = run_fingerprint(
+                kernel, point.config, point.params, records,
+                backend=backend.fingerprint_part(),
+            )
         cached = cache.get(fp)
         if cached is not None:
+            if meta is not None:
+                meta["cache"] = "hit"
             if LEDGER.enabled:
                 # Replays are runs too: a hit row keeps the ledger a
                 # complete account of what a sweep delivered (wall
@@ -140,6 +182,8 @@ def _simulate_pinned(point: SweepPoint) -> RunResult:
                     params=point.params, fingerprint=fp, cache="hit",
                 )
             return cached
+    if meta is not None:
+        meta["cache"] = "miss" if fp is not None else "uncached"
     result = dispatch(
         backend, kernel, records, point.config, point.params,
         fingerprint=fp, cache_status="miss" if fp is not None else None,
@@ -154,6 +198,29 @@ def simulate_point_timed(point: SweepPoint) -> Tuple[RunResult, float]:
     started = time.perf_counter()
     result = simulate_point(point)
     return result, time.perf_counter() - started
+
+
+def simulate_point_meta(
+    point: SweepPoint,
+) -> Tuple[RunResult, float, str]:
+    """One point with full accounting: (result, seconds, cache verdict).
+
+    The claim consumers (serial loop, ``repro-worker``) record the
+    verdict on the DONE row so a job's cache hit/miss split can be
+    read straight from the claim table.
+    """
+    meta: dict = {}
+    previous = getattr(_META_SLOT, "meta", None)
+    _META_SLOT.meta = meta
+    started = time.perf_counter()
+    try:
+        # Late-bound global on purpose: monkeypatched simulate_point
+        # wrappers (fault injection, tests) must see meta-path runs too.
+        result = simulate_point(point)
+    finally:
+        _META_SLOT.meta = previous
+    seconds = time.perf_counter() - started
+    return result, seconds, meta.get("cache", "uncached")
 
 
 def _pool_worker_phased(point: SweepPoint, timed: bool):
@@ -274,6 +341,7 @@ def run_points(
     points: Sequence[SweepPoint],
     jobs: int = 1,
     timed: bool = False,
+    session=None,
 ) -> List:
     """Simulate every point, fanning out over ``jobs`` worker processes.
 
@@ -282,6 +350,19 @@ def run_points(
     pairs when ``timed=True``.  Dispatch degrades to a deterministic
     serial loop whenever a pool cannot help (``jobs <= 1``, one CPU,
     a single point) or cannot be spawned (sandboxed environments).
+
+    The sweep runs as a claim consumer: points become PENDING rows of
+    one job in a claim store (see :mod:`repro.sched`), both dispatch
+    paths only run rows they claimed, and results are recorded back as
+    DONE rows.  Rows another worker finished (shared-ledger sharding,
+    resumed service jobs) are *adopted* — deserialized from the store
+    instead of re-run — and rows whose worker died are reclaimed after
+    lease expiry, so the call still returns the complete in-order
+    result list.  Pass ``session`` (a
+    :class:`~repro.sched.ClaimSession`) to run under an existing job —
+    the service queue does, wiring its cancel events into claim
+    revocation; otherwise a session is created from the points'
+    ledger configuration and closed on return.
 
     When ``PHASES`` measurement is on, pool workers snapshot their own
     accumulators and the parent folds them back in, so phase breakdowns
@@ -297,6 +378,8 @@ def run_points(
     mid-sweep.
     """
     global LAST_DISPATCH
+    from ..sched import session_for_points
+
     worker = simulate_point_timed if timed else simulate_point
     points = list(points)
     workers = effective_workers(jobs, len(points))
@@ -304,68 +387,107 @@ def run_points(
     want_progress = PROGRESS.enabled
     if want_progress:
         PROGRESS.add_total(len(points))
+    own_session = session is None
+    if own_session:
+        session = session_for_points(points)
     stats = DispatchStats(points=len(points))
     started = time.perf_counter()
-    results: Optional[List] = None
-    if workers > 1:
-        # Longest-first keeps a heavyweight straggler from serializing
-        # the tail; the index tie-break keeps scheduling deterministic.
-        order = sorted(
-            range(len(points)),
-            key=lambda i: (-_estimated_cost(points[i]), i),
-        )
-        chunksize = max(1, len(points) // (workers * 4))
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                if want_phases:
-                    mapped = pool.map(
-                        _pool_worker_phased,
-                        [points[i] for i in order],
-                        itertools.repeat(timed),
-                        chunksize=chunksize,
-                    )
-                else:
-                    mapped = pool.map(
-                        worker,
-                        [points[i] for i in order],
-                        chunksize=chunksize,
-                    )
-                if want_progress:
-                    shuffled = _drain_pool(
-                        mapped, points, order, workers * chunksize
-                    )
-                else:
-                    shuffled = list(mapped)
-        except (OSError, PermissionError, NotImplementedError,
-                BrokenProcessPool):
-            # Pools that cannot spawn (sandboxes) or whose workers died
-            # mid-sweep degrade to the serial loop — never wrong
-            # results, never a crash.  KeyboardInterrupt propagates.
-            stats.mode = "pool-fallback"  # degrade to the serial loop
-        else:
-            stats.mode = "pool"
-            stats.workers = workers
-            stats.chunksize = chunksize
-            results = [None] * len(points)
-            for i, payload in zip(order, shuffled):
-                if want_phases:
-                    payload, snapshot = payload
-                    for name, elapsed in snapshot.items():
-                        PHASES.add(name, elapsed)
-                        stats.worker_phase_seconds[name] = (
-                            stats.worker_phase_seconds.get(name, 0.0) + elapsed
+    payloads: Dict[int, object] = {}
+    try:
+        enqueued = session.enqueue(points)
+        session.raise_if_cancelled()
+        if workers > 1:
+            claimed = session.claim()
+            # Longest-first keeps a heavyweight straggler from
+            # serializing the tail; the index tie-break keeps
+            # scheduling deterministic.
+            order = sorted(
+                claimed,
+                key=lambda i: (-_estimated_cost(enqueued[i]), i),
+            )
+            chunksize = max(1, len(points) // (workers * 4))
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    if want_phases:
+                        mapped = pool.map(
+                            _pool_worker_phased,
+                            [enqueued[i] for i in order],
+                            itertools.repeat(timed),
+                            chunksize=chunksize,
                         )
-                results[i] = payload
-    if results is None:
-        if want_progress:
-            results = []
-            for point in points:
-                label = _progress_label(point)
-                PROGRESS.point_started(label)
-                results.append(worker(point))
-                PROGRESS.point_finished(label, backend=point.backend)
-        else:
-            results = [worker(point) for point in points]
+                    else:
+                        mapped = pool.map(
+                            worker,
+                            [enqueued[i] for i in order],
+                            chunksize=chunksize,
+                        )
+                    if want_progress:
+                        shuffled = _drain_pool(
+                            mapped, enqueued, order, workers * chunksize
+                        )
+                    else:
+                        shuffled = list(mapped)
+            except (OSError, PermissionError, NotImplementedError,
+                    BrokenProcessPool):
+                # Pools that cannot spawn (sandboxes) or whose workers
+                # died mid-sweep degrade to the serial loop — never
+                # wrong results, never a crash.  The claims go back to
+                # PENDING so the loop below (or any other worker) can
+                # take them.  KeyboardInterrupt propagates.
+                stats.mode = "pool-fallback"
+                session.release()
+            else:
+                stats.mode = "pool"
+                stats.workers = workers
+                stats.chunksize = chunksize
+                for i, payload in zip(order, shuffled):
+                    if want_phases:
+                        payload, snapshot = payload
+                        for name, elapsed in snapshot.items():
+                            PHASES.add(name, elapsed)
+                            stats.worker_phase_seconds[name] = (
+                                stats.worker_phase_seconds.get(name, 0.0)
+                                + elapsed
+                            )
+                    payloads[i] = payload
+                    result = payload[0] if timed else payload
+                    wall = payload[1] if timed else None
+                    session.complete(i, result, wall_seconds=wall)
+        if stats.mode != "pool":
+            # Serial claim loop.  Durable stores claim one row at a
+            # time so concurrent claimers interleave at point
+            # granularity; the in-memory store has no other claimers,
+            # so one claim takes the whole job.
+            chunk = 1 if session.store.durable else None
+            while True:
+                session.raise_if_cancelled()
+                batch = session.claim(limit=chunk)
+                if not batch:
+                    break
+                for seq in batch:
+                    payloads[seq] = _run_claimed(
+                        session, enqueued, seq, timed, want_progress
+                    )
+        if len(payloads) < len(enqueued):
+            # Rows another worker holds or finished: adopt DONE rows,
+            # reclaim expired leases, poll live foreign claims.
+            session.wait_remaining(
+                payloads,
+                runner=lambda seq: _run_claimed(
+                    session, enqueued, seq, timed, want_progress
+                ),
+                timed=timed,
+                on_adopted=(
+                    (lambda seq, row: PROGRESS.point_finished(
+                        _progress_label(enqueued[seq]),
+                        backend=enqueued[seq].backend,
+                    )) if want_progress else None
+                ),
+            )
+        results = [payloads[i] for i in range(len(enqueued))]
+    finally:
+        if own_session:
+            session.close()
     stats.wall_seconds = time.perf_counter() - started
     if timed:
         stats.busy_seconds = sum(seconds for _, seconds in results)
@@ -374,3 +496,28 @@ def run_points(
         METRICS.gauge("dispatch.worker_utilization", utilization)
     LAST_DISPATCH = stats
     return results
+
+
+def _run_claimed(session, points, seq: int, timed: bool,
+                 want_progress: bool):
+    """Run one claimed seq, record its DONE row, return the payload."""
+    point = points[seq]
+    label = _progress_label(point)
+    if want_progress:
+        PROGRESS.point_started(label)
+    try:
+        result, seconds, verdict = simulate_point_meta(point)
+    except (KeyboardInterrupt, SystemExit):
+        # An interrupt is not the point's fault: put the claim back so
+        # a resumed sweep (or a sibling worker) runs it fresh.
+        session.release()
+        raise
+    except BaseException as exc:
+        # Fail the row loudly so sibling workers stop waiting on it
+        # instead of polling a lease that will never resolve.
+        session.fail(seq, f"{type(exc).__name__}: {exc}")
+        raise
+    session.complete(seq, result, wall_seconds=seconds, cache=verdict)
+    if want_progress:
+        PROGRESS.point_finished(label, backend=point.backend)
+    return (result, seconds) if timed else result

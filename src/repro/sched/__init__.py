@@ -1,0 +1,32 @@
+"""The scheduler layer: claim-based point lifecycle over a shared store.
+
+One substrate under every execution path — ``run_points``' serial and
+pool consumers, the experiment harness's in-context loop, the service
+queue's worker threads and the ``repro-worker`` CLI.  Points are rows
+in a claim table (PENDING → CLAIMED → DONE/FAILED/CANCELLED) keyed by
+content fingerprint; the WAL-mode sqlite ledger makes that table
+durable and shareable across processes and hosts, and the in-memory
+store provides the identical semantics when no ledger is configured.
+"""
+
+from .codec import decode_point, encode_point, point_fingerprint
+from .scheduler import (
+    DEFAULT_LEASE_SECONDS,
+    ClaimSession,
+    SweepCancelled,
+    default_worker_id,
+    session_for_points,
+)
+from .store import MemoryClaimStore
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "ClaimSession",
+    "MemoryClaimStore",
+    "SweepCancelled",
+    "decode_point",
+    "default_worker_id",
+    "encode_point",
+    "point_fingerprint",
+    "session_for_points",
+]

@@ -1,0 +1,103 @@
+"""Durable encoding of sweep points (the claim table's ``spec`` column).
+
+A :class:`~repro.perf.parallel.SweepPoint` already carries only
+reconstructible inputs (registry names, seeds, plain dataclasses), so
+it JSON-encodes losslessly: any worker process — on any host sharing
+the ledger file — can rebuild the exact simulation from the stored
+document.  The only field needing care is
+:class:`~repro.machine.params.MachineParams.latencies`, a dict keyed
+by :class:`~repro.isa.opcodes.OpClass`; it round-trips through the
+enum *names*.
+
+:func:`point_fingerprint` computes the same content address
+:func:`~repro.perf.parallel.simulate_point` would (including the
+``engine_core`` pinning rule), so claim rows are keyed by fingerprint
+before any worker touches them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+
+def encode_point(point) -> Dict[str, Any]:
+    """A JSON-safe document :func:`decode_point` rebuilds the point from."""
+    params = dataclasses.asdict(point.params)
+    params["latencies"] = {
+        opclass.name: latency
+        for opclass, latency in point.params.latencies.items()
+    }
+    return {
+        "kernel": point.kernel,
+        "config": dataclasses.asdict(point.config),
+        "params": params,
+        "records": point.records,
+        "workload_seed": point.workload_seed,
+        "cache_dir": point.cache_dir,
+        "backend": point.backend,
+        "ledger_path": point.ledger_path,
+        "engine_core": point.engine_core,
+    }
+
+
+def decode_point(doc: Dict[str, Any], fingerprint: Optional[str] = None):
+    """Rebuild a :class:`SweepPoint` from :func:`encode_point` output."""
+    from ..isa.opcodes import OpClass
+    from ..machine.config import MachineConfig
+    from ..machine.params import MachineParams
+    from ..perf.parallel import SweepPoint
+
+    params_doc = dict(doc["params"])
+    params_doc["latencies"] = {
+        OpClass[name]: latency
+        for name, latency in params_doc["latencies"].items()
+    }
+    return SweepPoint(
+        kernel=doc["kernel"],
+        config=MachineConfig(**doc["config"]),
+        params=MachineParams(**params_doc),
+        records=doc["records"],
+        workload_seed=doc.get("workload_seed"),
+        cache_dir=doc.get("cache_dir"),
+        backend=doc.get("backend", "grid"),
+        ledger_path=doc.get("ledger_path"),
+        engine_core=doc.get("engine_core"),
+        fingerprint=fingerprint,
+    )
+
+
+def point_fingerprint(point) -> str:
+    """The content address the point's simulation will run under.
+
+    Byte-identical to what :func:`simulate_point` computes: the
+    workload is rebuilt from (records, seed), the backend part comes
+    from the registry, and a pinned ``engine_core`` scopes the hash
+    exactly like the simulation itself.
+    """
+    from ..backends import get
+    from ..kernels.registry import spec
+    from ..perf.fingerprint import run_fingerprint
+
+    s = spec(point.kernel)
+    if point.workload_seed is None:
+        records = s.workload(point.records)
+    else:
+        records = s.workload(point.records, point.workload_seed)
+    kernel = s.kernel()
+    backend = get(point.backend)
+    if point.engine_core is not None:
+        from ..machine.fastcore import using_core
+
+        with using_core(point.engine_core):
+            return run_fingerprint(
+                kernel, point.config, point.params, records,
+                backend=backend.fingerprint_part(),
+            )
+    return run_fingerprint(
+        kernel, point.config, point.params, records,
+        backend=backend.fingerprint_part(),
+    )
+
+
+__all__ = ["decode_point", "encode_point", "point_fingerprint"]

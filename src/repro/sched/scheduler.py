@@ -1,0 +1,444 @@
+"""The claim session: one job's point lifecycle against a claim store.
+
+:class:`ClaimSession` is the layer every execution path now drives —
+``run_points``'s serial and pool consumers, the experiment harness's
+in-context loop, the service queue's worker threads and the
+``repro-worker`` CLI all speak the same four verbs:
+
+``enqueue``
+    insert this job's points as PENDING rows (idempotent — resuming an
+    interrupted job adopts the existing rows, finished work included);
+``claim``
+    atomically take a batch of runnable rows (PENDING, or CLAIMED with
+    an expired lease) under this session's worker id + lease deadline;
+``complete`` / ``fail``
+    guarded terminal transitions carrying the serialized result (or
+    the error) — the durable record other workers and restarted
+    services adopt;
+``wait_remaining``
+    resolve rows another worker claimed: adopt their DONE results,
+    re-run anything whose lease expired, surface FAILED loudly.
+
+The store is either the WAL-mode sqlite ledger
+(:class:`~repro.obs.ledger.RunLedger` — durable, shared across
+processes and hosts) or the in-process
+:class:`~repro.sched.store.MemoryClaimStore` when no ledger is
+configured.  Durable sessions renew their lease deadlines from a
+heartbeat thread, so long-running points are never reclaimed out from
+under a live worker; a *dead* worker stops heartbeating and its claims
+expire — that is the whole crash-recovery story.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+import uuid
+from typing import Any, Callable, Dict, List, Optional
+
+from ..obs.ledger import (
+    LEDGER,
+    POINT_CANCELLED,
+    POINT_CLAIMED,
+    POINT_DONE,
+    POINT_FAILED,
+    RunLedger,
+)
+from ..obs.progress import point_label
+from .codec import encode_point, point_fingerprint
+from .store import MemoryClaimStore
+
+#: Default claim lease: generous against slow points (a live worker
+#: heartbeats well before this), short enough that a crashed worker's
+#: points come back within a couple of minutes.
+DEFAULT_LEASE_SECONDS = 120.0
+
+
+class SweepCancelled(RuntimeError):
+    """A sweep stopped because its claims were revoked (job cancel)."""
+
+
+def default_worker_id() -> str:
+    """A worker identity unique across hosts, processes and threads."""
+    return (
+        f"{platform.node()}:{os.getpid()}:{threading.get_ident()}"
+    )
+
+
+def _label(point) -> str:
+    return point_label(point.backend, point.kernel, point.config.name)
+
+
+class ClaimSession:
+    """One job's view of a claim store (see the module docstring)."""
+
+    def __init__(
+        self,
+        store,
+        job_id: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        cancel_check: Optional[Callable[[], bool]] = None,
+        owns_store: bool = False,
+    ):
+        self.store = store
+        self.job_id = job_id or uuid.uuid4().hex
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_seconds = float(lease_seconds)
+        self._cancel_check = cancel_check
+        self._owns_store = owns_store
+        self._points: List[Any] = []
+        self._hb_stop = threading.Event()
+        self._hb_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ---- enqueue ------------------------------------------------------------
+
+    def enqueue(self, points) -> List[Any]:
+        """Insert the job's points; returns fingerprint-filled copies.
+
+        Durable stores key rows by content fingerprint (computed here
+        once, unless the caller pre-filled it) and carry a serialized
+        spec any worker can rebuild the point from.  The in-memory
+        store skips both — nothing outlives the process there.
+        """
+        import dataclasses
+
+        if self.store.durable:
+            filled = []
+            for point in points:
+                fp = point.fingerprint or point_fingerprint(point)
+                filled.append(
+                    point if point.fingerprint == fp
+                    else dataclasses.replace(point, fingerprint=fp)
+                )
+            rows = [
+                {
+                    "seq": seq,
+                    "fingerprint": point.fingerprint,
+                    "label": _label(point),
+                    "backend": point.backend,
+                    "spec": json.dumps(
+                        encode_point(point), sort_keys=True
+                    ),
+                }
+                for seq, point in enumerate(filled)
+            ]
+        else:
+            filled = list(points)
+            rows = [
+                {
+                    "seq": seq,
+                    "fingerprint": point.fingerprint,
+                    "label": _label(point),
+                    "backend": point.backend,
+                    "spec": None,
+                }
+                for seq, point in enumerate(filled)
+            ]
+        self._points = filled
+        self.store.enqueue_points(self.job_id, rows)
+        return filled
+
+    @property
+    def points(self) -> List[Any]:
+        """The enqueued points, seq-indexed (after :meth:`enqueue`)."""
+        return self._points
+
+    def point(self, seq: int):
+        return self._points[seq]
+
+    # ---- claim / transition -------------------------------------------------
+
+    def claim(self, limit: Optional[int] = None) -> List[int]:
+        """Claim up to ``limit`` runnable seqs of *this* job."""
+        rows = self.store.claim_points(
+            self.worker_id, limit=limit,
+            lease_seconds=self.lease_seconds, job_id=self.job_id,
+        )
+        if rows:
+            self._ensure_heartbeat()
+        return [row["seq"] for row in rows]
+
+    def complete(
+        self,
+        seq: int,
+        result,
+        wall_seconds: Optional[float] = None,
+        cache: Optional[str] = None,
+    ) -> bool:
+        """Record one finished point (serialized for durable stores)."""
+        if self.store.durable:
+            from ..perf.cache import run_result_to_dict
+
+            doc: Any = run_result_to_dict(result)
+        else:
+            doc = result
+        return self.store.complete_point(
+            self.job_id, seq, self.worker_id, result_doc=doc,
+            wall_seconds=wall_seconds, cache=cache,
+        )
+
+    def fail(self, seq: int, error: str) -> bool:
+        return self.store.fail_point(
+            self.job_id, seq, self.worker_id, str(error)
+        )
+
+    def release(self) -> int:
+        """Hand this session's unfinished claims back to PENDING."""
+        return self.store.release_points(self.worker_id, self.job_id)
+
+    def revoke_pending(self) -> int:
+        return self.store.revoke_pending(self.job_id)
+
+    # ---- cancellation -------------------------------------------------------
+
+    def cancelled(self) -> bool:
+        return bool(self._cancel_check and self._cancel_check())
+
+    def raise_if_cancelled(self) -> None:
+        """Release claims, revoke pending rows, raise SweepCancelled."""
+        if not self.cancelled():
+            return
+        self.release()
+        revoked = self.revoke_pending()
+        counts = self.store.point_counts(self.job_id)
+        done = counts.get(POINT_DONE, 0)
+        total = sum(counts.values())
+        raise SweepCancelled(
+            f"cancelled after {done} of {total} point(s) "
+            f"({revoked} revoked)"
+        )
+
+    # ---- foreign-row resolution ---------------------------------------------
+
+    def payload_from_row(self, row: Dict[str, Any], timed: bool = False):
+        """A run_points-shaped payload from a DONE claim row."""
+        doc = row.get("result")
+        if isinstance(doc, str):
+            doc = json.loads(doc)
+        if isinstance(doc, dict):
+            from ..perf.cache import run_result_from_dict
+
+            result = run_result_from_dict(doc)
+        else:
+            result = doc  # the memory store holds the live object
+        if timed:
+            return result, float(row.get("wall_seconds") or 0.0)
+        return result
+
+    def wait_remaining(
+        self,
+        payloads: Dict[int, Any],
+        runner: Callable[[int], Any],
+        timed: bool = False,
+        poll_seconds: float = 0.05,
+        on_adopted: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    ) -> None:
+        """Fill ``payloads`` for every seq another worker took.
+
+        Adopts DONE rows (deserializing the stored result), re-claims
+        and runs anything whose lease expired (``runner(seq)`` must
+        complete the row and return the payload), raises on FAILED or
+        revoked rows, and polls while a live foreign worker holds a
+        fresh lease.
+        """
+        total = len(self._points)
+        while True:
+            missing = [s for s in range(total) if s not in payloads]
+            if not missing:
+                return
+            self.raise_if_cancelled()
+            progressed = False
+            for seq in self.claim():
+                payloads[seq] = runner(seq)
+                progressed = True
+            missing = [s for s in range(total) if s not in payloads]
+            if not missing:
+                return
+            rows = {
+                row["seq"]: row
+                for row in self.store.point_rows(
+                    self.job_id, with_result=True
+                )
+            }
+            for seq in missing:
+                row = rows.get(seq)
+                if row is None:
+                    raise RuntimeError(
+                        f"point {seq} of job {self.job_id} is missing "
+                        "from the claim store"
+                    )
+                if row["status"] == POINT_DONE:
+                    payloads[seq] = self.payload_from_row(row, timed)
+                    if on_adopted is not None:
+                        on_adopted(seq, row)
+                    progressed = True
+                elif row["status"] == POINT_FAILED:
+                    raise RuntimeError(
+                        f"point {row.get('label') or seq} failed on "
+                        f"worker {row.get('worker')!r}: {row.get('error')}"
+                    )
+                elif row["status"] == POINT_CANCELLED:
+                    raise SweepCancelled(
+                        f"point {row.get('label') or seq} of job "
+                        f"{self.job_id} was revoked"
+                    )
+            if not progressed:
+                time.sleep(poll_seconds)
+
+    # ---- accounting ---------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        return self.store.point_counts(self.job_id)
+
+    def cache_verdicts(self) -> Dict[str, int]:
+        """Cache-verdict counts over this job's finished rows."""
+        counts: Dict[str, int] = {}
+        for row in self.store.point_rows(self.job_id):
+            verdict = row.get("cache")
+            if verdict:
+                counts[verdict] = counts.get(verdict, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def progress_snapshot(
+        self, started_at: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """A ProgressTracker-shaped snapshot from the claim store.
+
+        Same keys as
+        :meth:`~repro.obs.progress.ProgressTracker.get_current_state`,
+        so clients and renderers work unchanged — but composed from
+        durable rows, which makes it correct across N queue workers,
+        foreign claimers and service restarts.
+        """
+        rows = self.store.point_rows(self.job_id)
+        completed = sum(1 for r in rows if r["status"] == POINT_DONE)
+        total = max(len(rows), completed)
+        in_flight = sorted(
+            r["label"] or f"seq {r['seq']}"
+            for r in rows if r["status"] == POINT_CLAIMED
+        )
+        per_backend: Dict[str, int] = {}
+        last_point = None
+        last_stamp = None
+        for row in rows:
+            if row["status"] != POINT_DONE:
+                continue
+            backend = row.get("backend")
+            if backend:
+                per_backend[backend] = per_backend.get(backend, 0) + 1
+            stamp = row.get("finished_at")
+            if stamp is not None and (
+                last_stamp is None or stamp >= last_stamp
+            ):
+                last_stamp = stamp
+                last_point = row.get("label")
+        elapsed = (
+            max(0.0, time.time() - started_at)
+            if started_at is not None else 0.0
+        )
+        rate = completed / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, total - completed)
+        return {
+            "completed": completed,
+            "total": total,
+            "in_flight": in_flight,
+            "elapsed_seconds": elapsed,
+            "points_per_second": rate,
+            "eta_seconds": remaining / rate if rate > 0 else None,
+            "per_backend": dict(sorted(per_backend.items())),
+            "last_point": last_point,
+        }
+
+    # ---- lease heartbeat ----------------------------------------------------
+
+    def _ensure_heartbeat(self) -> None:
+        if not self.store.durable or self._closed:
+            return
+        if self._hb_thread is not None and self._hb_thread.is_alive():
+            return
+        interval = max(0.5, self.lease_seconds / 3.0)
+
+        def beat() -> None:
+            while not self._hb_stop.wait(interval):
+                try:
+                    self.store.renew_leases(
+                        self.worker_id, self.lease_seconds,
+                        job_id=self.job_id,
+                    )
+                except Exception:
+                    # A failed heartbeat only risks an early reclaim of
+                    # still-running points — double work, never wrong
+                    # results; the guarded complete keeps one winner.
+                    pass
+
+        self._hb_stop.clear()
+        self._hb_thread = threading.Thread(
+            target=beat, name="repro-sched-heartbeat", daemon=True
+        )
+        self._hb_thread.start()
+
+    def close(self, release: bool = True) -> None:
+        """Stop the heartbeat, hand back claims, drop an owned store."""
+        if self._closed:
+            return
+        self._closed = True
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=2.0)
+        try:
+            if release:
+                self.release()
+        finally:
+            if self._owns_store:
+                try:
+                    self.store.close()
+                except Exception:
+                    pass
+
+    def __enter__(self) -> "ClaimSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def session_for_points(
+    points,
+    job_id: Optional[str] = None,
+    cancel_check: Optional[Callable[[], bool]] = None,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+) -> ClaimSession:
+    """The right session for a point batch: durable when a ledger is.
+
+    The store is the first explicit ``ledger_path`` the points carry,
+    else the process-wide :data:`LEDGER`'s database when enabled, else
+    an in-memory store (identical semantics, zero durability).
+    """
+    path = next(
+        (p.ledger_path for p in points if p.ledger_path is not None), None
+    )
+    if path is None and LEDGER.enabled:
+        path = LEDGER.path
+    if path is not None:
+        return ClaimSession(
+            RunLedger(path), job_id=job_id, cancel_check=cancel_check,
+            lease_seconds=lease_seconds, owns_store=True,
+        )
+    return ClaimSession(
+        MemoryClaimStore(), job_id=job_id, cancel_check=cancel_check,
+        lease_seconds=lease_seconds,
+    )
+
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "ClaimSession",
+    "SweepCancelled",
+    "default_worker_id",
+    "session_for_points",
+]

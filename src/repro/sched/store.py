@@ -1,0 +1,263 @@
+"""In-memory claim store: the no-ledger degradation of the scheduler.
+
+:class:`MemoryClaimStore` mirrors the claim API the sqlite-backed
+:class:`~repro.obs.ledger.RunLedger` grew (enqueue / claim / complete /
+fail / release / revoke / counts / rows) with a plain locked dict, so
+:class:`~repro.sched.scheduler.ClaimSession` runs identically whether
+or not a durable ledger is configured.  Differences are deliberate:
+
+* ``durable = False`` — sessions skip fingerprint computation and spec
+  serialization (nothing outlives the process, so content addressing
+  buys nothing) and results are stored as live objects, not JSON;
+* there is no cross-process sharing — two concurrent *threads* still
+  split the table correctly (the claim-contention tests run against
+  both stores), which is all the pool path needs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.ledger import (
+    POINT_CANCELLED,
+    POINT_CLAIMED,
+    POINT_DONE,
+    POINT_FAILED,
+    POINT_PENDING,
+)
+
+
+class MemoryClaimStore:
+    """Same claim semantics as the ledger's points table, in memory."""
+
+    durable = False
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows: Dict[Tuple[str, int], Dict[str, Any]] = {}
+
+    def _claimable(self, row: Dict[str, Any], now: float) -> bool:
+        if row["status"] == POINT_PENDING:
+            return True
+        return (
+            row["status"] == POINT_CLAIMED
+            and row["lease_until"] is not None
+            and row["lease_until"] < now
+        )
+
+    def enqueue_points(self, job_id: str, rows: List[Dict[str, Any]]) -> int:
+        now = time.time()
+        inserted = 0
+        with self._lock:
+            for row in rows:
+                key = (job_id, int(row["seq"]))
+                if key in self._rows:
+                    continue
+                self._rows[key] = {
+                    "job_id": job_id,
+                    "seq": int(row["seq"]),
+                    "fingerprint": row.get("fingerprint"),
+                    "label": row.get("label"),
+                    "backend": row.get("backend"),
+                    "status": POINT_PENDING,
+                    "worker": None,
+                    "lease_until": None,
+                    "claims": 0,
+                    "enqueued_at": row.get("enqueued_at", now),
+                    "finished_at": None,
+                    "wall_seconds": None,
+                    "cache": None,
+                    "error": None,
+                    "spec": row.get("spec"),
+                    "result": None,
+                }
+                inserted += 1
+        return inserted
+
+    def claim_points(
+        self,
+        worker: str,
+        limit: Optional[int] = None,
+        lease_seconds: float = 120.0,
+        job_id: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        now = time.time() if now is None else now
+        claimed: List[Dict[str, Any]] = []
+        with self._lock:
+            candidates = sorted(
+                (
+                    row for row in self._rows.values()
+                    if (job_id is None or row["job_id"] == job_id)
+                    and self._claimable(row, now)
+                ),
+                key=lambda r: (r["enqueued_at"], r["job_id"], r["seq"]),
+            )
+            if limit is not None:
+                candidates = candidates[:int(limit)]
+            for row in candidates:
+                row["status"] = POINT_CLAIMED
+                row["worker"] = worker
+                row["lease_until"] = now + float(lease_seconds)
+                row["claims"] += 1
+                claimed.append(dict(row))
+        return claimed
+
+    def _transition(
+        self,
+        job_id: str,
+        seq: int,
+        worker: str,
+        updates: Dict[str, Any],
+    ) -> bool:
+        with self._lock:
+            row = self._rows.get((job_id, int(seq)))
+            if (
+                row is None or row["status"] != POINT_CLAIMED
+                or row["worker"] != worker
+            ):
+                return False
+            row.update(updates)
+            return True
+
+    def complete_point(
+        self,
+        job_id: str,
+        seq: int,
+        worker: str,
+        result_doc: Any = None,
+        wall_seconds: Optional[float] = None,
+        cache: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> bool:
+        now = time.time() if now is None else now
+        return self._transition(job_id, seq, worker, {
+            "status": POINT_DONE,
+            "result": result_doc,
+            "wall_seconds": wall_seconds,
+            "cache": cache,
+            "finished_at": now,
+            "lease_until": None,
+            "error": None,
+        })
+
+    def fail_point(
+        self,
+        job_id: str,
+        seq: int,
+        worker: str,
+        error: str,
+        now: Optional[float] = None,
+    ) -> bool:
+        now = time.time() if now is None else now
+        return self._transition(job_id, seq, worker, {
+            "status": POINT_FAILED,
+            "error": str(error),
+            "finished_at": now,
+            "lease_until": None,
+        })
+
+    def release_points(
+        self, worker: str, job_id: Optional[str] = None
+    ) -> int:
+        released = 0
+        with self._lock:
+            for row in self._rows.values():
+                if (
+                    row["status"] == POINT_CLAIMED
+                    and row["worker"] == worker
+                    and (job_id is None or row["job_id"] == job_id)
+                ):
+                    row["status"] = POINT_PENDING
+                    row["worker"] = None
+                    row["lease_until"] = None
+                    released += 1
+        return released
+
+    def reclaim_expired(
+        self, now: Optional[float] = None, job_id: Optional[str] = None
+    ) -> int:
+        now = time.time() if now is None else now
+        reclaimed = 0
+        with self._lock:
+            for row in self._rows.values():
+                if (
+                    row["status"] == POINT_CLAIMED
+                    and row["lease_until"] is not None
+                    and row["lease_until"] < now
+                    and (job_id is None or row["job_id"] == job_id)
+                ):
+                    row["status"] = POINT_PENDING
+                    row["worker"] = None
+                    row["lease_until"] = None
+                    reclaimed += 1
+        return reclaimed
+
+    def renew_leases(
+        self,
+        worker: str,
+        lease_seconds: float,
+        job_id: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        now = time.time() if now is None else now
+        renewed = 0
+        with self._lock:
+            for row in self._rows.values():
+                if (
+                    row["status"] == POINT_CLAIMED
+                    and row["worker"] == worker
+                    and (job_id is None or row["job_id"] == job_id)
+                ):
+                    row["lease_until"] = now + float(lease_seconds)
+                    renewed += 1
+        return renewed
+
+    def revoke_pending(self, job_id: str) -> int:
+        now = time.time()
+        revoked = 0
+        with self._lock:
+            for row in self._rows.values():
+                if (
+                    row["job_id"] == job_id
+                    and row["status"] == POINT_PENDING
+                ):
+                    row["status"] = POINT_CANCELLED
+                    row["finished_at"] = now
+                    revoked += 1
+        return revoked
+
+    def point_counts(self, job_id: Optional[str] = None) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for row in self._rows.values():
+                if job_id is None or row["job_id"] == job_id:
+                    counts[row["status"]] = counts.get(row["status"], 0) + 1
+        return counts
+
+    def point_rows(
+        self,
+        job_id: str,
+        status: Optional[str] = None,
+        with_result: bool = False,
+    ) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = [
+                dict(row) for row in self._rows.values()
+                if row["job_id"] == job_id
+                and (status is None or row["status"] == status)
+            ]
+        rows.sort(key=lambda r: r["seq"])
+        if not with_result:
+            for row in rows:
+                row.pop("result", None)
+                row.pop("spec", None)
+        return rows
+
+    def close(self) -> None:
+        """API parity with :class:`RunLedger` (nothing to release)."""
+
+
+__all__ = ["MemoryClaimStore"]

@@ -69,6 +69,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         help="worker processes each sweep fans out over (default 1)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="queue worker threads — jobs running concurrently "
+             "(default 1; needs a ledger for coherent accounting)",
+    )
+    parser.add_argument(
         "--cache-dir", default=DEFAULT_SERVICE_CACHE, metavar="DIR",
         help="shared on-disk run cache (default "
              f"{DEFAULT_SERVICE_CACHE}; identical resubmissions replay "
@@ -88,6 +93,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
         ledger_path=_resolve_ledger(args),
         jobs=args.jobs,
+        workers=args.workers,
     )
     server = start_server(
         queue, host=args.host, port=args.port, quiet=not args.verbose

@@ -86,6 +86,17 @@ class ServiceClient:
         _, raw = self._request("GET", f"/jobs/{job_id}/results")
         return raw
 
+    def results_page(self, job_id: str, offset: int = 0) -> dict:
+        """One incremental results page (streams a running job).
+
+        Returns the completed points from ``offset`` on, with
+        ``next_offset`` (poll from here next) and ``complete`` (True
+        once the page came from the final DONE payload).
+        """
+        return self._json(
+            "GET", f"/jobs/{job_id}/results?offset={int(offset)}"
+        )
+
     def cancel(self, job_id: str) -> dict:
         return self._json("DELETE", f"/jobs/{job_id}")
 

@@ -1,16 +1,25 @@
-"""The service job queue: run IDs, a background worker, cancellation.
+"""The service job queue: run IDs, worker threads, restartable jobs.
 
-:class:`JobQueue` is the layer between the HTTP API and the existing
-sweep machinery.  A submission (:class:`~repro.service.spec.SweepSpec`)
-becomes a :class:`Job` with a queue-assigned id; one background worker
-thread drains the queue, building each job's
-:class:`~repro.perf.parallel.SweepPoint` batch and fanning it out
-through :func:`~repro.perf.parallel.run_points` in cancellation-sized
-chunks.  Every dispatched point records through the durable ledger
-(scoped with :func:`~repro.obs.ledger.ledger_to` so nested jobs can
-never leak the ``REPRO_LEDGER`` mirror) and publishes into the live
-progress tracker, whose ``get_current_state()`` snapshot is exactly
-what ``GET /jobs/{id}`` serves.
+:class:`JobQueue` is the layer between the HTTP API and the scheduler
+(:mod:`repro.sched`).  A submission (:class:`~repro.service.spec.SweepSpec`)
+becomes a :class:`Job` with a queue-assigned id; ``workers`` background
+threads drain the queue (``repro-serve --workers N``), each running its
+job as a claim consumer: the job's
+:class:`~repro.perf.parallel.SweepPoint` batch becomes PENDING rows of
+a claim store — the durable ledger when one is configured — and
+:func:`~repro.perf.parallel.run_points` claims, dispatches, and records
+them under a :class:`~repro.sched.ClaimSession` wired to the job's
+cancel event.
+
+The ledger being the source of truth is what makes jobs *restartable*:
+job rows (spec + lifecycle state) and point rows (per-point claims and
+results) both live in the database, so a restarted server re-adopts
+unfinished jobs on :meth:`JobQueue.start` — DONE points are taken as-is
+from their stored results, PENDING and expired-CLAIMED points are
+re-claimed and run, and the job completes as if the crash never
+happened.  For the same reason an external ``repro-worker`` process
+attached to the same ledger can shard a running job's points with the
+service's own workers.
 
 Job lifecycle state machine::
 
@@ -18,37 +27,42 @@ Job lifecycle state machine::
        │          ├──────▶ FAILED
        └──────────┴──────▶ CANCELLED
 
-* ``QUEUED -> CANCELLED``: a ``DELETE`` before the worker picks the
+* ``QUEUED -> CANCELLED``: a ``DELETE`` before a worker picks the
   job up; nothing ever simulates.
-* ``RUNNING -> CANCELLED``: the cancel event is checked between
-  chunks, so a running sweep stops within one chunk of points; points
-  already simulated stay in the run cache (a resubmission replays
-  them) but the job serves no results.
+* ``RUNNING -> CANCELLED``: the cancel event is a claim-revocation
+  trigger — the session releases its claims, revokes the job's
+  remaining PENDING rows (so no other worker picks them up), and the
+  sweep stops at the next point boundary.  Points already simulated
+  stay in the run cache (a resubmission replays them) but the job
+  serves no results.
 * Terminal states never transition again; cancelling a terminal job
   is a no-op returning False.
 
-The queue itself is single-worker by design — sweeps parallelize
-*inside* a job via ``run_points(jobs=N)``, and serializing jobs keeps
-the process-wide progress tracker an unambiguous account of the one
-running job.  Repeat submissions of an identical spec are the cheap
-path: every point hits the on-disk run cache, so the "sweep" collapses
-into ledger-recorded replays.
+Sweeps still parallelize *inside* a job via ``run_points(jobs=N)``;
+``workers`` controls how many jobs run concurrently.  Repeat
+submissions of an identical spec remain the cheap path: every point
+hits the on-disk run cache, so the "sweep" collapses into
+ledger-recorded replays.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import queue
 import threading
 import time
 import uuid
-from contextlib import nullcontext
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.ledger import RunLedger, ledger_to
 from ..obs.metrics import METRICS
 from ..obs.progress import PROGRESS, tracking
-from ..perf.parallel import effective_workers, run_points
-from .spec import SweepSpec, point_rows
+from ..perf.parallel import run_points
+from ..sched import ClaimSession, MemoryClaimStore, SweepCancelled
+from .spec import SweepSpec, point_rows, result_row
 
 
 class JobState:
@@ -67,34 +81,42 @@ class JobState:
 class Job:
     """One submission's mutable record (guarded by the queue's lock)."""
 
-    def __init__(self, job_id: str, spec: SweepSpec):
+    def __init__(self, job_id: str, spec: SweepSpec,
+                 submitted_at: Optional[float] = None):
         self.job_id = job_id
         self.spec = spec
         self.spec_fingerprint = spec.fingerprint()
         self.state = JobState.QUEUED
-        self.submitted_at = time.time()
+        self.submitted_at = (
+            time.time() if submitted_at is None else submitted_at
+        )
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.error: Optional[str] = None
         self.cancel_event = threading.Event()
         self.points_total = 0
         self.skipped: List[Tuple[str, str]] = []
-        #: final progress snapshot (live snapshots come from PROGRESS)
+        #: final progress snapshot (live snapshots come from the session)
         self.progress: Optional[dict] = None
         #: deterministic results payload, set only on DONE
         self.results: Optional[dict] = None
-        #: ledger cache-verdict counts for this job's window
+        #: cache-verdict counts for this job's points
         self.cache_counts: Dict[str, int] = {}
+        #: the live claim session while RUNNING (None otherwise)
+        self.session: Optional[ClaimSession] = None
+        #: True when this Job was re-adopted from the ledger on restart
+        self.adopted = False
 
 
 class JobQueue:
-    """Accepts sweep specs, runs them on a worker thread, serves state.
+    """Accepts sweep specs, runs them on worker threads, serves state.
 
     ``cache_dir`` is the shared on-disk run cache every job's points
     consult (the cache-hit fast path for repeat submissions);
-    ``ledger_path`` the durable ledger database each job's points
-    record into; ``jobs`` the per-sweep worker-process fan-out passed
-    to :func:`run_points`.
+    ``ledger_path`` the durable ledger database each job's points,
+    claim rows and lifecycle records land in; ``jobs`` the per-sweep
+    worker-process fan-out passed to :func:`run_points`; ``workers``
+    the number of queue worker threads (concurrent jobs).
     """
 
     def __init__(
@@ -102,37 +124,99 @@ class JobQueue:
         cache_dir: Optional[str] = None,
         ledger_path: Optional[str] = None,
         jobs: int = 1,
+        workers: int = 1,
     ):
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.ledger_path = (
             str(ledger_path) if ledger_path is not None else None
         )
         self.jobs = max(1, int(jobs))
+        self.workers = max(1, int(workers))
         self.started_at = time.time()
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._stop = threading.Event()
-        self._worker: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._ledger = (
+            RunLedger(self.ledger_path)
+            if self.ledger_path is not None else None
+        )
+        self._recovered = False
+        # The ledger/progress global scopes are process-wide; with
+        # N workers they are entered once by the first running job and
+        # left by the last, so one job finishing can never disable
+        # them under a sibling still running.
+        self._scope_lock = threading.Lock()
+        self._scope_depth = 0
+        self._scope_cms: list = []
 
     # ---- lifecycle ----------------------------------------------------------
 
     def start(self) -> "JobQueue":
-        """Start the background worker (idempotent)."""
-        if self._worker is None or not self._worker.is_alive():
-            self._stop.clear()
-            self._worker = threading.Thread(
-                target=self._work, name="repro-service-worker", daemon=True
+        """Start the worker threads (idempotent); adopt unfinished jobs.
+
+        With a ledger configured, the first start re-enqueues every
+        job the database still records as QUEUED or RUNNING — the
+        restart-resume path: their claim rows are still there, so DONE
+        points replay from their stored results and only the remainder
+        simulates.
+        """
+        self._recover()
+        self._stop.clear()
+        self._threads = [t for t in self._threads if t.is_alive()]
+        for index in range(len(self._threads), self.workers):
+            thread = threading.Thread(
+                target=self._work,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
             )
-            self._worker.start()
+            thread.start()
+            self._threads.append(thread)
         return self
 
     def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
-        """Stop draining the queue; optionally join the worker."""
+        """Stop draining the queue; optionally join the workers."""
         self._stop.set()
-        self._queue.put(None)  # wake the worker if it is blocked
-        if wait and self._worker is not None and self._worker.is_alive():
-            self._worker.join(timeout=timeout)
+        for _ in range(max(1, len(self._threads))):
+            self._queue.put(None)  # wake blocked workers
+        if wait:
+            deadline = time.monotonic() + timeout
+            for thread in self._threads:
+                if thread.is_alive():
+                    thread.join(
+                        timeout=max(0.0, deadline - time.monotonic())
+                    )
+
+    def _recover(self) -> None:
+        """Re-adopt QUEUED/RUNNING jobs from the ledger (once)."""
+        if self._ledger is None or self._recovered:
+            self._recovered = True
+            return
+        self._recovered = True
+        try:
+            rows = self._ledger.job_rows(
+                states=(JobState.QUEUED, JobState.RUNNING)
+            )
+        except Exception:
+            return
+        for row in rows:
+            try:
+                spec = SweepSpec.from_dict(json.loads(row["spec"]))
+            except (ValueError, TypeError, KeyError):
+                continue  # unparseable legacy row: leave it be
+            job = Job(
+                row["job_id"], spec, submitted_at=row.get("submitted_at")
+            )
+            job.adopted = True
+            with self._lock:
+                if job.job_id in self._jobs:
+                    continue
+                self._jobs[job.job_id] = job
+            self._persist(job)
+            self._queue.put(job.job_id)
+            if METRICS.enabled:
+                METRICS.inc("service.jobs.adopted")
 
     # ---- submission / control ----------------------------------------------
 
@@ -141,6 +225,7 @@ class JobQueue:
         job = Job(uuid.uuid4().hex, spec)
         with self._lock:
             self._jobs[job.job_id] = job
+        self._persist(job)
         self._queue.put(job.job_id)
         if METRICS.enabled:
             METRICS.inc("service.jobs.submitted")
@@ -149,8 +234,9 @@ class JobQueue:
     def cancel(self, job_id: str) -> bool:
         """Request cancellation; True if the job was still cancellable.
 
-        A queued job is cancelled on the spot; a running job stops at
-        the next chunk boundary.  Terminal jobs return False.
+        A queued job is cancelled on the spot; a running job's cancel
+        event revokes its claims at the next point boundary.  Terminal
+        jobs return False.
         """
         with self._lock:
             job = self._jobs.get(job_id)
@@ -161,6 +247,7 @@ class JobQueue:
             job.cancel_event.set()
             if job.state == JobState.QUEUED:
                 self._finish(job, JobState.CANCELLED)
+        self._persist(job)
         if METRICS.enabled:
             METRICS.inc("service.jobs.cancel_requested")
         return True
@@ -193,19 +280,21 @@ class JobQueue:
     def status(self, job_id: str) -> dict:
         """The ``GET /jobs/{id}`` document for one job.
 
-        While the job runs, ``progress`` is composed live from the
-        process-wide tracker (the queue is single-worker, so the
-        tracker's state *is* this job's state), with the total and ETA
-        recomputed against the job's known point count — chunked
-        dispatch announces totals incrementally, the job knows the
-        real denominator up front.
+        While the job runs, ``progress`` is composed from its claim
+        session's store — per-point rows with durable claim state — so
+        the snapshot is correct even with several jobs running and
+        external workers sharding the sweep.
         """
         job = self.get(job_id)
         with self._lock:
             state = job.state
             progress = job.progress
             if state == JobState.RUNNING:
-                progress = self._live_progress(job)
+                session = job.session
+                if session is not None:
+                    progress = session.progress_snapshot(job.started_at)
+                else:
+                    progress = self._live_progress(job)
             doc = {
                 "job_id": job.job_id,
                 "state": state,
@@ -251,7 +340,72 @@ class JobQueue:
                 )
             return job.results
 
-    # ---- the worker ---------------------------------------------------------
+    def results_page(self, job_id: str, offset: int = 0) -> dict:
+        """One ``GET /jobs/{id}/results?offset=N`` page.
+
+        Streams the completed prefix of a *running* job straight from
+        its claim rows (rows are served in point order, so the pages a
+        client accumulates concatenate into exactly the final
+        ``rows``), and slices the final payload once the job is DONE.
+        ``next_offset`` is where the client should poll next;
+        ``complete`` tells it when to stop.
+
+        Raises :class:`LookupError` (409) for FAILED/CANCELLED jobs —
+        same contract as :meth:`results`.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        job = self.get(job_id)
+        with self._lock:
+            state = job.state
+            session = job.session
+            if state == JobState.DONE and job.results is not None:
+                rows = job.results["rows"]
+                page = rows[offset:]
+                return {
+                    "job_id": job.job_id,
+                    "state": state,
+                    "total": len(rows),
+                    "offset": offset,
+                    "next_offset": len(rows),
+                    "complete": True,
+                    "rows": page,
+                }
+            if state in JobState.TERMINAL:
+                raise LookupError(
+                    f"job {job_id} has no results (state: {state})"
+                )
+            total = job.points_total
+        # QUEUED or RUNNING: serve the contiguous done-prefix.
+        rows: List[dict] = []
+        done_prefix = 0
+        if session is not None:
+            try:
+                point_rows_ = session.store.point_rows(
+                    job_id, with_result=True
+                )
+            except Exception:
+                point_rows_ = []
+            by_seq = {row["seq"]: row for row in point_rows_}
+            while True:
+                row = by_seq.get(done_prefix)
+                if row is None or row["status"] != "done":
+                    break
+                done_prefix += 1
+                if done_prefix > offset:
+                    payload = session.payload_from_row(row)
+                    rows.append(result_row(job.spec.backend, payload))
+        return {
+            "job_id": job.job_id,
+            "state": state,
+            "total": total,
+            "offset": offset,
+            "next_offset": max(offset, done_prefix),
+            "complete": False,
+            "rows": rows,
+        }
+
+    # ---- the workers --------------------------------------------------------
 
     def _work(self) -> None:
         while not self._stop.is_set():
@@ -267,18 +421,62 @@ class JobQueue:
                     continue  # cancelled while queued, or stale
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+            self._persist(job)
             try:
                 self._run_job(job)
             except Exception as exc:  # the queue must survive any job
                 with self._lock:
                     job.error = f"{type(exc).__name__}: {exc}"
+                    job.session = None
                     self._finish(job, JobState.FAILED)
+                self._persist(job)
 
-    def _chunk_size(self, n_points: int) -> int:
-        """Cancellation granularity: small enough to stop promptly,
-        large enough that pooled sweeps amortize worker startup."""
-        workers = effective_workers(self.jobs, n_points)
-        return 1 if workers <= 1 else workers * 4
+    @contextmanager
+    def _global_scopes(self):
+        """Process-global ledger/progress scoping, refcounted.
+
+        ``ledger_to`` and ``tracking`` flip process-wide state; with
+        ``workers > 1`` a naive per-job ``with`` would restore it when
+        the *first* job finishes, silently disabling the ledger and
+        tracker under every job still running.  The refcount enters
+        the scopes with the first running job and exits with the last.
+        """
+        with self._scope_lock:
+            self._scope_depth += 1
+            if self._scope_depth == 1:
+                cms = []
+                if self.ledger_path is not None:
+                    cms.append(ledger_to(self.ledger_path))
+                cms.append(tracking())
+                for cm in cms:
+                    cm.__enter__()
+                self._scope_cms = cms
+        try:
+            yield
+        finally:
+            with self._scope_lock:
+                self._scope_depth -= 1
+                if self._scope_depth == 0:
+                    cms, self._scope_cms = self._scope_cms, []
+                    for cm in reversed(cms):
+                        cm.__exit__(None, None, None)
+
+    def _session_for(self, job: Job) -> ClaimSession:
+        store = self._ledger if self._ledger is not None else (
+            MemoryClaimStore()
+        )
+        worker_id = (
+            f"{platform.node()}:{os.getpid()}:"
+            f"{threading.current_thread().name}"
+        )
+        return ClaimSession(
+            store,
+            job_id=job.job_id,
+            worker_id=worker_id,
+            cancel_check=lambda: (
+                job.cancel_event.is_set() or self._stop.is_set()
+            ),
+        )
 
     def _run_job(self, job: Job) -> None:
         points, skipped = job.spec.build_points(
@@ -287,37 +485,42 @@ class JobQueue:
         with self._lock:
             job.points_total = len(points)
             job.skipped = skipped
-        ledger_scope = (
-            ledger_to(self.ledger_path)
-            if self.ledger_path is not None else nullcontext()
-        )
+        session = self._session_for(job)
+        with self._lock:
+            job.session = session
+        cancelled: Optional[SweepCancelled] = None
         results: list = []
-        cancelled = False
-        with ledger_scope, tracking() as tracker:
-            chunk = self._chunk_size(len(points))
-            for start in range(0, len(points), chunk):
-                if job.cancel_event.is_set() or self._stop.is_set():
-                    cancelled = True
-                    break
-                results.extend(
-                    run_points(points[start:start + chunk], jobs=self.jobs)
-                )
-            snapshot = tracker.get_current_state()
+        try:
+            with self._global_scopes():
+                try:
+                    results = run_points(
+                        points, jobs=self.jobs, session=session
+                    )
+                except SweepCancelled as exc:
+                    cancelled = exc
+            snapshot = session.progress_snapshot(job.started_at)
+            cache_counts = self._cache_counts(job, session)
+        finally:
+            with self._lock:
+                job.session = None
+            session.close()
         with self._lock:
             job.progress = snapshot
-            job.cache_counts = self._cache_counts(job)
-            if cancelled:
+            job.cache_counts = cache_counts
+            if cancelled is not None:
+                job.error = str(cancelled)
                 self._finish(job, JobState.CANCELLED)
-                return
-            job.results = {
-                "spec_fingerprint": job.spec_fingerprint,
-                "backend": job.spec.backend,
-                "num_points": len(points),
-                "skipped": [list(pair) for pair in skipped],
-                "rows": point_rows(points, results),
-            }
-            self._finish(job, JobState.DONE)
-        if METRICS.enabled:
+            else:
+                job.results = {
+                    "spec_fingerprint": job.spec_fingerprint,
+                    "backend": job.spec.backend,
+                    "num_points": len(points),
+                    "skipped": [list(pair) for pair in skipped],
+                    "rows": point_rows(points, results),
+                }
+                self._finish(job, JobState.DONE)
+        self._persist(job)
+        if cancelled is None and METRICS.enabled:
             METRICS.inc("service.points.simulated", len(points))
             hits = job.cache_counts.get("hit", 0)
             if hits:
@@ -330,22 +533,53 @@ class JobQueue:
         if METRICS.enabled:
             METRICS.inc(f"service.jobs.{state}")
 
-    def _cache_counts(self, job: Job) -> Dict[str, int]:
-        """Ledger cache-verdict counts in this job's execution window.
+    def _persist(self, job: Job) -> None:
+        """Mirror the job's lifecycle row into the ledger (best effort)."""
+        if self._ledger is None:
+            return
+        try:
+            self._ledger.upsert_job({
+                "job_id": job.job_id,
+                "spec": json.dumps(job.spec.to_dict(), sort_keys=True),
+                "source": "service",
+                "state": job.state,
+                "submitted_at": job.submitted_at,
+                "started_at": job.started_at,
+                "finished_at": job.finished_at,
+                "error": job.error,
+                "points_total": job.points_total,
+            })
+        except Exception:
+            pass  # lifecycle mirroring must never fail a request
 
-        The queue is single-worker, so rows stamped between the job's
-        start and now belong to this job (including its pool workers').
-        Returns {} when no ledger is configured or the query fails —
-        accounting must never fail a job.
+    def _cache_counts(
+        self, job: Job, session: ClaimSession
+    ) -> Dict[str, int]:
+        """Cache-verdict counts for one job's points.
+
+        The claim rows carry per-point verdicts when the serial
+        consumer (or an external worker) ran them; when every point
+        has one, that *is* the job's account.  Pool-dispatched points
+        carry no verdict, so the ledger's runs-table window is the
+        fallback.  Returns {} when nothing is available — accounting
+        must never fail a job.
         """
+        try:
+            verdicts = session.cache_verdicts()
+        except Exception:
+            verdicts = {}
+        if job.points_total and (
+            sum(verdicts.values()) >= job.points_total
+        ):
+            return verdicts
         if self.ledger_path is None or job.started_at is None:
-            return {}
+            return verdicts or {}
         try:
             return RunLedger(self.ledger_path).cache_counts(
                 since=job.started_at
             )
         except Exception:
-            return {}
+            return verdicts or {}
 
 
 __all__ = ["Job", "JobQueue", "JobState"]

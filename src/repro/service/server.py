@@ -5,14 +5,17 @@ each request on its own thread while the :class:`~.jobs.JobQueue`
 worker simulates in the background, so submission and status polling
 stay responsive mid-sweep.  Routes:
 
-==========================  ==================================================
-``POST /jobs``              submit a sweep spec (JSON body); 202 + job id
-``GET /jobs``               list job ids and states
-``GET /jobs/{id}``          lifecycle + live progress snapshot
-``GET /jobs/{id}/results``  deterministic results payload (409 until done)
-``DELETE /jobs/{id}``       request cancellation
-``GET /healthz``            liveness + per-state job counts
-==========================  ==================================================
+==================================  ==========================================
+``POST /jobs``                      submit a sweep spec (JSON body); 202 + id
+``GET /jobs``                       list job ids and states
+``GET /jobs/{id}``                  lifecycle + live progress snapshot
+``GET /jobs/{id}/results``          deterministic results payload (409 until
+                                    done)
+``GET /jobs/{id}/results?offset=N`` incremental page: completed points from
+                                    ``N`` on, streamable while the job runs
+``DELETE /jobs/{id}``               request cancellation
+``GET /healthz``                    liveness + per-state job counts
+==================================  ==========================================
 
 Results are serialized with sorted keys and fixed separators, so the
 same spec always serves the same bytes — the contract the cache-hit
@@ -26,6 +29,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
 from ..obs.metrics import METRICS
 from .jobs import JobQueue
@@ -95,6 +99,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return parts[1], parts[2] if len(parts) > 2 else None
         return None
 
+    def _offset_param(self) -> Optional[int]:
+        """The ``offset`` query parameter, or None when absent.
+
+        Raises :class:`ValueError` (mapped to 400) on a malformed or
+        negative value.
+        """
+        query = parse_qs(urlparse(self.path).query)
+        values = query.get("offset")
+        if not values:
+            return None
+        try:
+            offset = int(values[-1])
+        except ValueError:
+            raise ValueError(
+                f"offset must be an integer, got {values[-1]!r}"
+            ) from None
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        return offset
+
     def _count_request(self) -> None:
         if METRICS.enabled:
             METRICS.inc("service.requests")
@@ -110,6 +134,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._reply(200, {
                 "status": "ok",
                 "jobs": queue.counts(),
+                "workers": queue.workers,
                 "uptime_seconds": round(time.time() - queue.started_at, 3),
             })
             return
@@ -129,11 +154,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if sub is None:
                 self._reply(200, self._queue().status(job_id))
             elif sub == "results":
-                self._reply(200, self._queue().results(job_id))
+                offset = self._offset_param()
+                if offset is None:
+                    self._reply(200, self._queue().results(job_id))
+                else:
+                    self._reply(
+                        200, self._queue().results_page(job_id, offset)
+                    )
             else:
                 self._error(404, f"unknown job subresource {sub!r}")
         except KeyError:
             self._error(404, f"unknown job {job_id!r}")
+        except ValueError as exc:
+            self._error(400, str(exc))
         except LookupError as exc:
             self._error(409, str(exc))
 

@@ -258,27 +258,32 @@ class SweepSpec:
         return points, skipped
 
 
-def point_rows(points: Sequence[SweepPoint], results: Sequence) -> List[dict]:
-    """Tidy, deterministic result rows for a finished point batch.
+def result_row(backend: str, result) -> dict:
+    """One tidy, deterministic result row (the wire format of a point).
 
-    One dict per point, holding only simulation-derived fields (never
-    wall times or run ids), so identical specs serve *byte-identical*
-    payloads whether the points simulated cold or replayed from the
-    run cache.
+    Only simulation-derived fields (never wall times or run ids), so
+    identical specs serve *byte-identical* payloads whether the point
+    simulated cold, replayed from the run cache, or was adopted from
+    another worker's ledger row.
     """
-    rows = []
-    for point, result in zip(points, results):
-        rows.append({
-            "kernel": result.kernel,
-            "config": result.config,
-            "backend": point.backend,
-            "records": result.records,
-            "cycles": result.cycles,
-            "useful_ops": result.useful_ops,
-            "ops_per_cycle": round(result.ops_per_cycle, 9),
-            "cycles_per_record": round(result.cycles_per_record, 9),
-        })
-    return rows
+    return {
+        "kernel": result.kernel,
+        "config": result.config,
+        "backend": backend,
+        "records": result.records,
+        "cycles": result.cycles,
+        "useful_ops": result.useful_ops,
+        "ops_per_cycle": round(result.ops_per_cycle, 9),
+        "cycles_per_record": round(result.cycles_per_record, 9),
+    }
 
 
-__all__ = ["SweepSpec", "point_rows"]
+def point_rows(points: Sequence[SweepPoint], results: Sequence) -> List[dict]:
+    """Tidy, deterministic result rows for a finished point batch."""
+    return [
+        result_row(point.backend, result)
+        for point, result in zip(points, results)
+    ]
+
+
+__all__ = ["SweepSpec", "point_rows", "result_row"]

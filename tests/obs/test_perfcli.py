@@ -185,3 +185,63 @@ class TestRegressCommand:
         ])
         assert code == 2
         assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestPruneCommand:
+    def test_keep_last_trims_older_runs(self, populated_ledger, capsys):
+        db, run_ids = populated_ledger
+        code = perfcli.main(["--ledger", db, "prune", "--keep-last", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 run row(s)" in out
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(db)
+        survivors = [row["run_id"] for row in ledger.rows()]
+        ledger.close()
+        assert len(survivors) == 1
+        assert survivors[0] in run_ids
+
+    def test_dry_run_deletes_nothing(self, populated_ledger, capsys):
+        db, run_ids = populated_ledger
+        code = perfcli.main([
+            "--ledger", db, "prune", "--keep-last", "1", "--dry-run",
+        ])
+        assert code == 0
+        assert "would prune 1 run row(s)" in capsys.readouterr().out
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(db)
+        assert ledger.count() == len(run_ids)
+        ledger.close()
+
+    def test_before_accepts_iso_dates(self, populated_ledger, capsys):
+        db, run_ids = populated_ledger
+        code = perfcli.main([
+            "--ledger", db, "prune", "--before", "2099-01-01",
+        ])
+        assert code == 0
+        assert f"pruned {len(run_ids)} run row(s)" in (
+            capsys.readouterr().out
+        )
+
+    def test_without_criteria_is_an_error(self, populated_ledger, capsys):
+        db, _ = populated_ledger
+        assert perfcli.main(["--ledger", db, "prune"]) == 2
+        assert "--keep-last" in capsys.readouterr().err
+
+    def test_bad_date_is_an_error(self, populated_ledger, capsys):
+        db, _ = populated_ledger
+        code = perfcli.main([
+            "--ledger", db, "prune", "--before", "yesterday",
+        ])
+        assert code == 2
+        assert "YYYY-MM-DD" in capsys.readouterr().err
+
+    def test_missing_ledger_is_an_error(self, tmp_path, capsys):
+        code = perfcli.main([
+            "--ledger", str(tmp_path / "nope.sqlite"),
+            "prune", "--keep-last", "1",
+        ])
+        assert code == 2
+        assert "no ledger at" in capsys.readouterr().err
